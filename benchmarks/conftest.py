@@ -1,0 +1,136 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the AimTS paper (see
+DESIGN.md for the experiment index).  Heavy shared artefacts — the multi-source
+pre-trained AimTS model, the pre-trained foundation-model baselines and the
+downstream evaluation suites — are built once per session here so the whole
+harness runs in minutes on a CPU.
+
+Scale note: the synthetic archives are much smaller than the real UCR/UEA
+archives (see the substitution table in DESIGN.md), so absolute accuracies are
+not comparable to the paper; the benchmarks assert and report the *shape* of
+each result (who wins, ordering of ablations, trends of the sweeps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig, MomentLike, UniTSLike
+from repro.core import AimTS, AimTSConfig, FineTuneConfig
+from repro.data import load_archive, load_dataset, load_pretraining_corpus
+from repro.utils.seeding import seed_everything
+
+#: shared model scale used across all benchmarks (CPU friendly)
+REPR_DIM = 24
+PROJ_DIM = 12
+HIDDEN = 12
+DEPTH = 2
+SERIES_LENGTH = 64
+PANEL_SIZE = 24
+
+
+def make_aimts_config(**overrides) -> AimTSConfig:
+    """The benchmark-scale AimTS configuration (override per experiment)."""
+    base = dict(
+        repr_dim=REPR_DIM,
+        proj_dim=PROJ_DIM,
+        hidden_channels=HIDDEN,
+        depth=DEPTH,
+        panel_size=PANEL_SIZE,
+        series_length=SERIES_LENGTH,
+        batch_size=12,
+        epochs=2,
+        seed=3407,
+    )
+    base.update(overrides)
+    return AimTSConfig(**base)
+
+
+def make_baseline_config(**overrides) -> BaselineConfig:
+    """Matching configuration for the neural baselines."""
+    base = dict(
+        repr_dim=REPR_DIM,
+        proj_dim=PROJ_DIM,
+        hidden_channels=HIDDEN,
+        depth=DEPTH,
+        series_length=SERIES_LENGTH,
+        batch_size=12,
+        epochs=2,
+        seed=3407,
+    )
+    base.update(overrides)
+    return BaselineConfig(**base)
+
+
+def make_finetune_config(**overrides) -> FineTuneConfig:
+    """The shared downstream fine-tuning configuration."""
+    base = dict(epochs=20, learning_rate=3e-3, batch_size=8, classifier_hidden_dim=32, seed=3407)
+    base.update(overrides)
+    return FineTuneConfig(**base)
+
+
+def pretrain_aimts(config: AimTSConfig | None = None, *, corpus_source: str = "monash", max_samples: int = 160) -> AimTS:
+    """Pre-train a fresh AimTS model on a multi-source corpus."""
+    seed_everything(3407)
+    model = AimTS(config or make_aimts_config())
+    corpus = load_pretraining_corpus(corpus_source, n_datasets=12, seed=3407)
+    model.pretrain(corpus, max_samples=max_samples)
+    return model
+
+
+@pytest.fixture(scope="session")
+def aimts_model() -> AimTS:
+    """The multi-source (Monash-like) pre-trained AimTS model used everywhere."""
+    return pretrain_aimts()
+
+
+@pytest.fixture(scope="session")
+def foundation_baselines() -> dict:
+    """MOMENT-like and UniTS-like baselines pre-trained on the same corpus."""
+    seed_everything(3407)
+    corpus = load_pretraining_corpus("monash", n_datasets=12, seed=3407)
+    moment = MomentLike(make_baseline_config())
+    moment.pretrain_multi_source(corpus, max_samples=160)
+    units = UniTSLike(make_baseline_config())
+    units.pretrain_multi_source(corpus, max_samples=160)
+    return {"MOMENT": moment, "UniTS": units}
+
+
+@pytest.fixture(scope="session")
+def ucr_suite():
+    """The synthetic UCR-style downstream suite (univariate)."""
+    return load_archive("ucr", n_datasets=8, seed=3407)
+
+
+@pytest.fixture(scope="session")
+def uea_suite():
+    """The synthetic UEA-style downstream suite (multivariate)."""
+    return load_archive("uea", n_datasets=5, seed=3407)
+
+
+@pytest.fixture(scope="session")
+def finetune_config() -> FineTuneConfig:
+    return make_finetune_config()
+
+
+@pytest.fixture(scope="session")
+def starlight_dataset():
+    """StarLightCurves-like dataset used by the efficiency comparison (Fig. 7c/d)."""
+    return load_dataset("StarLightCurves", seed=3407)
+
+
+def print_table(title: str, columns, rows) -> None:
+    """Print one paper-style result table to stdout (captured with ``-s``)."""
+    from repro.utils.tables import ResultTable
+
+    table = ResultTable(columns, title=title)
+    for row in rows:
+        table.add_row(row)
+    print("\n" + table.render() + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

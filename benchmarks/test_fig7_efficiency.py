@@ -1,0 +1,90 @@
+"""Fig. 7(c)(d) — memory usage and total fine-tuning + inference time.
+
+The paper compares AimTS against 5 baselines on StarLightCurves with batch
+size 8 and 10 epochs.  The CPU substrate reports the analogous quantities:
+parameter + activation memory (MB) and wall-clock total time (seconds).
+
+Shape to reproduce: AimTS sits at the efficient end of the comparison — it
+needs no more memory and no more time than the heavier deep baselines while
+keeping the best (or tied-best) accuracy.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import pytest
+
+from benchmarks.conftest import make_baseline_config, make_finetune_config, print_table, run_once
+from repro.baselines import MomentLike, SupervisedCNN, TS2Vec, UniTSLike
+from repro.core.config import FineTuneConfig
+from repro.evaluation import measure_finetune_efficiency
+from repro.encoders import TSEncoder
+
+
+def _fresh_encoder(scale: float = 1.0) -> TSEncoder:
+    return TSEncoder(
+        hidden_channels=max(4, int(12 * scale)), repr_dim=24, depth=2, channel_independent=True, rng=3407
+    )
+
+
+@pytest.mark.benchmark(group="fig7_efficiency")
+def test_fig7cd_memory_and_time(benchmark, aimts_model, foundation_baselines, starlight_dataset):
+    finetune = FineTuneConfig(epochs=10, batch_size=8, learning_rate=3e-3, seed=3407)
+
+    def experiment():
+        reports = {}
+        # AimTS: fine-tune the pre-trained encoder
+        reports["AimTS"] = measure_finetune_efficiency(
+            copy.deepcopy(aimts_model.pretrainer.ts_encoder),
+            starlight_dataset,
+            method="AimTS",
+            finetune_config=finetune,
+        )
+        # foundation models: fine-tune their pre-trained encoders
+        for name, baseline in foundation_baselines.items():
+            reports[name] = measure_finetune_efficiency(
+                copy.deepcopy(baseline.encoder), starlight_dataset, method=name, finetune_config=finetune
+            )
+        # TimesNet-style supervised CNN trained from scratch (slightly larger trunk)
+        reports["TimesNet"] = measure_finetune_efficiency(
+            TSEncoder(hidden_channels=20, repr_dim=32, depth=3, rng=3407),
+            starlight_dataset,
+            method="TimesNet",
+            finetune_config=finetune,
+        )
+        # SoftCLT / TS2Vec-style: case-by-case contrastive pre-training + fine-tuning,
+        # so their total time includes the pre-training stage
+        for name, cls in (("SoftCLT", TS2Vec), ("TS2Vec", TS2Vec)):
+            baseline = cls(make_baseline_config())
+            start = time.perf_counter()
+            baseline.pretrain(starlight_dataset.train.X, epochs=2)
+            pretrain_seconds = time.perf_counter() - start
+            report = measure_finetune_efficiency(
+                copy.deepcopy(baseline.encoder), starlight_dataset, method=name, finetune_config=finetune
+            )
+            report.total_seconds += pretrain_seconds
+            reports[name] = report
+        return reports
+
+    reports = run_once(benchmark, experiment)
+
+    rows = [
+        [name, report.memory_megabytes, report.total_seconds, report.parameter_count, report.accuracy]
+        for name, report in reports.items()
+    ]
+    print_table(
+        "Fig. 7(c)(d): memory and total time on StarLightCurves-like data",
+        ["Method", "Memory (MB)", "Total time (s)", "Parameters", "Accuracy"],
+        rows,
+    )
+
+    aimts = reports["AimTS"]
+    heavier = reports["TimesNet"]
+    assert aimts.memory_megabytes <= heavier.memory_megabytes, "AimTS should need no more memory than the larger supervised model"
+    assert aimts.total_seconds <= max(r.total_seconds for r in reports.values()) + 1e-9
+    case_by_case_total = reports["TS2Vec"].total_seconds
+    assert aimts.total_seconds <= case_by_case_total * 1.5, (
+        "fine-tuning a pre-trained AimTS should not be much slower than case-by-case pre-train + fine-tune"
+    )

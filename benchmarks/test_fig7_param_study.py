@@ -1,0 +1,74 @@
+"""Fig. 7(a)(b) — sensitivity to the loss weights alpha, beta and the mixup gamma.
+
+The paper sweeps alpha (intra/inter prototype weight), beta (naive/mixup
+series-image weight) and gamma (Beta-distribution parameter of the mixup
+coefficient) and evaluates on the three AllGestureWiimote datasets.
+
+Shape to reproduce: AimTS is *insensitive* to all three hyper-parameters — the
+accuracy band across each sweep stays narrow and every setting stays well above
+chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_aimts_config, make_finetune_config, pretrain_aimts, print_table, run_once
+from repro.data import load_dataset
+
+SWEEP_DATASETS = ("AllGestureWiimoteX", "AllGestureWiimoteY", "AllGestureWiimoteZ")
+ALPHA_VALUES = (0.9, 0.8, 0.7, 0.6)
+BETA_VALUES = (0.9, 0.8, 0.7, 0.6)
+GAMMA_VALUES = (0.1, 0.3, 0.5, 0.7)
+
+
+def _evaluate(model, finetune):
+    datasets = [load_dataset(name, seed=3407) for name in SWEEP_DATASETS]
+    accuracies = model.evaluate_archive(datasets, finetune)
+    return float(np.mean(list(accuracies.values())))
+
+
+def _sweep(parameter: str, values, finetune):
+    """Pre-train once per parameter value (reduced corpus for speed) and evaluate."""
+    results = {}
+    for value in values:
+        config = make_aimts_config(epochs=1, **{parameter: value})
+        model = pretrain_aimts(config, max_samples=96)
+        results[value] = _evaluate(model, finetune)
+    return results
+
+
+@pytest.mark.benchmark(group="fig7_params")
+def test_fig7a_alpha_and_beta_sensitivity(benchmark):
+    finetune = make_finetune_config()
+
+    def experiment():
+        return {
+            "alpha": _sweep("alpha", ALPHA_VALUES, finetune),
+            "beta": _sweep("beta", BETA_VALUES, finetune),
+        }
+
+    sweeps = run_once(benchmark, experiment)
+
+    for parameter, values in (("alpha", ALPHA_VALUES), ("beta", BETA_VALUES)):
+        rows = [[value, sweeps[parameter][value]] for value in values]
+        print_table(f"Fig. 7(a): accuracy vs {parameter}", [parameter, "Avg. ACC"], rows)
+        accuracies = list(sweeps[parameter].values())
+        assert max(accuracies) - min(accuracies) < 0.2, f"AimTS should be insensitive to {parameter}"
+        assert min(accuracies) > 0.3  # well above chance for 4-class gesture data
+
+
+@pytest.mark.benchmark(group="fig7_params")
+def test_fig7b_gamma_sensitivity(benchmark):
+    finetune = make_finetune_config()
+
+    def experiment():
+        return _sweep("gamma", GAMMA_VALUES, finetune)
+
+    sweep = run_once(benchmark, experiment)
+    print_table("Fig. 7(b): accuracy vs gamma", ["gamma", "Avg. ACC"], [[v, sweep[v]] for v in GAMMA_VALUES])
+
+    accuracies = list(sweep.values())
+    assert max(accuracies) - min(accuracies) < 0.2, "the geodesic mixup should be insensitive to gamma"
+    assert min(accuracies) > 0.3

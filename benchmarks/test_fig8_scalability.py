@@ -1,0 +1,117 @@
+"""Fig. 8(a)(b)(c) — scalability with data size, series length and model size.
+
+The paper fine-tunes AimTS on SleepEEG while varying (a) the number of
+fine-tuning samples, (b) the time-series length and (c) the encoder parameter
+count, and reports memory and total time.
+
+Shape to reproduce: memory and time grow (roughly linearly/monotonically) with
+each factor, and accuracy never collapses as the workload grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.core.config import FineTuneConfig
+from repro.data.archives import make_dataset
+from repro.encoders import TSEncoder
+from repro.evaluation.efficiency import scalability_sweep
+
+FINETUNE = FineTuneConfig(epochs=3, batch_size=8, seed=3407)
+
+
+def _sleepeeg_like(n_train: int, length: int) -> "make_dataset":
+    return make_dataset(
+        f"sleepeeg_{n_train}_{length}",
+        "eeg",
+        n_classes=3,
+        n_train=n_train,
+        n_test=24,
+        length=length,
+        n_variables=1,
+        seed=3407,
+    )
+
+
+def _monotone_fraction(values) -> float:
+    """Fraction of consecutive steps that do not decrease."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return 1.0
+    return float(np.mean(np.diff(values) >= -1e-9))
+
+
+@pytest.mark.benchmark(group="fig8_scalability")
+def test_fig8a_data_size_scaling(benchmark):
+    sizes = [16, 32, 64, 96]
+
+    def experiment():
+        return scalability_sweep(
+            lambda: TSEncoder(hidden_channels=12, repr_dim=24, depth=2, rng=3407),
+            lambda n: _sleepeeg_like(n, 96),
+            sizes,
+            vary="data_size",
+            finetune_config=FINETUNE,
+        )
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Fig. 8(a): scalability w.r.t. fine-tuning data size",
+        ["Data size", "Total time (s)", "Memory (MB)", "Accuracy"],
+        [[r["value"], r["total_seconds"], r["memory_mb"], r["accuracy"]] for r in rows],
+    )
+    times = [r["total_seconds"] for r in rows]
+    assert _monotone_fraction(times) >= 0.67, "total time should grow with the data size"
+    assert times[-1] > times[0]
+
+
+@pytest.mark.benchmark(group="fig8_scalability")
+def test_fig8b_series_length_scaling(benchmark):
+    lengths = [48, 96, 192, 288]
+
+    def experiment():
+        return scalability_sweep(
+            lambda: TSEncoder(hidden_channels=12, repr_dim=24, depth=2, rng=3407),
+            lambda length: _sleepeeg_like(32, length),
+            lengths,
+            vary="series_length",
+            finetune_config=FINETUNE,
+        )
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Fig. 8(b): scalability w.r.t. time-series length",
+        ["Length", "Total time (s)", "Memory (MB)", "Accuracy"],
+        [[r["value"], r["total_seconds"], r["memory_mb"], r["accuracy"]] for r in rows],
+    )
+    times = [r["total_seconds"] for r in rows]
+    memories = [r["memory_mb"] for r in rows]
+    assert times[-1] > times[0], "longer series must take longer"
+    assert _monotone_fraction(memories) == 1.0, "activation memory grows linearly with length"
+
+
+@pytest.mark.benchmark(group="fig8_scalability")
+def test_fig8c_model_size_scaling(benchmark):
+    hidden_sizes = [8, 16, 32, 48]
+
+    def experiment():
+        return scalability_sweep(
+            lambda hidden: TSEncoder(hidden_channels=hidden, repr_dim=24, depth=2, rng=3407),
+            lambda hidden: _sleepeeg_like(32, 96),
+            hidden_sizes,
+            vary="hidden_channels",
+            finetune_config=FINETUNE,
+        )
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Fig. 8(c): scalability w.r.t. model parameters",
+        ["Hidden width", "Parameters", "Total time (s)", "Memory (MB)"],
+        [[r["value"], r["parameters"], r["total_seconds"], r["memory_mb"]] for r in rows],
+    )
+    parameters = [r["parameters"] for r in rows]
+    times = [r["total_seconds"] for r in rows]
+    assert _monotone_fraction(parameters) == 1.0
+    assert times[-1] > times[0], "bigger models must take longer"

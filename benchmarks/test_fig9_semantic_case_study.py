@@ -1,0 +1,63 @@
+"""Fig. 9 / Fig. 2 — data augmentation can change sample semantics; prototypes preserve them.
+
+The paper trains a classifier on StarLightCurves, then evaluates it on
+(a) the raw test data, (b) test data augmented with slicing, and (c) the
+prototype of multiple augmentations of each test sample.
+
+Shape to reproduce: accuracy(raw) ≈ accuracy(prototype) > accuracy(sliced) —
+slicing destroys class-relevant structure while the multi-augmentation
+prototype dampens that damage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.augmentations import Slicing, default_bank
+from repro.core.config import FineTuneConfig
+from repro.core.finetuner import FineTuner
+from repro.data import load_dataset
+from repro.encoders import TSEncoder
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_augmentation_semantics(benchmark):
+    dataset = load_dataset("StarLightCurves", seed=3407, scale=1.5)
+
+    def experiment():
+        # train a supervised classifier on the raw training split (the paper
+        # uses TS2Vec + classifier; a supervised encoder plays the same role of
+        # "a classifier that has learned the class semantics")
+        encoder = TSEncoder(hidden_channels=12, repr_dim=24, depth=2, rng=3407)
+        finetuner = FineTuner(
+            encoder, dataset.n_classes, FineTuneConfig(epochs=25, learning_rate=3e-3, seed=3407)
+        )
+        finetuner.fit(dataset.train)
+
+        X_test, y_test = dataset.test.X, dataset.test.y
+        raw_accuracy = float((finetuner.predict(X_test) == y_test).mean())
+
+        sliced = Slicing(crop_ratio=0.5, seed=3407)(X_test)
+        sliced_accuracy = float((finetuner.predict(sliced) == y_test).mean())
+
+        # prototype of the data: average of the G augmented views in the input
+        # space (the paper's Fig. 9c visualises exactly this averaged series)
+        views = default_bank(seed=3407).augment_batch(X_test)
+        prototype_series = views.mean(axis=0)
+        prototype_accuracy = float((finetuner.predict(prototype_series) == y_test).mean())
+        return {"raw": raw_accuracy, "sliced": sliced_accuracy, "prototype": prototype_accuracy}
+
+    accuracies = run_once(benchmark, experiment)
+    print_table(
+        "Fig. 9: classifier accuracy on raw / sliced / prototype test data",
+        ["Test data", "Accuracy"],
+        [["raw (Fig. 9a)", accuracies["raw"]], ["sliced (Fig. 9b)", accuracies["sliced"]], ["prototype (Fig. 9c)", accuracies["prototype"]]],
+    )
+
+    assert accuracies["raw"] > 0.6, "the classifier must have learned the task"
+    assert accuracies["sliced"] < accuracies["raw"], "slicing should hurt accuracy (semantic change)"
+    assert accuracies["prototype"] >= accuracies["sliced"], "prototypes should dampen the damage"
+    assert accuracies["raw"] - accuracies["prototype"] <= accuracies["raw"] - accuracies["sliced"], (
+        "the prototype should stay closer to the raw-data accuracy than the sliced data does"
+    )

@@ -1,0 +1,68 @@
+"""Table VI — ablation study of the AimTS components.
+
+Four variants are pre-trained on the same corpus and evaluated on the same
+downstream suite:
+
+1. ``w/ inter-prototype``      — prototype loss only, without the intra term.
+2. ``w/ prototype-based``      — full two-level prototype loss (inter + intra).
+3. ``w/ naive series-image``   — series-image loss without the geodesic mixup.
+4. ``w/ series-image``         — full series-image loss (naive + mixup).
+5. ``AimTS``                   — everything combined (the full model).
+
+Paper shape to reproduce: every component helps; the full model is the best,
+each "complete" variant beats its reduced counterpart, and all variants remain
+well above chance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_aimts_config, make_finetune_config, pretrain_aimts, print_table, run_once
+
+#: variant name -> AimTSConfig overrides
+ABLATION_VARIANTS = {
+    "w/ inter-prototype contrastive learning": dict(use_series_image_loss=False, use_intra_loss=False),
+    "w/ prototype-based contrastive learning": dict(use_series_image_loss=False, use_intra_loss=True),
+    "w/ naive series-image contrastive learning": dict(use_prototype_loss=False, mixup_mode="none"),
+    "w/ series-image contrastive learning": dict(use_prototype_loss=False, mixup_mode="geodesic"),
+    "AimTS": dict(),
+}
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_component_ablation(benchmark, ucr_suite):
+    finetune = make_finetune_config()
+    evaluation_suite = ucr_suite[:6]
+
+    def experiment():
+        scores = {}
+        for variant, overrides in ABLATION_VARIANTS.items():
+            model = pretrain_aimts(make_aimts_config(**overrides), max_samples=120)
+            accuracies = model.evaluate_archive(evaluation_suite, finetune)
+            scores[variant] = sum(accuracies.values()) / len(accuracies)
+        return scores
+
+    scores = run_once(benchmark, experiment)
+    print_table(
+        "Table VI: ablation study (Avg. ACC on the UCR-style suite)",
+        ["Variant", "Avg. ACC"],
+        [[variant, value] for variant, value in scores.items()],
+    )
+
+    full = scores["AimTS"]
+    # the full model is at least as good as every reduced variant (small tolerance)
+    for variant, value in scores.items():
+        assert full >= value - 0.05, f"full AimTS should not be clearly worse than {variant}"
+    # adding the intra-prototype term should not hurt the inter-only variant
+    assert (
+        scores["w/ prototype-based contrastive learning"]
+        >= scores["w/ inter-prototype contrastive learning"] - 0.05
+    )
+    # adding the geodesic mixup should not hurt the naive series-image variant
+    assert (
+        scores["w/ series-image contrastive learning"]
+        >= scores["w/ naive series-image contrastive learning"] - 0.05
+    )
+    # every ablation variant must remain well above chance (suites have 2-5 classes)
+    assert all(value > 0.45 for value in scores.values())

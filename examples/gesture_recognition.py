@@ -1,0 +1,82 @@
+"""Action / gesture recognition with multivariate accelerometer-style data.
+
+The paper's first motivating domain is action recognition.  This example uses
+the multivariate gesture-style datasets (uWave / RacketSports analogues) to
+show the parts of the pipeline that matter for multivariate data:
+
+1. channel-independent encoding — one pre-trained encoder works for datasets
+   with any number of variables,
+2. the series-to-image conversion — each variable becomes a coloured panel of
+   one stitched line-chart image,
+3. fine-tuning on two gesture datasets with different channel counts from the
+   same pre-trained checkpoint,
+4. inspecting the learned representation space (nearest-centroid accuracy).
+
+Run with:  python examples/gesture_recognition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AimTS, AimTSConfig, FineTuneConfig
+from repro.data import load_dataset, load_pretraining_corpus
+from repro.imaging import LineChartRenderer
+from repro.utils.seeding import seed_everything
+from repro.utils.tables import ResultTable
+
+
+def nearest_centroid_accuracy(representations: np.ndarray, labels: np.ndarray) -> float:
+    """Leave-nothing-out nearest-centroid accuracy in representation space."""
+    centroids = {label: representations[labels == label].mean(axis=0) for label in np.unique(labels)}
+    classes = sorted(centroids)
+    distance_matrix = np.stack(
+        [np.linalg.norm(representations - centroids[label], axis=1) for label in classes], axis=1
+    )
+    predictions = np.array(classes)[distance_matrix.argmin(axis=1)]
+    return float((predictions == labels).mean())
+
+
+def main() -> None:
+    seed_everything(3407)
+
+    # -------------------------------------------------------------- pre-training
+    corpus = load_pretraining_corpus("monash", n_datasets=10)
+    model = AimTS(
+        AimTSConfig(repr_dim=24, proj_dim=12, hidden_channels=12, depth=2, series_length=64, panel_size=24, batch_size=12, epochs=2)
+    )
+    model.pretrain(corpus, max_samples=160, verbose=True)
+
+    # ------------------------------------------------- series-to-image inspection
+    gesture = load_dataset("UWaveGestureLibrary")   # 3-axis accelerometer-style data
+    renderer = LineChartRenderer(panel_size=24)
+    image = renderer.render(gesture.train.X[0])
+    print(
+        f"\nOne {gesture.n_variables}-variable gesture sample renders to an RGB image of shape "
+        f"{image.shape} (grid of per-variable panels, lit pixel fraction "
+        f"{float((image.sum(axis=0) > 0).mean()):.2%})"
+    )
+
+    # ------------------------------------------------------ downstream fine-tuning
+    finetune = FineTuneConfig(epochs=20, learning_rate=3e-3)
+    table = ResultTable(
+        ["Dataset", "Variables", "Classes", "Fine-tuned accuracy", "Nearest-centroid (pre-trained reps)"],
+        title="Gesture recognition from one pre-trained AimTS checkpoint",
+    )
+    for name in ("UWaveGestureLibrary", "RacketSports", "Handwriting"):
+        dataset = load_dataset(name)
+        result = model.fine_tune(dataset, finetune)
+        representations = model.encode(dataset.test.X)
+        centroid_accuracy = nearest_centroid_accuracy(representations, dataset.test.y)
+        table.add_row([name, dataset.n_variables, dataset.n_classes, result.accuracy, centroid_accuracy])
+
+    print()
+    print(table.render())
+    print(
+        "\nThe same checkpoint adapts to gesture datasets with different channel counts\n"
+        "because the TS encoder is channel independent (paper Section V-A3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""AimTS reproduction — Augmented Series and Image Contrastive Learning for TSC.
+
+This package is a full, from-scratch NumPy reproduction of
+
+    *AimTS: Augmented Series and Image Contrastive Learning for Time Series
+    Classification* (ICDE 2025, arXiv:2504.09993),
+
+including every substrate the paper depends on: a small autograd/NN framework
+(:mod:`repro.nn`), synthetic UCR/UEA/Monash-style archives (:mod:`repro.data`),
+the augmentation bank (:mod:`repro.augmentations`), a line-chart rasteriser
+(:mod:`repro.imaging`), the encoders (:mod:`repro.encoders`), the AimTS
+framework itself (:mod:`repro.core`), the comparison baselines
+(:mod:`repro.baselines`) and the evaluation protocols
+(:mod:`repro.evaluation`).
+
+Quick start
+-----------
+>>> from repro import AimTS, AimTSConfig
+>>> from repro.data import load_pretraining_corpus, load_dataset
+>>> model = AimTS(AimTSConfig(epochs=1))
+>>> model.pretrain(load_pretraining_corpus("monash", n_datasets=4))   # doctest: +SKIP
+>>> model.fine_tune(load_dataset("ECG200")).accuracy                  # doctest: +SKIP
+"""
+
+from repro.core import AimTS, AimTSConfig, FineTuneConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["AimTS", "AimTSConfig", "FineTuneConfig", "__version__"]

@@ -1,0 +1,40 @@
+"""``repro.augmentations`` — time-series data augmentations.
+
+The paper's augmentation bank (Section V-A4) contains five operations:
+jittering, scaling, time warping, slicing and window warping.  A few extra
+augmentations (permutation, masking) are provided for the baselines that need
+"weak"/"strong" views (TS-TCC) and for ablations.
+
+Every augmentation is a callable object operating on a single sample of shape
+``(M, T)`` or a batch ``(B, M, T)`` and always returns an array of the same
+shape — slicing/warping re-interpolate back to the original length, following
+Le Guennec et al. (2016) as cited by the paper.
+"""
+
+from repro.augmentations.bank import DEFAULT_BANK, AugmentationBank, default_bank
+from repro.augmentations.base import Augmentation, Compose, Identity
+from repro.augmentations.ops import (
+    Jitter,
+    Masking,
+    Permutation,
+    Scaling,
+    Slicing,
+    TimeWarp,
+    WindowWarp,
+)
+
+__all__ = [
+    "Augmentation",
+    "Identity",
+    "Compose",
+    "Jitter",
+    "Scaling",
+    "TimeWarp",
+    "Slicing",
+    "WindowWarp",
+    "Permutation",
+    "Masking",
+    "AugmentationBank",
+    "default_bank",
+    "DEFAULT_BANK",
+]

@@ -1,0 +1,78 @@
+"""The augmentation bank used by prototype-based contrastive learning.
+
+Following Section V-A4 of the paper, the default bank contains G = 5
+augmentations: jittering, scaling, time warping, slicing and window warping.
+:meth:`AugmentationBank.two_views` produces the two independently randomised
+augmented views per augmentation required by the prototype construction
+(Fig. 4a of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augmentations.base import Augmentation
+from repro.augmentations.ops import Jitter, Scaling, Slicing, TimeWarp, WindowWarp
+from repro.utils.seeding import new_rng
+
+#: names of the paper's default augmentation bank, in order
+DEFAULT_BANK = ("jitter", "scaling", "time_warp", "slicing", "window_warp")
+
+
+class AugmentationBank:
+    """A fixed collection of G augmentation operations.
+
+    Parameters
+    ----------
+    augmentations:
+        The augmentation objects forming the bank.
+    """
+
+    def __init__(self, augmentations: list[Augmentation]):
+        if not augmentations:
+            raise ValueError("the augmentation bank must contain at least one augmentation")
+        self.augmentations = list(augmentations)
+
+    def __len__(self) -> int:
+        return len(self.augmentations)
+
+    def __iter__(self):
+        return iter(self.augmentations)
+
+    @property
+    def names(self) -> list[str]:
+        """Augmentation identifiers, in bank order."""
+        return [a.name for a in self.augmentations]
+
+    def augment_batch(self, X: np.ndarray) -> np.ndarray:
+        """Apply every augmentation once to a batch.
+
+        Returns an array of shape ``(G, B, M, T)`` with one augmented view of
+        every sample per augmentation.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        return np.stack([augmentation(X) for augmentation in self.augmentations], axis=0)
+
+    def two_views(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Generate the two independently randomised view sets of the paper.
+
+        Returns ``(views_a, views_b)``, each of shape ``(G, B, M, T)``; views_a[k]
+        and views_b[k] come from the *same* augmentation with different random
+        parameters, so they form the intra-prototype positive pairs.
+        """
+        return self.augment_batch(X), self.augment_batch(X)
+
+
+def default_bank(seed: int | np.random.Generator | None = None) -> AugmentationBank:
+    """Build the paper's default 5-augmentation bank."""
+    rng = new_rng(seed)
+    children = [new_rng(int(rng.integers(0, 2**31))) for _ in range(5)]
+    return AugmentationBank(
+        [
+            Jitter(sigma=0.08, seed=children[0]),
+            Scaling(sigma=0.1, seed=children[1]),
+            TimeWarp(n_knots=4, strength=0.1, seed=children[2]),
+            Slicing(crop_ratio=0.8, seed=children[3]),
+            WindowWarp(window_ratio=0.3, seed=children[4]),
+        ]
+    )

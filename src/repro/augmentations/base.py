@@ -1,0 +1,71 @@
+"""Augmentation base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import new_rng
+
+
+class Augmentation:
+    """Base class for time-series augmentations.
+
+    Subclasses implement :meth:`_transform_sample` on a single ``(M, T)``
+    sample; the base class handles batching and RNG management so that every
+    call produces a *different* random view (Definition 3 in the paper: the
+    same augmentation applied twice yields two distinct augmented views).
+    """
+
+    #: short identifier used in logs, prototypes and parameter studies
+    name = "augmentation"
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        self._rng = new_rng(seed)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        """Augment a single sample ``(M, T)`` or a batch ``(B, M, T)``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 2:
+            out = self._transform_sample(X, self._rng)
+            if out.shape != X.shape:
+                raise RuntimeError(
+                    f"{type(self).__name__} changed the sample shape from {X.shape} to {out.shape}"
+                )
+            return out
+        if X.ndim == 3:
+            return np.stack([self(x) for x in X], axis=0)
+        raise ValueError(f"expected (M, T) or (B, M, T) input, got shape {X.shape}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(Augmentation):
+    """The no-op augmentation (useful as a control in ablations)."""
+
+    name = "identity"
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return sample.copy()
+
+
+class Compose(Augmentation):
+    """Apply several augmentations in sequence."""
+
+    name = "compose"
+
+    def __init__(self, augmentations: list[Augmentation], seed=None):
+        super().__init__(seed)
+        if not augmentations:
+            raise ValueError("Compose requires at least one augmentation")
+        self.augmentations = list(augmentations)
+        self.name = "+".join(a.name for a in self.augmentations)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = sample
+        for augmentation in self.augmentations:
+            out = augmentation._transform_sample(out, rng)
+        return out

@@ -1,0 +1,164 @@
+"""Concrete time-series augmentations.
+
+These follow the definitions surveyed by Iwana & Uchida (2021) and Wen et al.
+(2020), the references the paper cites for its augmentation bank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augmentations.base import Augmentation
+from repro.utils.validation import check_positive, check_probability
+
+
+def _resample_to_length(series: np.ndarray, length: int) -> np.ndarray:
+    """Linearly interpolate a 1-D series to ``length`` points."""
+    if series.shape[0] == length:
+        return series
+    old_grid = np.linspace(0.0, 1.0, series.shape[0])
+    new_grid = np.linspace(0.0, 1.0, length)
+    return np.interp(new_grid, old_grid, series)
+
+
+class Jitter(Augmentation):
+    """Additive Gaussian noise: ``x + eps`` with ``eps ~ N(0, sigma^2)``."""
+
+    name = "jitter"
+
+    def __init__(self, sigma: float = 0.08, seed=None):
+        super().__init__(seed)
+        self.sigma = check_positive("sigma", sigma)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return sample + rng.normal(0.0, self.sigma, size=sample.shape)
+
+
+class Scaling(Augmentation):
+    """Multiplicative amplitude scaling with a per-variable random factor."""
+
+    name = "scaling"
+
+    def __init__(self, sigma: float = 0.1, seed=None):
+        super().__init__(seed)
+        self.sigma = check_positive("sigma", sigma)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        factors = rng.normal(1.0, self.sigma, size=(sample.shape[0], 1))
+        return sample * factors
+
+
+class TimeWarp(Augmentation):
+    """Smooth random warping of the time axis via a cubic-ish knot spline."""
+
+    name = "time_warp"
+
+    def __init__(self, n_knots: int = 4, strength: float = 0.1, seed=None):
+        super().__init__(seed)
+        self.n_knots = int(check_positive("n_knots", n_knots))
+        self.strength = check_positive("strength", strength)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        length = sample.shape[1]
+        knot_positions = np.linspace(0, 1, self.n_knots + 2)
+        knot_offsets = np.concatenate([[0.0], rng.normal(0, self.strength, self.n_knots), [0.0]])
+        offsets = np.interp(np.linspace(0, 1, length), knot_positions, knot_offsets)
+        warped_grid = np.clip(np.linspace(0, 1, length) + offsets, 0, 1)
+        # enforce monotonicity so the warp is a valid re-timing
+        warped_grid = np.maximum.accumulate(warped_grid)
+        original_grid = np.linspace(0, 1, length)
+        out = np.empty_like(sample)
+        for variable in range(sample.shape[0]):
+            out[variable] = np.interp(warped_grid, original_grid, sample[variable])
+        return out
+
+
+class Slicing(Augmentation):
+    """Window slicing: crop a random sub-window and stretch it back.
+
+    This is the augmentation used in the paper's Fig. 9 case study — it can
+    destroy class-relevant structure (e.g. drop one of the eclipse dips),
+    changing the semantics of the sample.
+    """
+
+    name = "slicing"
+
+    def __init__(self, crop_ratio: float = 0.8, seed=None):
+        super().__init__(seed)
+        check_probability("crop_ratio", crop_ratio)
+        if crop_ratio <= 0.1:
+            raise ValueError("crop_ratio must be > 0.1 to leave a usable window")
+        self.crop_ratio = crop_ratio
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        length = sample.shape[1]
+        window = max(2, int(round(self.crop_ratio * length)))
+        start = int(rng.integers(0, length - window + 1))
+        out = np.empty_like(sample)
+        for variable in range(sample.shape[0]):
+            out[variable] = _resample_to_length(sample[variable, start : start + window], length)
+        return out
+
+
+class WindowWarp(Augmentation):
+    """Window warping: speed up or slow down one random window by ``scales``."""
+
+    name = "window_warp"
+
+    def __init__(self, window_ratio: float = 0.3, scales: tuple[float, float] = (0.5, 2.0), seed=None):
+        super().__init__(seed)
+        check_probability("window_ratio", window_ratio)
+        self.window_ratio = window_ratio
+        self.scales = tuple(scales)
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        length = sample.shape[1]
+        window = max(2, int(round(self.window_ratio * length)))
+        start = int(rng.integers(0, length - window + 1))
+        scale = float(rng.choice(self.scales))
+        warped_window_length = max(2, int(round(window * scale)))
+        out = np.empty_like(sample)
+        for variable in range(sample.shape[0]):
+            series = sample[variable]
+            warped_window = _resample_to_length(series[start : start + window], warped_window_length)
+            stitched = np.concatenate([series[:start], warped_window, series[start + window :]])
+            out[variable] = _resample_to_length(stitched, length)
+        return out
+
+
+class Permutation(Augmentation):
+    """Split the series into segments and permute them (a "strong" view)."""
+
+    name = "permutation"
+
+    def __init__(self, max_segments: int = 5, seed=None):
+        super().__init__(seed)
+        self.max_segments = int(check_positive("max_segments", max_segments))
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        length = sample.shape[1]
+        n_segments = int(rng.integers(2, self.max_segments + 1))
+        boundaries = np.sort(rng.choice(np.arange(1, length), size=n_segments - 1, replace=False))
+        segments = np.split(np.arange(length), boundaries)
+        order = rng.permutation(len(segments))
+        index = np.concatenate([segments[i] for i in order])
+        return sample[:, index]
+
+
+class Masking(Augmentation):
+    """Zero out a random contiguous window (used by masked-modeling baselines)."""
+
+    name = "masking"
+
+    def __init__(self, mask_ratio: float = 0.2, seed=None):
+        super().__init__(seed)
+        check_probability("mask_ratio", mask_ratio)
+        self.mask_ratio = mask_ratio
+
+    def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        length = sample.shape[1]
+        window = max(1, int(round(self.mask_ratio * length)))
+        start = int(rng.integers(0, length - window + 1))
+        out = sample.copy()
+        out[:, start : start + window] = 0.0
+        return out

@@ -1,0 +1,57 @@
+"""``repro.baselines`` — reimplementations of the methods AimTS is compared against.
+
+The paper's evaluation spans three paradigms (Fig. 1); each baseline here is a
+small-scale but mechanistically faithful reimplementation of one comparison
+method (or family of methods):
+
+Case-by-case representation learning (Table I):
+    * :class:`~repro.baselines.ts2vec.TS2Vec` — hierarchical/temporal contrastive
+      learning over overlapping crops.
+    * :class:`~repro.baselines.tstcc.TSTCC` — weak/strong augmented views with
+      cross-view prediction and contextual contrasting.
+    * :class:`~repro.baselines.tloss.TLoss` — triplet loss with random subseries.
+    * :class:`~repro.baselines.tnc.TNC` — temporal neighborhood coding.
+    * :class:`~repro.baselines.simclr.SimCLR` — NT-Xent over two augmented views.
+
+Case-by-case supervised methods (Table II):
+    * :class:`~repro.baselines.supervised.SupervisedCNN` — a TS-encoder +
+      classifier trained end-to-end (stands for TimesNet/OS-CNN/TapNet-style
+      deep supervised models).
+    * :class:`~repro.baselines.supervised.LinearClassifier` — DLinear-style
+      linear model on the flattened series.
+    * :class:`~repro.baselines.rocket.Rocket` / ``MiniRocket`` — random
+      convolutional kernel features + ridge classifier.
+
+Multi-source adaptation foundation models (Table IV / V):
+    * :class:`~repro.baselines.foundation.MomentLike` — masked-reconstruction
+      pre-training on a multi-source pool (MOMENT-style).
+    * :class:`~repro.baselines.foundation.UniTSLike` — multi-source pre-training
+      with a joint reconstruction + instance-discrimination objective
+      (UniTS-style unified model).
+"""
+
+from repro.baselines.base import BaselineConfig, SelfSupervisedBaseline
+from repro.baselines.foundation import MomentLike, UniTSLike
+from repro.baselines.rocket import MiniRocket, Rocket
+from repro.baselines.simclr import SimCLR
+from repro.baselines.supervised import LinearClassifier, SupervisedCNN
+from repro.baselines.tloss import TLoss
+from repro.baselines.tnc import TNC
+from repro.baselines.ts2vec import TS2Vec
+from repro.baselines.tstcc import TSTCC
+
+__all__ = [
+    "BaselineConfig",
+    "SelfSupervisedBaseline",
+    "TS2Vec",
+    "TSTCC",
+    "TLoss",
+    "TNC",
+    "SimCLR",
+    "SupervisedCNN",
+    "LinearClassifier",
+    "Rocket",
+    "MiniRocket",
+    "MomentLike",
+    "UniTSLike",
+]

@@ -1,0 +1,193 @@
+"""Shared infrastructure for the self-supervised baselines.
+
+Every neural baseline follows the same recipe: a TS encoder is pre-trained
+with the baseline's own self-supervised objective (``batch_loss``), and a
+classifier is then fine-tuned on the labelled training split via the same
+:class:`~repro.core.finetuner.FineTuner` used by AimTS, so the comparison
+isolates the representation-learning objective.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FineTuneConfig
+from repro.core.finetuner import FineTuner, FineTuneResult
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.loaders import BatchIterator, build_pretraining_pool, z_normalize
+from repro.encoders import ProjectionHead, TSEncoder
+from repro.nn import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.seeding import new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class BaselineConfig:
+    """Hyper-parameters shared by the neural baselines."""
+
+    repr_dim: int = 32
+    proj_dim: int = 16
+    hidden_channels: int = 16
+    depth: int = 2
+    kernel_size: int = 3
+    series_length: int = 96
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    epochs: int = 2
+    seed: int = 3407
+    #: downstream aggregation of per-variable representations ("concat"/"mean"),
+    #: mirroring AimTSConfig so comparisons stay architecture-fair.
+    channel_aggregation: str = "concat"
+
+    def __post_init__(self) -> None:
+        for name in ("repr_dim", "proj_dim", "hidden_channels", "depth", "batch_size", "epochs"):
+            check_positive(name, getattr(self, name))
+        check_positive("learning_rate", self.learning_rate)
+        if self.channel_aggregation not in ("concat", "mean"):
+            raise ValueError(
+                f"channel_aggregation must be 'concat' or 'mean', got {self.channel_aggregation!r}"
+            )
+
+
+class SelfSupervisedBaseline:
+    """Base class for contrastive / reconstruction pre-training baselines.
+
+    Subclasses implement :meth:`batch_loss`, which receives one mini-batch of
+    raw series ``(B, M, T)`` and returns a scalar loss Tensor.
+    """
+
+    #: short name used in result tables
+    name = "baseline"
+
+    def __init__(self, config: BaselineConfig | None = None):
+        self.config = config or BaselineConfig()
+        self._rng = new_rng(self.config.seed)
+        self.encoder = self._build_encoder()
+        self.projection = ProjectionHead(
+            self.config.repr_dim, self.config.proj_dim, rng=int(self._rng.integers(0, 2**31))
+        )
+
+    def _build_encoder(self) -> TSEncoder:
+        return TSEncoder(
+            hidden_channels=self.config.hidden_channels,
+            repr_dim=self.config.repr_dim,
+            depth=self.config.depth,
+            kernel_size=self.config.kernel_size,
+            channel_independent=True,
+            rng=int(self._rng.integers(0, 2**31)),
+        )
+
+    # ------------------------------------------------------------- objectives
+    def batch_loss(self, batch: np.ndarray) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _auxiliary_modules(self) -> list:
+        """Extra trainable modules beyond encoder + projection (overridable)."""
+        return []
+
+    def parameters(self):
+        yield from self.encoder.parameters()
+        yield from self.projection.parameters()
+        for module in self._auxiliary_modules():
+            yield from module.parameters()
+
+    # ------------------------------------------------------------ pre-training
+    def pretrain(self, X: np.ndarray, *, epochs: int | None = None, verbose: bool = False) -> list[float]:
+        """Self-supervised pre-training on unlabeled series ``(N, M, T)``."""
+        X = z_normalize(np.asarray(X, dtype=np.float64))
+        epochs = epochs or self.config.epochs
+        optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
+        iterator = BatchIterator(X, batch_size=self.config.batch_size, shuffle=True, seed=self._rng)
+        curve = []
+        for epoch in range(epochs):
+            total, batches = 0.0, 0
+            for batch, _ in iterator:
+                if batch.shape[0] < 2:
+                    continue
+                optimizer.zero_grad()
+                loss = self.batch_loss(batch)
+                loss.backward()
+                optimizer.step()
+                total += float(loss.item())
+                batches += 1
+            curve.append(total / max(batches, 1))
+            if verbose:
+                print(f"[{self.name}] epoch {epoch + 1}/{epochs} loss={curve[-1]:.4f}")
+        return curve
+
+    def pretrain_multi_source(
+        self,
+        corpus: list[TimeSeriesDataset],
+        *,
+        n_variables: int = 1,
+        max_samples: int | None = None,
+        epochs: int | None = None,
+    ) -> list[float]:
+        """Pre-train on a merged multi-source pool (Fig. 8d protocol)."""
+        pool = build_pretraining_pool(
+            corpus,
+            length=self.config.series_length,
+            n_variables=n_variables,
+            max_samples=max_samples,
+            seed=self._rng,
+        )
+        return self.pretrain(pool, epochs=epochs)
+
+    # ------------------------------------------------------------- evaluation
+    def fine_tune(
+        self,
+        dataset: TimeSeriesDataset,
+        finetune_config: FineTuneConfig | None = None,
+        *,
+        label_ratio: float | None = None,
+    ) -> FineTuneResult:
+        """Fine-tune a classifier on the downstream dataset (encoder included)."""
+        from repro.data.fewshot import few_shot_subset
+
+        encoder_copy = copy.deepcopy(self.encoder)
+        # the self-supervised objectives pre-train with "mean" aggregation (the
+        # pool has a fixed number of variables); downstream classification uses
+        # the configured aggregation so every method sees the same head setup
+        encoder_copy.channel_aggregation = self.config.channel_aggregation
+        finetuner = FineTuner(encoder_copy, dataset.n_classes, finetune_config)
+        working = dataset
+        if label_ratio is not None:
+            train = few_shot_subset(dataset.train, label_ratio, seed=self.config.seed)
+            working = TimeSeriesDataset(
+                name=dataset.name,
+                domain=dataset.domain,
+                train=train,
+                test=dataset.test,
+                n_classes=dataset.n_classes,
+                metadata=dict(dataset.metadata, label_ratio=label_ratio),
+            )
+        return finetuner.fit_and_evaluate(working)
+
+    def fit_and_evaluate(
+        self,
+        dataset: TimeSeriesDataset,
+        finetune_config: FineTuneConfig | None = None,
+        *,
+        pretrain_epochs: int | None = None,
+    ) -> float:
+        """Case-by-case protocol: pre-train on the dataset itself, then fine-tune."""
+        self.pretrain(dataset.train.X, epochs=pretrain_epochs)
+        return self.fine_tune(dataset, finetune_config).accuracy
+
+    # ------------------------------------------------------------------ utils
+    def encode(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Representations from the (pre-trained) encoder, without gradients."""
+        from repro.nn.tensor import no_grad
+
+        X = z_normalize(np.asarray(X, dtype=np.float64))
+        outputs = []
+        self.encoder.eval()
+        with no_grad():
+            for start in range(0, X.shape[0], batch_size):
+                outputs.append(self.encoder(X[start : start + batch_size]).data)
+        self.encoder.train()
+        return np.concatenate(outputs, axis=0)

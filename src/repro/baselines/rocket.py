@@ -1,0 +1,123 @@
+"""ROCKET and MiniRocket baselines (Dempster et al., DMKD 2020).
+
+ROCKET convolves the series with a large bank of random kernels and feeds two
+pooled features per kernel — the maximum response and the proportion of
+positive values (PPV) — into a linear (ridge) classifier.  MiniRocket uses a
+fixed small kernel alphabet with random dilations and biases and PPV-only
+features.  Both are implemented directly in NumPy (no autograd needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.loaders import z_normalize
+from repro.utils.seeding import new_rng
+from repro.utils.validation import check_positive
+
+
+def _ridge_fit(features: np.ndarray, y: np.ndarray, ridge: float) -> tuple[np.ndarray, int]:
+    n_classes = int(np.max(y)) + 1
+    targets = np.eye(n_classes)[np.asarray(y, dtype=np.int64)]
+    design = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
+    gram = design.T @ design + ridge * np.eye(design.shape[1])
+    weights = np.linalg.solve(gram, design.T @ targets)
+    return weights, n_classes
+
+
+def _ridge_predict(features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    design = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
+    return (design @ weights).argmax(axis=1)
+
+
+class Rocket:
+    """Random convolutional kernel transform + ridge classifier."""
+
+    name = "Rocket"
+
+    def __init__(self, n_kernels: int = 200, *, ridge: float = 1.0, seed: int = 3407):
+        check_positive("n_kernels", n_kernels)
+        check_positive("ridge", ridge)
+        self.n_kernels = n_kernels
+        self.ridge = ridge
+        self.seed = seed
+        self._kernels: list[tuple[np.ndarray, float, int, int]] = []
+        self._weights: np.ndarray | None = None
+        self._feature_stats: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _generate_kernels(self, length: int) -> None:
+        rng = new_rng(self.seed)
+        self._kernels = []
+        for _ in range(self.n_kernels):
+            kernel_length = int(rng.choice([7, 9, 11]))
+            weights = rng.normal(0.0, 1.0, kernel_length)
+            weights = weights - weights.mean()
+            bias = float(rng.uniform(-1.0, 1.0))
+            max_exponent = max(0, int(np.log2((length - 1) / (kernel_length - 1))) if length > kernel_length else 0)
+            dilation = int(2 ** rng.integers(0, max_exponent + 1))
+            padding = ((kernel_length - 1) * dilation) // 2 if rng.random() < 0.5 else 0
+            self._kernels.append((weights, bias, dilation, padding))
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        """Compute (max, PPV) features for every kernel, averaged over variables."""
+        X = z_normalize(np.asarray(X, dtype=np.float64))
+        n, m, t = X.shape
+        features = np.zeros((n, 2 * len(self._kernels)))
+        for k, (weights, bias, dilation, padding) in enumerate(self._kernels):
+            kernel_length = weights.shape[0]
+            span = (kernel_length - 1) * dilation + 1
+            padded = np.pad(X, ((0, 0), (0, 0), (padding, padding))) if padding else X
+            if padded.shape[2] < span:
+                padded = np.pad(padded, ((0, 0), (0, 0), (0, span - padded.shape[2])))
+            windows = np.lib.stride_tricks.sliding_window_view(padded, span, axis=2)[:, :, :, ::dilation]
+            responses = np.einsum("nmtk,k->nmt", windows, weights) + bias
+            features[:, 2 * k] = responses.max(axis=(1, 2))
+            features[:, 2 * k + 1] = (responses > 0).mean(axis=(1, 2))
+        return features
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Rocket":
+        """Generate kernels, transform the training data and fit the ridge head."""
+        self._generate_kernels(X.shape[2])
+        features = self._transform(X)
+        mean, std = features.mean(axis=0), features.std(axis=0) + 1e-8
+        self._feature_stats = (mean, std)
+        self._weights, _ = _ridge_fit((features - mean) / std, y, self.ridge)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None or self._feature_stats is None:
+            raise RuntimeError("call fit() before predict()")
+        mean, std = self._feature_stats
+        features = (self._transform(X) - mean) / std
+        return _ridge_predict(features, self._weights)
+
+    def fit_and_evaluate(self, dataset: TimeSeriesDataset) -> float:
+        """Train on ``dataset.train`` and return test accuracy."""
+        self.fit(dataset.train.X, dataset.train.y)
+        return float((self.predict(dataset.test.X) == dataset.test.y).mean())
+
+
+class MiniRocket(Rocket):
+    """MiniRocket: fixed two-valued kernels, random dilations, PPV-only features."""
+
+    name = "Minirocket"
+
+    def _generate_kernels(self, length: int) -> None:
+        rng = new_rng(self.seed)
+        self._kernels = []
+        kernel_length = 9
+        for _ in range(self.n_kernels):
+            weights = np.full(kernel_length, -1.0)
+            high_positions = rng.choice(kernel_length, size=3, replace=False)
+            weights[high_positions] = 2.0
+            bias = float(rng.normal(0.0, 1.0))
+            max_exponent = max(0, int(np.log2((length - 1) / (kernel_length - 1))) if length > kernel_length else 0)
+            dilation = int(2 ** rng.integers(0, max_exponent + 1))
+            padding = ((kernel_length - 1) * dilation) // 2
+            self._kernels.append((weights, bias, dilation, padding))
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        full = super()._transform(X)
+        # keep only the PPV features (odd columns), as in MiniRocket
+        return full[:, 1::2]

@@ -1,0 +1,53 @@
+"""``repro.core`` — the AimTS framework (the paper's primary contribution).
+
+The public surface:
+
+* :class:`~repro.core.config.AimTSConfig` / :class:`~repro.core.config.FineTuneConfig`
+  — configuration dataclasses.
+* :class:`~repro.core.model.AimTS` — high-level model: ``pretrain`` on a
+  multi-source corpus, ``fine_tune`` / ``evaluate`` on downstream datasets,
+  ``save`` / ``load`` checkpoints.
+* :class:`~repro.core.pretrainer.AimTSPretrainer` — the pre-training loop
+  combining prototype-based and series-image contrastive learning.
+* :class:`~repro.core.finetuner.FineTuner` — downstream fine-tuning with an
+  MLP classifier.
+* :mod:`~repro.core.losses`, :mod:`~repro.core.prototypes`,
+  :mod:`~repro.core.mixup` — the individual objective components (Eqs. 2–12).
+"""
+
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.core.finetuner import FineTuner, FineTuneResult
+from repro.core.losses import (
+    inter_prototype_loss,
+    intra_prototype_loss,
+    prototype_loss,
+    series_image_loss,
+    series_image_mixup_loss,
+    series_image_naive_loss,
+)
+from repro.core.mixup import geodesic_mixup, linear_mixup, sample_mixup_coefficients
+from repro.core.model import AimTS
+from repro.core.pretrainer import AimTSPretrainer, PretrainHistory
+from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pairwise_view_distances
+
+__all__ = [
+    "AimTSConfig",
+    "FineTuneConfig",
+    "AimTS",
+    "AimTSPretrainer",
+    "PretrainHistory",
+    "FineTuner",
+    "FineTuneResult",
+    "prototype_loss",
+    "intra_prototype_loss",
+    "inter_prototype_loss",
+    "series_image_loss",
+    "series_image_naive_loss",
+    "series_image_mixup_loss",
+    "geodesic_mixup",
+    "linear_mixup",
+    "sample_mixup_coefficients",
+    "aggregate_prototype",
+    "adaptive_temperatures",
+    "pairwise_view_distances",
+]

@@ -1,0 +1,141 @@
+"""Configuration dataclasses for pre-training and fine-tuning.
+
+Defaults follow the paper where it specifies values (Adam, seed 3407, batch
+size 16, StepLR decay, 5 augmentations, loss weights α/β around 0.7–0.9,
+mixup γ = 0.1) and use CPU-friendly model sizes for everything the paper
+leaves to its A800-scale implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_in_options, check_positive, check_probability
+
+#: allowed settings for the ablation hooks
+TEMPERATURE_MODES = ("adaptive", "fixed")
+MIXUP_MODES = ("geodesic", "linear", "none")
+PROTOTYPE_REDUCTIONS = ("mean", "median")
+CHANNEL_AGGREGATIONS = ("concat", "mean")
+
+
+@dataclass
+class AimTSConfig:
+    """Hyper-parameters of the AimTS pre-training stage.
+
+    Attributes
+    ----------
+    repr_dim, proj_dim:
+        Encoder representation size and contrastive projection size ``J``.
+    hidden_channels, depth, kernel_size:
+        TS-encoder trunk architecture.
+    image_channels, image_depth, panel_size:
+        Image-encoder architecture and line-chart rendering resolution.
+    series_length, n_variables:
+        Common shape every pre-training sample is resampled to.
+    alpha:
+        Weight of the inter-prototype loss within ``L_proto`` (Eq. 6).
+    beta:
+        Weight of the naive series-image loss within ``L_SI`` (Eq. 12).
+    gamma:
+        Beta-distribution parameter of the mixup coefficient λ (Eq. 9).
+    tau0, tau:
+        Base temperature of the adaptive intra-prototype temperature (Eq. 3)
+        and the fixed temperature used by the inter-prototype and
+        series-image losses.
+    use_prototype_loss, use_intra_loss, use_series_image_loss, mixup_mode,
+    temperature_mode, prototype_reduction, channel_independent:
+        Ablation switches corresponding to Table VI and DESIGN.md.
+    """
+
+    # architecture
+    repr_dim: int = 32
+    proj_dim: int = 16
+    hidden_channels: int = 16
+    depth: int = 2
+    kernel_size: int = 3
+    image_channels: int = 8
+    image_depth: int = 2
+    panel_size: int = 32
+    # data shape
+    series_length: int = 96
+    n_variables: int = 1
+    channel_independent: bool = True
+    #: how downstream fine-tuning combines per-variable representations of the
+    #: channel-independent encoder: "concat" (task head sees every variable)
+    #: or "mean" (fixed-size representation).  Pre-training always uses "mean"
+    #: because prototypes need a size that does not depend on the dataset.
+    channel_aggregation: str = "concat"
+    # optimisation (paper Section V-A3)
+    batch_size: int = 16
+    learning_rate: float = 7e-3
+    epochs: int = 2
+    lr_step_size: int = 1
+    lr_gamma: float = 0.5
+    seed: int = 3407
+    # loss weights
+    alpha: float = 0.7
+    beta: float = 0.9
+    gamma: float = 0.1
+    tau0: float = 0.2
+    tau: float = 0.2
+    # ablation switches
+    use_prototype_loss: bool = True
+    use_intra_loss: bool = True
+    use_series_image_loss: bool = True
+    temperature_mode: str = "adaptive"
+    mixup_mode: str = "geodesic"
+    prototype_reduction: str = "mean"
+    augmentation_names: tuple[str, ...] = field(
+        default=("jitter", "scaling", "time_warp", "slicing", "window_warp")
+    )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "repr_dim",
+            "proj_dim",
+            "hidden_channels",
+            "depth",
+            "panel_size",
+            "series_length",
+            "n_variables",
+            "batch_size",
+            "epochs",
+        ):
+            check_positive(name, getattr(self, name))
+        check_positive("learning_rate", self.learning_rate)
+        check_probability("alpha", self.alpha)
+        check_probability("beta", self.beta)
+        check_positive("gamma", self.gamma)
+        check_positive("tau0", self.tau0)
+        check_positive("tau", self.tau)
+        check_in_options("temperature_mode", self.temperature_mode, TEMPERATURE_MODES)
+        check_in_options("mixup_mode", self.mixup_mode, MIXUP_MODES)
+        check_in_options("prototype_reduction", self.prototype_reduction, PROTOTYPE_REDUCTIONS)
+        check_in_options("channel_aggregation", self.channel_aggregation, CHANNEL_AGGREGATIONS)
+        if not self.augmentation_names:
+            raise ValueError("augmentation_names must not be empty")
+
+    @property
+    def n_augmentations(self) -> int:
+        """The bank size G."""
+        return len(self.augmentation_names)
+
+
+@dataclass
+class FineTuneConfig:
+    """Hyper-parameters of downstream fine-tuning (paper Section V-A3)."""
+
+    learning_rate: float = 1e-3
+    epochs: int = 20
+    batch_size: int = 8
+    classifier_hidden_dim: int | None = 64
+    dropout: float = 0.1
+    freeze_encoder: bool = False
+    seed: int = 3407
+
+    def __post_init__(self) -> None:
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("epochs", self.epochs)
+        check_positive("batch_size", self.batch_size)
+        check_probability("dropout", self.dropout)

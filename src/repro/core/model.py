@@ -1,0 +1,172 @@
+"""The high-level :class:`AimTS` model.
+
+This is the public entry point most users need:
+
+>>> from repro.core import AimTS, AimTSConfig
+>>> from repro.data import load_pretraining_corpus, load_dataset
+>>> model = AimTS(AimTSConfig(epochs=1))
+>>> model.pretrain(load_pretraining_corpus("monash", n_datasets=4))   # doctest: +SKIP
+>>> result = model.fine_tune(load_dataset("ECG200"))                  # doctest: +SKIP
+>>> result.accuracy                                                   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+
+import numpy as np
+
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.core.finetuner import FineTuner, FineTuneResult
+from repro.core.pretrainer import AimTSPretrainer, PretrainHistory
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.fewshot import few_shot_subset
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+class AimTS:
+    """Augmented Series and Image Contrastive Learning for TSC.
+
+    The model wraps a :class:`AimTSPretrainer` (pre-training stage) and
+    produces fresh :class:`FineTuner` instances per downstream dataset, so
+    fine-tuning one dataset never contaminates another — exactly the
+    multi-source generalization paradigm (Fig. 1d) of the paper.
+    """
+
+    def __init__(self, config: AimTSConfig | None = None):
+        self.config = config or AimTSConfig()
+        self.pretrainer = AimTSPretrainer(self.config)
+        self._pretrained = False
+
+    # ------------------------------------------------------------ pre-training
+    @property
+    def is_pretrained(self) -> bool:
+        """Whether :meth:`pretrain` (or :meth:`load`) has been called."""
+        return self._pretrained
+
+    def pretrain(
+        self,
+        corpus: list[TimeSeriesDataset] | np.ndarray,
+        *,
+        max_samples: int | None = None,
+        verbose: bool = False,
+    ) -> PretrainHistory:
+        """Run multi-source self-supervised pre-training (Eq. 1)."""
+        history = self.pretrainer.fit(corpus, max_samples=max_samples, verbose=verbose)
+        self._pretrained = True
+        return history
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Representations of ``(n, M, T)`` samples from the (pre-trained) TS encoder."""
+        return self.pretrainer.encode(X)
+
+    # ------------------------------------------------------------- fine-tuning
+    def make_finetuner(
+        self, n_classes: int, config: FineTuneConfig | None = None, *, copy_encoder: bool = True
+    ) -> FineTuner:
+        """Create a fine-tuner seeded with (a copy of) the pre-trained encoder.
+
+        ``copy_encoder=True`` (default) deep-copies the encoder so that each
+        downstream task starts from the same pre-trained weights.  The copy is
+        switched to the configured downstream ``channel_aggregation`` (the
+        pre-training encoder itself always uses "mean" so prototype shapes do
+        not depend on the corpus dimensionality).
+        """
+        encoder = copy.deepcopy(self.pretrainer.ts_encoder) if copy_encoder else self.pretrainer.ts_encoder
+        encoder.channel_aggregation = self.config.channel_aggregation
+        return FineTuner(encoder, n_classes, config)
+
+    def fine_tune(
+        self,
+        dataset: TimeSeriesDataset,
+        config: FineTuneConfig | None = None,
+        *,
+        label_ratio: float | None = None,
+        verbose: bool = False,
+    ) -> FineTuneResult:
+        """Fine-tune on one downstream dataset and evaluate on its test split.
+
+        Parameters
+        ----------
+        dataset:
+            The downstream dataset.
+        config:
+            Fine-tuning hyper-parameters.
+        label_ratio:
+            If given, only this stratified fraction of the training labels is
+            used (the Table V few-shot protocol).
+        """
+        finetuner = self.make_finetuner(dataset.n_classes, config)
+        if label_ratio is not None:
+            train = few_shot_subset(dataset.train, label_ratio, seed=self.config.seed)
+            working = TimeSeriesDataset(
+                name=dataset.name,
+                domain=dataset.domain,
+                train=train,
+                test=dataset.test,
+                n_classes=dataset.n_classes,
+                metadata=dict(dataset.metadata, label_ratio=label_ratio),
+            )
+        else:
+            working = dataset
+        return finetuner.fit_and_evaluate(working, verbose=verbose)
+
+    def evaluate_archive(
+        self,
+        datasets: list[TimeSeriesDataset],
+        config: FineTuneConfig | None = None,
+        *,
+        label_ratio: float | None = None,
+        verbose: bool = False,
+    ) -> dict[str, float]:
+        """Fine-tune and evaluate on every dataset of an archive.
+
+        Returns a mapping ``dataset name → test accuracy``; this is the basic
+        building block of the Table I / Table IV evaluation protocols.
+        """
+        results = {}
+        for dataset in datasets:
+            result = self.fine_tune(dataset, config, label_ratio=label_ratio, verbose=False)
+            results[dataset.name] = result.accuracy
+            if verbose:
+                print(f"[evaluate] {dataset.name}: acc={result.accuracy:.3f}")
+        return results
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | os.PathLike) -> str:
+        """Save the pre-trained encoders and projection heads to ``path``."""
+        state = {}
+        named = {
+            "ts_encoder": self.pretrainer.ts_encoder,
+            "image_encoder": self.pretrainer.image_encoder,
+            "view_projection": self.pretrainer.view_projection,
+            "prototype_projection": self.pretrainer.prototype_projection,
+            "series_projection": self.pretrainer.series_projection,
+            "image_projection": self.pretrainer.image_projection,
+        }
+        for prefix, module in named.items():
+            for key, value in module.state_dict().items():
+                state[f"{prefix}.{key}"] = value
+        return save_state_dict(state, path)
+
+    def load(self, path: str | os.PathLike) -> "AimTS":
+        """Load encoders and projection heads saved by :meth:`save`."""
+        state = load_state_dict(path)
+        named = {
+            "ts_encoder": self.pretrainer.ts_encoder,
+            "image_encoder": self.pretrainer.image_encoder,
+            "view_projection": self.pretrainer.view_projection,
+            "prototype_projection": self.pretrainer.prototype_projection,
+            "series_projection": self.pretrainer.series_projection,
+            "image_projection": self.pretrainer.image_projection,
+        }
+        for prefix, module in named.items():
+            sub_state = {
+                key[len(prefix) + 1 :]: value
+                for key, value in state.items()
+                if key.startswith(prefix + ".")
+            }
+            module.load_state_dict(sub_state)
+        self._pretrained = True
+        return self

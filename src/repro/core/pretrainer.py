@@ -1,0 +1,284 @@
+"""The AimTS multi-source pre-training loop (paper Fig. 3a).
+
+For every mini-batch drawn from the merged multi-source pool the pre-trainer:
+
+1. generates two augmented view sets with the G-augmentation bank,
+2. encodes all views with the TS encoder, projects them, and forms the two
+   prototypes per sample,
+3. computes the two-level prototype loss ``L_proto`` (Eq. 6) with adaptive
+   temperatures derived from the raw augmented views,
+4. renders each sample as a line-chart image, encodes it with the image
+   encoder, and computes the series-image loss ``L_SI`` (Eq. 12) with the
+   geodesic mixup negatives,
+5. optimises both encoders and projection heads with Adam + StepLR on the
+   total loss ``L = L_proto + L_SI`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.augmentations import AugmentationBank, default_bank
+from repro.augmentations import ops as aug_ops
+from repro.core.config import AimTSConfig
+from repro.core.losses import prototype_loss, series_image_loss
+from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pairwise_view_distances
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.loaders import BatchIterator, build_pretraining_pool
+from repro.encoders import ImageEncoder, ProjectionHead, TSEncoder
+from repro.imaging import LineChartRenderer
+from repro.nn import Adam, StepLR, Tensor
+from repro.nn import functional as F
+from repro.utils.seeding import new_rng
+
+#: mapping from config augmentation names to constructor callables
+_AUGMENTATION_FACTORY = {
+    "jitter": lambda seed: aug_ops.Jitter(seed=seed),
+    "scaling": lambda seed: aug_ops.Scaling(seed=seed),
+    "time_warp": lambda seed: aug_ops.TimeWarp(seed=seed),
+    "slicing": lambda seed: aug_ops.Slicing(seed=seed),
+    "window_warp": lambda seed: aug_ops.WindowWarp(seed=seed),
+    "permutation": lambda seed: aug_ops.Permutation(seed=seed),
+    "masking": lambda seed: aug_ops.Masking(seed=seed),
+}
+
+
+@dataclass
+class PretrainHistory:
+    """Per-epoch training curves recorded during pre-training."""
+
+    total_loss: list[float] = field(default_factory=list)
+    prototype_loss: list[float] = field(default_factory=list)
+    series_image_loss: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+
+    def last(self) -> dict[str, float]:
+        """Summary of the final epoch (empty dict if no epoch has run)."""
+        if not self.total_loss:
+            return {}
+        return {
+            "total_loss": self.total_loss[-1],
+            "prototype_loss": self.prototype_loss[-1],
+            "series_image_loss": self.series_image_loss[-1],
+            "learning_rate": self.learning_rate[-1],
+        }
+
+
+def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> AugmentationBank:
+    """Instantiate the augmentation bank named in ``config.augmentation_names``."""
+    augmentations = []
+    for name in config.augmentation_names:
+        if name not in _AUGMENTATION_FACTORY:
+            raise KeyError(
+                f"unknown augmentation {name!r}; known: {sorted(_AUGMENTATION_FACTORY)}"
+            )
+        augmentations.append(_AUGMENTATION_FACTORY[name](new_rng(int(rng.integers(0, 2**31)))))
+    return AugmentationBank(augmentations)
+
+
+class AimTSPretrainer:
+    """Runs the AimTS pre-training stage on a multi-source corpus.
+
+    Parameters
+    ----------
+    config:
+        Pre-training hyper-parameters; ``AimTSConfig()`` reproduces the
+        paper's default setting at CPU scale.
+    """
+
+    def __init__(self, config: AimTSConfig | None = None):
+        self.config = config or AimTSConfig()
+        self._rng = new_rng(self.config.seed)
+        cfg = self.config
+        self.bank = build_augmentation_bank(cfg, self._rng)
+        self.renderer = LineChartRenderer(panel_size=cfg.panel_size)
+        seed = int(self._rng.integers(0, 2**31))
+        self.ts_encoder = TSEncoder(
+            in_channels=cfg.n_variables,
+            hidden_channels=cfg.hidden_channels,
+            repr_dim=cfg.repr_dim,
+            depth=cfg.depth,
+            kernel_size=cfg.kernel_size,
+            channel_independent=cfg.channel_independent,
+            rng=seed,
+        )
+        self.image_encoder = ImageEncoder(
+            repr_dim=cfg.repr_dim,
+            base_channels=cfg.image_channels,
+            depth=cfg.image_depth,
+            rng=seed + 1,
+        )
+        self.view_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 2)
+        self.prototype_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 3)
+        self.series_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 4)
+        self.image_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 5)
+        self.history = PretrainHistory()
+
+    # ------------------------------------------------------------------ parts
+    def _trainable_modules(self):
+        return [
+            self.ts_encoder,
+            self.image_encoder,
+            self.view_projection,
+            self.prototype_projection,
+            self.series_projection,
+            self.image_projection,
+        ]
+
+    def parameters(self):
+        """All trainable parameters of the pre-training stage."""
+        for module in self._trainable_modules():
+            yield from module.parameters()
+
+    def _encode_views(self, views: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Encode ``(G, B, M, T)`` views → per-view projections and raw representations.
+
+        Returns ``(projections, representations)`` with shapes ``(B, G, J)``
+        and ``(G, B, D)`` respectively.
+        """
+        G, B, M, T = views.shape
+        flat = views.reshape(G * B, M, T)
+        representations = self.ts_encoder(flat)  # (G*B, D)
+        projections = self.view_projection(representations)  # (G*B, J)
+        representations = representations.reshape(G, B, self.config.repr_dim)
+        projections = projections.reshape(G, B, self.config.proj_dim).transpose(1, 0, 2)
+        return projections, representations
+
+    def compute_batch_loss(self, batch: np.ndarray) -> dict[str, Tensor]:
+        """Compute all loss components for one ``(B, M, T)`` batch."""
+        cfg = self.config
+        losses: dict[str, Tensor] = {}
+
+        if cfg.use_prototype_loss:
+            views_a, views_b = self.bank.two_views(batch)
+            proj_a, reps_a = self._encode_views(views_a)
+            proj_b, reps_b = self._encode_views(views_b)
+            prototypes_a = self.prototype_projection(
+                aggregate_prototype(reps_a, cfg.prototype_reduction)
+            )
+            prototypes_b = self.prototype_projection(
+                aggregate_prototype(reps_b, cfg.prototype_reduction)
+            )
+            distances = pairwise_view_distances(views_a)
+            temperatures = adaptive_temperatures(
+                distances, tau0=cfg.tau0, mode=cfg.temperature_mode
+            )
+            losses["prototype"] = prototype_loss(
+                proj_a,
+                proj_b,
+                prototypes_a,
+                prototypes_b,
+                temperatures,
+                alpha=cfg.alpha,
+                tau=cfg.tau,
+                use_intra=cfg.use_intra_loss,
+            )
+
+        if cfg.use_series_image_loss:
+            images = self.renderer.render_batch(batch)
+            series_repr = self.ts_encoder(batch)
+            image_repr = self.image_encoder(images)
+            series_proj = self.series_projection(series_repr)
+            image_proj = self.image_projection(image_repr)
+            losses["series_image"] = series_image_loss(
+                series_proj,
+                image_proj,
+                beta=cfg.beta,
+                gamma=cfg.gamma,
+                tau=cfg.tau,
+                mixup_mode=cfg.mixup_mode,
+                rng=self._rng,
+            )
+
+        if not losses:
+            raise RuntimeError(
+                "both objectives are disabled; enable use_prototype_loss or use_series_image_loss"
+            )
+        total = None
+        for value in losses.values():
+            total = value if total is None else total + value
+        losses["total"] = total
+        return losses
+
+    # ------------------------------------------------------------------ train
+    def fit(
+        self,
+        corpus: list[TimeSeriesDataset] | np.ndarray,
+        *,
+        max_samples: int | None = None,
+        verbose: bool = False,
+    ) -> PretrainHistory:
+        """Pre-train on a multi-source corpus.
+
+        Parameters
+        ----------
+        corpus:
+            Either a list of :class:`TimeSeriesDataset` (their train splits are
+            merged into one pool) or an already-built pool array ``(N, M, T)``.
+        max_samples:
+            Optional cap on the pool size, useful for quick experiments.
+        verbose:
+            Print one line per epoch.
+        """
+        cfg = self.config
+        if isinstance(corpus, np.ndarray):
+            pool = np.asarray(corpus, dtype=np.float64)
+        else:
+            pool = build_pretraining_pool(
+                corpus,
+                length=cfg.series_length,
+                n_variables=cfg.n_variables,
+                max_samples=max_samples,
+                seed=self._rng,
+            )
+        if max_samples is not None and pool.shape[0] > max_samples:
+            pool = pool[:max_samples]
+
+        optimizer = Adam(list(self.parameters()), lr=cfg.learning_rate)
+        scheduler = StepLR(optimizer, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma)
+        iterator = BatchIterator(pool, batch_size=cfg.batch_size, shuffle=True, seed=self._rng)
+
+        for epoch in range(cfg.epochs):
+            epoch_totals = {"total": 0.0, "prototype": 0.0, "series_image": 0.0}
+            n_batches = 0
+            for batch, _ in iterator:
+                if batch.shape[0] < 2:
+                    continue  # contrastive losses need at least two samples
+                optimizer.zero_grad()
+                losses = self.compute_batch_loss(batch)
+                losses["total"].backward()
+                optimizer.step()
+                for key in epoch_totals:
+                    if key in losses:
+                        epoch_totals[key] += float(losses[key].item())
+                n_batches += 1
+            n_batches = max(n_batches, 1)
+            self.history.total_loss.append(epoch_totals["total"] / n_batches)
+            self.history.prototype_loss.append(epoch_totals["prototype"] / n_batches)
+            self.history.series_image_loss.append(epoch_totals["series_image"] / n_batches)
+            self.history.learning_rate.append(optimizer.lr)
+            scheduler.step()
+            if verbose:
+                print(
+                    f"[pretrain] epoch {epoch + 1}/{cfg.epochs} "
+                    f"loss={self.history.total_loss[-1]:.4f} "
+                    f"proto={self.history.prototype_loss[-1]:.4f} "
+                    f"si={self.history.series_image_loss[-1]:.4f}"
+                )
+        return self.history
+
+    # ------------------------------------------------------------------ utils
+    def encode(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Encode samples with the pre-trained TS encoder (no gradients)."""
+        from repro.nn.tensor import no_grad
+
+        X = np.asarray(X, dtype=np.float64)
+        outputs = []
+        self.ts_encoder.eval()
+        with no_grad():
+            for start in range(0, X.shape[0], batch_size):
+                outputs.append(self.ts_encoder(X[start : start + batch_size]).data)
+        self.ts_encoder.train()
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,129 @@
+"""Prototype generation and adaptive temperatures (paper Section IV-B1/B2).
+
+A *prototype* aggregates the representations of all G augmented views of one
+sample (Eq. 2), which dilutes the effect of any single augmentation that may
+have changed the sample's semantics.  The *adaptive temperature* (Eq. 3) of
+the intra-prototype loss is computed from pairwise distances between the raw
+augmented views: view pairs that are far apart get a higher temperature (their
+representations are allowed to stay closer), preventing outlier augmentations
+from dominating the prototype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.validation import check_in_options, check_positive
+
+
+def aggregate_prototype(view_representations: Tensor, reduction: str = "mean") -> Tensor:
+    """Aggregate per-view representations into prototypes (Eq. 2, before projection).
+
+    Parameters
+    ----------
+    view_representations:
+        Tensor of shape ``(G, B, D)`` — one representation per augmentation
+        per sample.
+    reduction:
+        ``"mean"`` (the paper's choice) or ``"median"`` (ablation).
+
+    Returns
+    -------
+    Tensor
+        Prototypes of shape ``(B, D)``.
+    """
+    check_in_options("reduction", reduction, ("mean", "median"))
+    if view_representations.ndim != 3:
+        raise ValueError(
+            f"expected (G, B, D) view representations, got shape {view_representations.shape}"
+        )
+    if reduction == "mean":
+        return view_representations.mean(axis=0)
+    # Median is not differentiable through our autograd in a useful way for
+    # aggregation studies, so it is computed per-element on detached data and
+    # re-attached as a constant offset from the mean (straight-through style).
+    mean = view_representations.mean(axis=0)
+    median = np.median(view_representations.data, axis=0)
+    return mean + Tensor(median - mean.data)
+
+
+def pairwise_view_distances(views_a: np.ndarray, views_b: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise distances between augmented views of each sample.
+
+    Parameters
+    ----------
+    views_a:
+        Array of shape ``(G, B, M, T)``.
+    views_b:
+        Optional second view set of the same shape; defaults to ``views_a``
+        (distances within one view set).
+
+    Returns
+    -------
+    numpy.ndarray
+        Distances of shape ``(B, G, G)`` where entry ``(i, j, k)`` is the mean
+        Euclidean distance between the ``j``-th and ``k``-th augmented views of
+        sample ``i``, normalised by the series length so different dataset
+        lengths are comparable.
+    """
+    views_a = np.asarray(views_a, dtype=np.float64)
+    views_b = views_a if views_b is None else np.asarray(views_b, dtype=np.float64)
+    if views_a.shape != views_b.shape:
+        raise ValueError("view sets must have identical shapes")
+    if views_a.ndim != 4:
+        raise ValueError(f"expected (G, B, M, T) views, got shape {views_a.shape}")
+    G, B, M, T = views_a.shape
+    flat_a = views_a.reshape(G, B, M * T).transpose(1, 0, 2)  # (B, G, MT)
+    flat_b = views_b.reshape(G, B, M * T).transpose(1, 0, 2)
+    diff = flat_a[:, :, None, :] - flat_b[:, None, :, :]
+    distances = np.sqrt((diff**2).sum(axis=-1) / (M * T))
+    return distances
+
+
+def adaptive_temperatures(
+    distances: np.ndarray,
+    *,
+    tau0: float = 0.2,
+    mode: str = "adaptive",
+    self_pair_is_positive: bool = True,
+) -> np.ndarray:
+    """Per-pair temperatures for the intra-prototype loss (Eq. 3).
+
+    ``tau(j, k) = tau0 + softmax_k(d(j, k))`` with ``d(j, j) = -inf`` so that
+    positive pairs always use the base temperature ``tau0``.
+
+    Parameters
+    ----------
+    distances:
+        Array of shape ``(B, G, G)`` from :func:`pairwise_view_distances`.
+    tau0:
+        Base temperature.
+    mode:
+        ``"adaptive"`` applies Eq. 3; ``"fixed"`` returns ``tau0`` everywhere
+        (ablation).
+    self_pair_is_positive:
+        Whether the diagonal should be forced to ``tau0`` (true for the
+        same-augmentation positive pairs).
+    """
+    check_positive("tau0", tau0)
+    check_in_options("mode", mode, ("adaptive", "fixed"))
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 3 or distances.shape[1] != distances.shape[2]:
+        raise ValueError(f"expected (B, G, G) distances, got shape {distances.shape}")
+    if mode == "fixed":
+        return np.full_like(distances, tau0)
+    work = distances.copy()
+    if self_pair_is_positive:
+        G = work.shape[1]
+        eye = np.eye(G, dtype=bool)
+        work[:, eye] = -np.inf
+    # softmax over the last axis, numerically stabilised
+    finite_max = np.where(np.isfinite(work), work, -np.inf).max(axis=-1, keepdims=True)
+    finite_max = np.where(np.isfinite(finite_max), finite_max, 0.0)
+    exp = np.exp(work - finite_max)
+    exp = np.where(np.isfinite(work), exp, 0.0)
+    denom = exp.sum(axis=-1, keepdims=True)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    softmax = exp / denom
+    return tau0 + softmax

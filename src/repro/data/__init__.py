@@ -1,0 +1,46 @@
+"""``repro.data`` — synthetic time-series classification archives.
+
+The AimTS paper evaluates on the UCR (128 univariate), UEA (30 multivariate)
+and Monash (19 unlabeled pre-training) archives plus five additional datasets
+(SleepEEG, Epilepsy, FD-B, Gesture, EMG).  None of those can be downloaded in
+this offline environment, so this subpackage builds statistically analogous
+synthetic archives:
+
+* every dataset has a domain-specific *pattern family* (ECG-like beats, motion
+  trajectories, star-light curves, device load profiles, EEG oscillations,
+  bearing vibrations, ...),
+* classes within a dataset differ by controlled structural features (T-wave
+  polarity, trajectory shape, dip depth, harmonic content, ...),
+* datasets differ by length, dimensionality, sampling noise and class count,
+  creating the cross-domain shift that motivates multi-source pre-training,
+* train splits are intentionally small, reproducing the label-scarcity setting.
+
+See DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.dataset import DatasetSplit, TimeSeriesDataset
+from repro.data.fewshot import few_shot_subset
+from repro.data.io import dataset_from_arrays, load_dataset_file, save_dataset
+from repro.data.loaders import BatchIterator, pad_or_truncate, z_normalize
+from repro.data.registry import (
+    dataset_names,
+    load_archive,
+    load_dataset,
+    load_pretraining_corpus,
+)
+
+__all__ = [
+    "TimeSeriesDataset",
+    "DatasetSplit",
+    "few_shot_subset",
+    "BatchIterator",
+    "pad_or_truncate",
+    "z_normalize",
+    "load_dataset",
+    "load_archive",
+    "load_pretraining_corpus",
+    "dataset_names",
+    "dataset_from_arrays",
+    "save_dataset",
+    "load_dataset_file",
+]

@@ -1,0 +1,112 @@
+"""Dataset containers used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DatasetSplit:
+    """One split (train or test) of a labelled time-series dataset.
+
+    Attributes
+    ----------
+    X:
+        Array of shape ``(n_samples, n_variables, n_timesteps)``.
+    y:
+        Integer labels of shape ``(n_samples,)``; ``None`` for unlabeled
+        pre-training corpora.
+    """
+
+    X: np.ndarray
+    y: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        if self.X.ndim != 3:
+            raise ValueError(f"X must be (n, M, T), got shape {self.X.shape}")
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=np.int64)
+            if self.y.shape[0] != self.X.shape[0]:
+                raise ValueError(
+                    f"X has {self.X.shape[0]} samples but y has {self.y.shape[0]} labels"
+                )
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_variables(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def length(self) -> int:
+        return self.X.shape[2]
+
+    def subset(self, indices: np.ndarray) -> "DatasetSplit":
+        """Return a new split restricted to ``indices``."""
+        indices = np.asarray(indices)
+        labels = self.y[indices] if self.y is not None else None
+        return DatasetSplit(self.X[indices], labels)
+
+
+@dataclass
+class TimeSeriesDataset:
+    """A named time-series classification dataset with train/test splits.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"ECG200"`` or ``"syn_ucr_017"``).
+    domain:
+        Pattern-family / application domain tag (e.g. ``"ecg"``, ``"motion"``).
+    train, test:
+        The two :class:`DatasetSplit` objects.
+    n_classes:
+        Number of distinct labels (0 for unlabeled corpora).
+    metadata:
+        Free-form extra information from the generator.
+    """
+
+    name: str
+    domain: str
+    train: DatasetSplit
+    test: DatasetSplit
+    n_classes: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.train.n_variables != self.test.n_variables:
+            raise ValueError("train and test splits disagree on the number of variables")
+        if self.n_classes and self.train.y is not None:
+            observed = set(np.unique(self.train.y)) | set(np.unique(self.test.y))
+            if not observed.issubset(set(range(self.n_classes))):
+                raise ValueError(
+                    f"labels {sorted(observed)} are outside range(0, {self.n_classes})"
+                )
+
+    @property
+    def n_variables(self) -> int:
+        return self.train.n_variables
+
+    @property
+    def length(self) -> int:
+        return self.train.length
+
+    @property
+    def is_multivariate(self) -> bool:
+        return self.n_variables > 1
+
+    def describe(self) -> dict:
+        """Return a summary dictionary (used by examples and docs)."""
+        return {
+            "name": self.name,
+            "domain": self.domain,
+            "n_train": len(self.train),
+            "n_test": len(self.test),
+            "n_variables": self.n_variables,
+            "length": self.length,
+            "n_classes": self.n_classes,
+        }

@@ -1,0 +1,49 @@
+"""Few-shot subsampling of training splits (Table V protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DatasetSplit
+from repro.utils.seeding import new_rng
+from repro.utils.validation import check_probability
+
+
+def few_shot_subset(
+    split: DatasetSplit,
+    ratio: float,
+    *,
+    min_per_class: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> DatasetSplit:
+    """Return a stratified subset containing ``ratio`` of the training samples.
+
+    Following the UniTS protocol used by the paper, the subset is stratified:
+    every class keeps at least ``min_per_class`` samples so fine-tuning remains
+    possible even at 5 % label availability.
+
+    Parameters
+    ----------
+    split:
+        A labelled training split.
+    ratio:
+        Fraction of samples to keep, in ``(0, 1]``.
+    min_per_class:
+        Lower bound on the per-class sample count.
+    seed:
+        RNG seed controlling which samples are kept.
+    """
+    check_probability("ratio", ratio)
+    if ratio == 0:
+        raise ValueError("ratio must be > 0")
+    if split.y is None:
+        raise ValueError("few-shot subsetting requires a labelled split")
+    rng = new_rng(seed)
+    selected: list[int] = []
+    for label in np.unique(split.y):
+        class_indices = np.flatnonzero(split.y == label)
+        keep = max(min_per_class, int(round(ratio * class_indices.size)))
+        keep = min(keep, class_indices.size)
+        selected.extend(rng.choice(class_indices, size=keep, replace=False).tolist())
+    selected_array = np.sort(np.asarray(selected))
+    return split.subset(selected_array)

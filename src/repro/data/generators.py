@@ -1,0 +1,528 @@
+"""Class-conditional synthetic pattern families.
+
+Each *family* emulates one application domain of the UCR/UEA/Monash archives.
+A family draws per-class template parameters once (from the dataset seed) and
+then renders individual samples as the template plus sample-level nuisance
+variation: random phase, amplitude scaling, mild time warping and additive
+noise.  This gives datasets whose classes are separable by structure (shape)
+rather than by trivial statistics, which is exactly the regime the AimTS paper
+targets with its series-image contrastive learning.
+
+All generators return ``(X, y)`` with ``X`` of shape ``(n, n_variables, length)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.utils.seeding import new_rng
+
+GeneratorFn = Callable[..., tuple[np.ndarray, np.ndarray]]
+
+_FAMILIES: dict[str, GeneratorFn] = {}
+
+
+def register_family(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    """Decorator that registers a pattern family under ``name``."""
+
+    def decorator(fn: GeneratorFn) -> GeneratorFn:
+        _FAMILIES[name] = fn
+        return fn
+
+    return decorator
+
+
+def family_names() -> list[str]:
+    """Names of all registered pattern families."""
+    return sorted(_FAMILIES)
+
+
+def get_family(name: str) -> GeneratorFn:
+    """Look up a registered family by name."""
+    if name not in _FAMILIES:
+        raise KeyError(f"unknown pattern family {name!r}; known: {family_names()}")
+    return _FAMILIES[name]
+
+
+# --------------------------------------------------------------------------- #
+# Shared sample-level nuisance machinery
+# --------------------------------------------------------------------------- #
+def _gaussian_bump(t: np.ndarray, center: float, width: float, amplitude: float) -> np.ndarray:
+    return amplitude * np.exp(-0.5 * ((t - center) / max(width, 1e-3)) ** 2)
+
+
+def _random_warp(series: np.ndarray, rng: np.random.Generator, strength: float = 0.05) -> np.ndarray:
+    """Smoothly re-time a 1-D series by a small random monotone warp."""
+    length = series.shape[-1]
+    n_knots = 4
+    knot_positions = np.linspace(0, 1, n_knots)
+    knot_offsets = rng.normal(0, strength, size=n_knots)
+    offsets = np.interp(np.linspace(0, 1, length), knot_positions, knot_offsets)
+    warped_positions = np.clip(np.linspace(0, 1, length) + offsets, 0, 1)
+    original_positions = np.linspace(0, 1, length)
+    return np.interp(warped_positions, original_positions, series)
+
+
+def _finalize(
+    clean: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    noise: float,
+    warp: float,
+    amplitude_jitter: float = 0.1,
+) -> np.ndarray:
+    """Apply sample-level nuisance variation to a clean ``(M, T)`` template."""
+    sample = np.empty_like(clean)
+    scale = 1.0 + rng.normal(0, amplitude_jitter)
+    for variable in range(clean.shape[0]):
+        warped = _random_warp(clean[variable], rng, strength=warp) if warp > 0 else clean[variable]
+        sample[variable] = scale * warped + rng.normal(0, noise, size=clean.shape[1])
+    return sample
+
+
+def _render_dataset(
+    template_fn: Callable[[int, np.ndarray, np.random.Generator], np.ndarray],
+    *,
+    n_samples: int,
+    n_classes: int,
+    length: int,
+    n_variables: int,
+    rng: np.random.Generator,
+    noise: float,
+    warp: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Render ``n_samples`` by calling ``template_fn(class, t, sample_rng)``."""
+    t = np.linspace(0, 1, length)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    X = np.empty((n_samples, n_variables, length))
+    for i, label in enumerate(labels):
+        clean = template_fn(int(label), t, rng)
+        if clean.ndim == 1:
+            clean = clean[None, :]
+        if clean.shape[0] != n_variables:
+            raise ValueError(
+                f"template produced {clean.shape[0]} variables, expected {n_variables}"
+            )
+        X[i] = _finalize(clean, rng, noise=noise, warp=warp)
+    return X, labels
+
+
+# --------------------------------------------------------------------------- #
+# Pattern families
+# --------------------------------------------------------------------------- #
+@register_family("ecg")
+def ecg_family(
+    n_samples: int,
+    n_classes: int = 2,
+    length: int = 96,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.08,
+    warp: float = 0.03,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ECG-like heartbeats.
+
+    Class 0 is a "healthy" beat with an upright T wave; higher classes invert
+    or attenuate the T wave and widen the QRS complex, mimicking the
+    myocardial-infarction example in Fig. 2 of the paper.  Because class
+    identity rides on the T-wave polarity, jitter-style augmentations can flip
+    the apparent class — the semantic-change failure mode AimTS addresses.
+    """
+    rng = new_rng(rng)
+    t_wave_signs = np.linspace(1.0, -1.0, n_classes)
+    qrs_widths = np.linspace(0.012, 0.03, n_classes)
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        beat = np.zeros((n_variables, t.shape[0]))
+        n_beats = 2
+        for b in range(n_beats):
+            center = (b + 0.5) / n_beats
+            for variable in range(n_variables):
+                lead_scale = 1.0 - 0.2 * variable
+                p_wave = _gaussian_bump(t, center - 0.12 / n_beats, 0.015, 0.15 * lead_scale)
+                q_dip = _gaussian_bump(t, center - 0.02 / n_beats, 0.006, -0.2 * lead_scale)
+                r_spike = _gaussian_bump(t, center, qrs_widths[label], 1.0 * lead_scale)
+                s_dip = _gaussian_bump(t, center + 0.02 / n_beats, 0.006, -0.25 * lead_scale)
+                t_wave = _gaussian_bump(
+                    t, center + 0.14 / n_beats, 0.03, 0.35 * t_wave_signs[label] * lead_scale
+                )
+                beat[variable] += p_wave + q_dip + r_spike + s_dip + t_wave
+        return beat
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("motion")
+def motion_family(
+    n_samples: int,
+    n_classes: int = 4,
+    length: int = 96,
+    n_variables: int = 3,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.1,
+    warp: float = 0.06,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accelerometer-style gesture trajectories.
+
+    Each class is a fixed sequence of smooth directional strokes (sums of
+    logistic ramps and bumps) per axis, similar to uWave / RacketSports /
+    Handwriting-style recordings.
+    """
+    rng = new_rng(rng)
+    n_strokes = 3
+    # Per-class stroke parameters drawn once per dataset.
+    stroke_centers = rng.uniform(0.1, 0.9, size=(n_classes, n_variables, n_strokes))
+    stroke_amps = rng.uniform(-1.0, 1.0, size=(n_classes, n_variables, n_strokes))
+    stroke_widths = rng.uniform(0.03, 0.12, size=(n_classes, n_variables, n_strokes))
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        trajectory = np.zeros((n_variables, t.shape[0]))
+        for variable in range(n_variables):
+            for stroke in range(n_strokes):
+                trajectory[variable] += _gaussian_bump(
+                    t,
+                    stroke_centers[label, variable, stroke],
+                    stroke_widths[label, variable, stroke],
+                    stroke_amps[label, variable, stroke],
+                )
+        return trajectory
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("starlight")
+def starlight_family(
+    n_samples: int,
+    n_classes: int = 3,
+    length: int = 128,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.05,
+    warp: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Star-light-curve style periodic signals.
+
+    Class 0: eclipsing-binary (two sharp dips per period); class 1: cepheid-like
+    sawtooth pulsation; class 2+: sinusoidal RR-Lyrae-like variations with
+    class-specific harmonic content.
+    """
+    rng = new_rng(rng)
+    periods = rng.uniform(0.2, 0.45, size=n_classes)
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        phase = t / periods[label] * 2 * np.pi
+        if label % 3 == 0:
+            folded = (t / periods[label]) % 1.0
+            curve = -0.8 * np.exp(-0.5 * ((folded - 0.25) / 0.03) ** 2)
+            curve += -0.4 * np.exp(-0.5 * ((folded - 0.75) / 0.03) ** 2)
+        elif label % 3 == 1:
+            folded = (t / periods[label]) % 1.0
+            curve = 0.8 * (1.0 - folded) - 0.4
+        else:
+            curve = 0.5 * np.sin(phase) + 0.25 * np.sin((label + 1) * phase)
+        return curve[None, :].repeat(n_variables, axis=0)
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("device")
+def device_family(
+    n_samples: int,
+    n_classes: int = 3,
+    length: int = 96,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.08,
+    warp: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Appliance load-profile style step/spike patterns.
+
+    Classes differ by duty cycle, number of on/off events and spike amplitude,
+    as in the electric-devices datasets of the UCR archive.
+    """
+    rng = new_rng(rng)
+    n_events = rng.integers(1, 4, size=n_classes)
+    event_levels = rng.uniform(0.4, 1.2, size=(n_classes, 4))
+    event_starts = rng.uniform(0.05, 0.7, size=(n_classes, 4))
+    event_durations = rng.uniform(0.1, 0.3, size=(n_classes, 4))
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        profile = np.zeros((n_variables, t.shape[0]))
+        for event in range(int(n_events[label])):
+            start = event_starts[label, event]
+            stop = min(start + event_durations[label, event], 1.0)
+            mask = (t >= start) & (t < stop)
+            for variable in range(n_variables):
+                profile[variable, mask] += event_levels[label, event] * (1.0 - 0.15 * variable)
+        return profile
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("eeg")
+def eeg_family(
+    n_samples: int,
+    n_classes: int = 2,
+    length: int = 128,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.15,
+    warp: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """EEG/EMG-style band-limited oscillations.
+
+    Each class has a characteristic dominant frequency and burst envelope
+    (e.g. slow-wave sleep vs. spindle-rich sleep, or seizure vs. baseline
+    activity), similar to SleepEEG / Epilepsy / SelfRegulationSCP recordings.
+    """
+    rng = new_rng(rng)
+    base_freqs = rng.uniform(3.0, 7.0, size=n_classes) + 5.0 * np.arange(n_classes)
+    burst_centers = rng.uniform(0.25, 0.75, size=n_classes)
+    burst_widths = rng.uniform(0.1, 0.3, size=n_classes)
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        signal = np.zeros((n_variables, t.shape[0]))
+        envelope = 0.3 + _gaussian_bump(t, burst_centers[label], burst_widths[label], 0.7)
+        for variable in range(n_variables):
+            channel_phase = variable * np.pi / 4
+            carrier = np.sin(2 * np.pi * base_freqs[label] * t + channel_phase)
+            slow = 0.3 * np.sin(2 * np.pi * 1.5 * t + channel_phase)
+            signal[variable] = envelope * carrier + slow
+        return signal
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("vibration")
+def vibration_family(
+    n_samples: int,
+    n_classes: int = 3,
+    length: int = 128,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.1,
+    warp: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rotating-machinery vibration signatures (FD-B style).
+
+    Class 0 is a healthy bearing (smooth rotation harmonics); faulty classes add
+    periodic impulse trains whose repetition rate encodes the fault location.
+    """
+    rng = new_rng(rng)
+    rotation_freq = 8.0
+    impulse_rates = 12.0 + 6.0 * np.arange(n_classes)
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        base = 0.4 * np.sin(2 * np.pi * rotation_freq * t) + 0.2 * np.sin(
+            2 * np.pi * 2 * rotation_freq * t
+        )
+        signal = np.tile(base, (n_variables, 1))
+        if label > 0:
+            impulse_times = np.arange(0, 1, 1.0 / impulse_rates[label])
+            for impulse in impulse_times:
+                for variable in range(n_variables):
+                    signal[variable] += _gaussian_bump(t, impulse, 0.004, 0.9)
+        return signal
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("spectro")
+def spectro_family(
+    n_samples: int,
+    n_classes: int = 4,
+    length: int = 96,
+    n_variables: int = 2,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.08,
+    warp: float = 0.04,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Speech-formant style chirps (SpokenArabicDigits / JapaneseVowels style).
+
+    Each class has characteristic formant trajectories: per-variable sinusoids
+    whose instantaneous frequency glides between class-specific start/end
+    values.
+    """
+    rng = new_rng(rng)
+    start_freqs = rng.uniform(2.0, 6.0, size=(n_classes, n_variables))
+    end_freqs = rng.uniform(4.0, 12.0, size=(n_classes, n_variables))
+    amplitudes = rng.uniform(0.5, 1.0, size=(n_classes, n_variables))
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        signal = np.zeros((n_variables, t.shape[0]))
+        envelope = np.sin(np.pi * t) ** 0.5
+        for variable in range(n_variables):
+            freq = start_freqs[label, variable] + (
+                end_freqs[label, variable] - start_freqs[label, variable]
+            ) * t
+            phase = 2 * np.pi * np.cumsum(freq) / t.shape[0]
+            signal[variable] = amplitudes[label, variable] * envelope * np.sin(phase)
+        return signal
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("traffic")
+def traffic_family(
+    n_samples: int,
+    n_classes: int = 3,
+    length: int = 96,
+    n_variables: int = 2,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.07,
+    warp: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Daily traffic-occupancy profiles (PEMS-SF style).
+
+    Classes correspond to day types with different rush-hour structure: number,
+    position and sharpness of the morning/evening peaks.
+    """
+    rng = new_rng(rng)
+    peak_positions = rng.uniform(0.2, 0.8, size=(n_classes, 2))
+    peak_heights = rng.uniform(0.5, 1.0, size=(n_classes, 2))
+    peak_widths = rng.uniform(0.05, 0.15, size=(n_classes, 2))
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        base = 0.2 + 0.1 * np.sin(2 * np.pi * t)
+        signal = np.zeros((n_variables, t.shape[0]))
+        for variable in range(n_variables):
+            profile = base.copy()
+            n_peaks = 1 + label % 2
+            for peak in range(n_peaks):
+                profile += _gaussian_bump(
+                    t,
+                    peak_positions[label, peak],
+                    peak_widths[label, peak],
+                    peak_heights[label, peak] * (1.0 - 0.1 * variable),
+                )
+            signal[variable] = profile
+        return signal
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )
+
+
+@register_family("shapes")
+def shapes_family(
+    n_samples: int,
+    n_classes: int = 4,
+    length: int = 96,
+    n_variables: int = 1,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.08,
+    warp: float = 0.05,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generic geometric shapes (triangles, plateaus, ramps, double bumps).
+
+    The catch-all family used to fill out the synthetic UCR archive: classes
+    differ purely by line/curve composition, which is exactly the structural
+    information AimTS extracts from the image modality.
+    """
+    rng = new_rng(rng)
+    kinds = ["triangle", "plateau", "ramp", "double_bump", "vee", "sine_step"]
+    class_kinds = [kinds[(i + int(rng.integers(0, len(kinds)))) % len(kinds)] for i in range(n_classes)]
+    centers = rng.uniform(0.3, 0.7, size=n_classes)
+    widths = rng.uniform(0.1, 0.25, size=n_classes)
+
+    def template(label: int, t: np.ndarray, sample_rng: np.random.Generator) -> np.ndarray:
+        kind = class_kinds[label]
+        center, width = centers[label], widths[label]
+        if kind == "triangle":
+            curve = np.clip(1.0 - np.abs(t - center) / width, 0, None)
+        elif kind == "plateau":
+            curve = ((t > center - width) & (t < center + width)).astype(float)
+        elif kind == "ramp":
+            curve = np.clip((t - center + width) / (2 * width), 0, 1)
+        elif kind == "double_bump":
+            curve = _gaussian_bump(t, center - width, width / 2, 1.0) + _gaussian_bump(
+                t, center + width, width / 2, 0.7
+            )
+        elif kind == "vee":
+            curve = -np.clip(1.0 - np.abs(t - center) / width, 0, None)
+        else:  # sine_step
+            curve = np.sin(2 * np.pi * t / max(width, 0.05)) * (t > center)
+        return np.tile(curve, (n_variables, 1))
+
+    return _render_dataset(
+        template,
+        n_samples=n_samples,
+        n_classes=n_classes,
+        length=length,
+        n_variables=n_variables,
+        rng=rng,
+        noise=noise,
+        warp=warp,
+    )

@@ -1,0 +1,136 @@
+"""Batching and preprocessing utilities.
+
+Multi-source pre-training mixes datasets with different lengths and variable
+counts; :func:`pad_or_truncate` and :func:`z_normalize` bring samples to a
+common shape and scale, and :class:`BatchIterator` shuffles and batches them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.utils.seeding import new_rng
+from repro.utils.validation import check_positive
+
+
+def z_normalize(X: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Per-sample, per-variable z-normalisation of ``(n, M, T)`` data."""
+    X = np.asarray(X, dtype=np.float64)
+    mean = X.mean(axis=-1, keepdims=True)
+    std = X.std(axis=-1, keepdims=True)
+    return (X - mean) / (std + eps)
+
+
+def pad_or_truncate(X: np.ndarray, length: int) -> np.ndarray:
+    """Bring ``(n, M, T)`` data to a fixed ``length`` along the time axis.
+
+    Shorter series are linearly interpolated up; longer series are linearly
+    interpolated down, preserving shape information better than cropping.
+    """
+    check_positive("length", length)
+    X = np.asarray(X, dtype=np.float64)
+    n, m, t = X.shape
+    if t == length:
+        return X.copy()
+    old_grid = np.linspace(0.0, 1.0, t)
+    new_grid = np.linspace(0.0, 1.0, length)
+    out = np.empty((n, m, length))
+    for i in range(n):
+        for j in range(m):
+            out[i, j] = np.interp(new_grid, old_grid, X[i, j])
+    return out
+
+
+def select_variables(X: np.ndarray, n_variables: int) -> np.ndarray:
+    """Bring ``(n, M, T)`` data to exactly ``n_variables`` channels.
+
+    Datasets with fewer channels are tiled; datasets with more channels keep
+    the first ``n_variables`` (multi-source pre-training needs a common width).
+    """
+    check_positive("n_variables", n_variables)
+    n, m, t = X.shape
+    if m == n_variables:
+        return X.copy()
+    if m > n_variables:
+        return X[:, :n_variables].copy()
+    repeats = int(np.ceil(n_variables / m))
+    return np.tile(X, (1, repeats, 1))[:, :n_variables]
+
+
+class BatchIterator:
+    """Shuffling mini-batch iterator over ``(X, y)`` arrays.
+
+    Parameters
+    ----------
+    X:
+        Samples of shape ``(n, M, T)``.
+    y:
+        Optional integer labels.
+    batch_size:
+        Number of samples per batch; the last incomplete batch is kept.
+    shuffle:
+        Whether to reshuffle at the start of every epoch.
+    seed:
+        RNG seed for shuffling.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray | None = None,
+        *,
+        batch_size: int = 16,
+        shuffle: bool = True,
+        seed: int | np.random.Generator | None = None,
+    ):
+        check_positive("batch_size", batch_size)
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = None if y is None else np.asarray(y, dtype=np.int64)
+        if self.y is not None and self.y.shape[0] != self.X.shape[0]:
+            raise ValueError("X and y must have the same number of samples")
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self._rng = new_rng(seed)
+
+    def __len__(self) -> int:
+        return int(np.ceil(self.X.shape[0] / self.batch_size))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
+        order = np.arange(self.X.shape[0])
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, order.size, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            labels = self.y[batch] if self.y is not None else None
+            yield self.X[batch], labels
+
+
+def build_pretraining_pool(
+    corpus: list[TimeSeriesDataset],
+    *,
+    length: int = 96,
+    n_variables: int = 1,
+    max_samples: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Merge a multi-dataset corpus into one ``(N, n_variables, length)`` pool.
+
+    Every dataset is z-normalised and resampled to a common shape so that
+    samples from different sources can share mini-batches, as required by the
+    multi-source pre-training stage.
+    """
+    rng = new_rng(seed)
+    pools = []
+    for dataset in corpus:
+        X = z_normalize(dataset.train.X)
+        X = pad_or_truncate(X, length)
+        X = select_variables(X, n_variables)
+        pools.append(X)
+    pool = np.concatenate(pools, axis=0)
+    if max_samples is not None and pool.shape[0] > max_samples:
+        keep = rng.choice(pool.shape[0], size=max_samples, replace=False)
+        pool = pool[np.sort(keep)]
+    return pool

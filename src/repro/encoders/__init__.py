@@ -1,0 +1,20 @@
+"""``repro.encoders`` — the TS encoder, image encoder and projection heads.
+
+* :class:`~repro.encoders.ts_encoder.TSEncoder` — a dilated-convolution
+  encoder over raw time series.  Following the paper (and PatchTST-style
+  channel independence, Section V-A3), each variable is encoded independently
+  with shared weights and the per-variable representations are averaged.
+* :class:`~repro.encoders.image_encoder.ImageEncoder` — a small convolutional
+  network over the rendered line-chart images.
+* :class:`~repro.encoders.projection.ProjectionHead` — the non-linear
+  projections used by both contrastive objectives.
+* :class:`~repro.encoders.classifier.ClassifierHead` — the MLP classifier
+  trained during fine-tuning.
+"""
+
+from repro.encoders.classifier import ClassifierHead
+from repro.encoders.image_encoder import ImageEncoder
+from repro.encoders.projection import ProjectionHead
+from repro.encoders.ts_encoder import TSEncoder
+
+__all__ = ["TSEncoder", "ImageEncoder", "ProjectionHead", "ClassifierHead"]

@@ -1,0 +1,61 @@
+"""Non-linear projection heads for contrastive learning.
+
+Both contrastive objectives in the paper operate on lower-dimensional
+projections of the encoder outputs: ``P_TS`` maps TS representations and
+prototypes, and a second head filters the image representations so the two
+modalities become comparable (Section IV-C2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.utils.seeding import new_rng
+from repro.utils.validation import check_positive
+
+
+class ProjectionHead(nn.Module):
+    """Two-layer MLP projection with optional output L2 normalisation.
+
+    Parameters
+    ----------
+    in_dim:
+        Input representation dimension.
+    hidden_dim:
+        Hidden width (defaults to ``in_dim``).
+    out_dim:
+        Projection dimension ``J``.
+    normalize:
+        If true, outputs are projected onto the unit hypersphere — required by
+        the geodesic mixup strategy (Eq. 9), which assumes unit-norm inputs.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        hidden_dim: int | None = None,
+        normalize: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        check_positive("in_dim", in_dim)
+        check_positive("out_dim", out_dim)
+        rng = new_rng(rng)
+        hidden_dim = hidden_dim or in_dim
+        self.fc1 = nn.Linear(in_dim, hidden_dim, rng=rng)
+        self.fc2 = nn.Linear(hidden_dim, out_dim, rng=rng)
+        self.normalize = normalize
+        self.out_dim = out_dim
+
+    def forward(self, x: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        out = self.fc2(self.fc1(x).relu())
+        if self.normalize:
+            out = F.l2_normalize(out, axis=-1)
+        return out

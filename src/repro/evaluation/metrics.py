@@ -1,0 +1,84 @@
+"""Classification metrics used by the paper's tables.
+
+The paper evaluates every method on many datasets and reports, per method:
+average accuracy (Avg. ACC), average rank (Avg. Rank) and the number of
+datasets on which the method is the sole best performer (Num. Top-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain classification accuracy."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float((y_true == y_pred).mean())
+
+
+def _accuracy_matrix(results: dict[str, dict[str, float]]) -> tuple[list[str], list[str], np.ndarray]:
+    """Convert ``{method: {dataset: acc}}`` into an aligned matrix.
+
+    Only datasets present for every method are kept, so partially-run
+    comparisons never silently mix different dataset sets.
+    """
+    methods = sorted(results)
+    if not methods:
+        raise ValueError("results must contain at least one method")
+    common = set(results[methods[0]])
+    for method in methods[1:]:
+        common &= set(results[method])
+    datasets = sorted(common)
+    if not datasets:
+        raise ValueError("methods share no common datasets")
+    matrix = np.array([[results[m][d] for d in datasets] for m in methods])
+    return methods, datasets, matrix
+
+
+def average_accuracy(results: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Avg. ACC per method over the datasets shared by all methods."""
+    methods, _, matrix = _accuracy_matrix(results)
+    return {method: float(matrix[i].mean()) for i, method in enumerate(methods)}
+
+
+def average_rank(results: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Avg. Rank per method (rank 1 = best accuracy; ties share the mean rank)."""
+    from scipy.stats import rankdata
+
+    methods, _, matrix = _accuracy_matrix(results)
+    # rankdata ranks ascending, so rank the negated accuracies
+    ranks = np.apply_along_axis(rankdata, 0, -matrix)
+    return {method: float(ranks[i].mean()) for i, method in enumerate(methods)}
+
+
+def num_top1(results: dict[str, dict[str, float]]) -> dict[str, int]:
+    """Num. Top-1 per method: datasets where the method is the *sole* winner.
+
+    Following the paper, datasets where several methods tie for the best
+    accuracy do not count towards anyone's Top-1 tally.
+    """
+    methods, datasets, matrix = _accuracy_matrix(results)
+    counts = {method: 0 for method in methods}
+    for j in range(len(datasets)):
+        column = matrix[:, j]
+        best = column.max()
+        winners = np.flatnonzero(np.isclose(column, best))
+        if winners.size == 1:
+            counts[methods[int(winners[0])]] += 1
+    return counts
+
+
+def summarize_methods(results: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
+    """Combine Avg. ACC, Avg. Rank and Num. Top-1 into one summary per method."""
+    acc = average_accuracy(results)
+    rank = average_rank(results)
+    top1 = num_top1(results)
+    return {
+        method: {"avg_acc": acc[method], "avg_rank": rank[method], "num_top1": float(top1[method])}
+        for method in acc
+    }

@@ -1,0 +1,137 @@
+"""The paper's three evaluation protocols.
+
+* :func:`run_case_by_case_comparison` — every baseline is trained separately
+  on each downstream dataset (paradigms 1/2 of Fig. 1), while AimTS is
+  pre-trained once on a multi-source corpus and fine-tuned per dataset
+  (Tables I, II, III).
+* :func:`run_multisource_comparison` — all methods are pre-trained once on a
+  multi-source corpus and fine-tuned per dataset (Table IV, Fig. 8d).
+* :func:`run_fewshot_comparison` — pre-trained models are fine-tuned with only
+  a fraction of the downstream labels (Table V).
+
+All protocol functions return ``{method: {dataset: accuracy}}`` dictionaries
+that plug directly into :mod:`repro.evaluation.metrics` and
+:mod:`repro.evaluation.ranking`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FineTuneConfig
+from repro.core.model import AimTS
+from repro.data.dataset import TimeSeriesDataset
+from repro.evaluation.metrics import summarize_methods
+
+
+@dataclass
+class ComparisonResult:
+    """Raw per-dataset accuracies plus the paper-style summary metrics."""
+
+    accuracies: dict[str, dict[str, float]]
+    summary: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.summary:
+            self.summary = summarize_methods(self.accuracies)
+
+    def best_method(self) -> str:
+        """Method with the highest average accuracy."""
+        return max(self.summary, key=lambda m: self.summary[m]["avg_acc"])
+
+
+def run_case_by_case_comparison(
+    aimts: AimTS,
+    baselines: dict[str, object],
+    datasets: list[TimeSeriesDataset],
+    *,
+    finetune_config: FineTuneConfig | None = None,
+    baseline_pretrain_epochs: int | None = None,
+    verbose: bool = False,
+) -> ComparisonResult:
+    """Compare a pre-trained AimTS model against case-by-case baselines.
+
+    Parameters
+    ----------
+    aimts:
+        An already pre-trained :class:`AimTS` model (multi-source paradigm).
+    baselines:
+        Mapping from display name to baseline object.  Objects exposing
+        ``fit_and_evaluate(dataset)`` are used directly (supervised and
+        Rocket-style baselines); objects additionally exposing ``pretrain``
+        are treated as case-by-case self-supervised learners.
+    datasets:
+        The downstream evaluation suite.
+    """
+    accuracies: dict[str, dict[str, float]] = {"AimTS": {}}
+    for dataset in datasets:
+        result = aimts.fine_tune(dataset, finetune_config)
+        accuracies["AimTS"][dataset.name] = result.accuracy
+        if verbose:
+            print(f"[case-by-case] AimTS on {dataset.name}: {result.accuracy:.3f}")
+    for name, baseline in baselines.items():
+        accuracies[name] = {}
+        for dataset in datasets:
+            if hasattr(baseline, "pretrain") and hasattr(baseline, "fine_tune"):
+                baseline.pretrain(dataset.train.X, epochs=baseline_pretrain_epochs)
+                accuracy = baseline.fine_tune(dataset, finetune_config).accuracy
+            else:
+                accuracy = baseline.fit_and_evaluate(dataset)
+            accuracies[name][dataset.name] = accuracy
+            if verbose:
+                print(f"[case-by-case] {name} on {dataset.name}: {accuracy:.3f}")
+    return ComparisonResult(accuracies)
+
+
+def run_multisource_comparison(
+    aimts: AimTS,
+    pretrained_baselines: dict[str, object],
+    datasets: list[TimeSeriesDataset],
+    *,
+    finetune_config: FineTuneConfig | None = None,
+    label_ratio: float | None = None,
+    verbose: bool = False,
+) -> ComparisonResult:
+    """Compare multi-source pre-trained models (AimTS vs. foundation baselines).
+
+    Every baseline in ``pretrained_baselines`` must already have been
+    pre-trained (e.g. via ``pretrain_multi_source``); this protocol only runs
+    the downstream fine-tuning, optionally with a few-shot ``label_ratio``.
+    """
+    accuracies: dict[str, dict[str, float]] = {"AimTS": {}}
+    for dataset in datasets:
+        result = aimts.fine_tune(dataset, finetune_config, label_ratio=label_ratio)
+        accuracies["AimTS"][dataset.name] = result.accuracy
+        if verbose:
+            print(f"[multi-source] AimTS on {dataset.name}: {result.accuracy:.3f}")
+    for name, baseline in pretrained_baselines.items():
+        accuracies[name] = {}
+        for dataset in datasets:
+            accuracy = baseline.fine_tune(dataset, finetune_config, label_ratio=label_ratio).accuracy
+            accuracies[name][dataset.name] = accuracy
+            if verbose:
+                print(f"[multi-source] {name} on {dataset.name}: {accuracy:.3f}")
+    return ComparisonResult(accuracies)
+
+
+def run_fewshot_comparison(
+    aimts: AimTS,
+    pretrained_baselines: dict[str, object],
+    datasets: list[TimeSeriesDataset],
+    ratios: tuple[float, ...] = (0.05, 0.15, 0.20),
+    *,
+    finetune_config: FineTuneConfig | None = None,
+    verbose: bool = False,
+) -> dict[float, ComparisonResult]:
+    """Few-shot learning protocol (Table V): one comparison per label ratio."""
+    results = {}
+    for ratio in ratios:
+        results[ratio] = run_multisource_comparison(
+            aimts,
+            pretrained_baselines,
+            datasets,
+            finetune_config=finetune_config,
+            label_ratio=ratio,
+            verbose=verbose,
+        )
+    return results

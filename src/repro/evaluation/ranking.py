@@ -1,0 +1,132 @@
+"""Statistical comparison of classifiers over multiple datasets (Demsar 2006).
+
+Implements the Friedman test and the Nemenyi post-hoc critical difference used
+by the paper's CD diagrams (Fig. 6), plus a plain-text rendering of the
+diagram since matplotlib is unavailable offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+#: upper quantiles of the studentized range statistic q_alpha (infinite df),
+#: divided by sqrt(2), for the Nemenyi test at alpha = 0.05 (index = #methods).
+_NEMENYI_Q05 = {
+    2: 1.960,
+    3: 2.343,
+    4: 2.569,
+    5: 2.728,
+    6: 2.850,
+    7: 2.949,
+    8: 3.031,
+    9: 3.102,
+    10: 3.164,
+    11: 3.219,
+    12: 3.268,
+    13: 3.313,
+    14: 3.354,
+    15: 3.391,
+}
+
+
+def rank_matrix(results: dict[str, dict[str, float]]) -> tuple[list[str], np.ndarray]:
+    """Per-dataset ranks (1 = best accuracy) for every method.
+
+    Returns ``(methods, ranks)`` where ``ranks`` has shape
+    ``(n_methods, n_datasets)``.
+    """
+    methods = sorted(results)
+    common = set(results[methods[0]])
+    for method in methods[1:]:
+        common &= set(results[method])
+    datasets = sorted(common)
+    if len(datasets) < 2:
+        raise ValueError("at least two common datasets are required for ranking")
+    accuracy = np.array([[results[m][d] for d in datasets] for m in methods])
+    ranks = np.apply_along_axis(stats.rankdata, 0, -accuracy)
+    return methods, ranks
+
+
+def friedman_test(results: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Friedman chi-square test over the per-dataset ranks.
+
+    Returns the statistic and p-value; a small p-value means the methods are
+    not all equivalent and the post-hoc Nemenyi test is meaningful.
+    """
+    methods, ranks = rank_matrix(results)
+    if len(methods) < 3:
+        # scipy requires at least 3 related samples; fall back to a Wilcoxon
+        # signed-rank test for the two-method case.
+        statistic, p_value = stats.wilcoxon(ranks[0], ranks[1])
+        return {"statistic": float(statistic), "p_value": float(p_value)}
+    statistic, p_value = stats.friedmanchisquare(*[row for row in ranks])
+    return {"statistic": float(statistic), "p_value": float(p_value)}
+
+
+def critical_difference(n_methods: int, n_datasets: int, alpha: float = 0.05) -> float:
+    """Nemenyi critical difference ``CD = q_alpha * sqrt(k(k+1) / (6N))``."""
+    if alpha != 0.05:
+        raise ValueError("only alpha = 0.05 is tabulated")
+    if n_methods < 2:
+        raise ValueError("need at least two methods")
+    q = _NEMENYI_Q05.get(n_methods)
+    if q is None:
+        # asymptotic approximation via the studentized range distribution
+        q = stats.studentized_range.ppf(1 - alpha, n_methods, np.inf) / np.sqrt(2)
+    return float(q * np.sqrt(n_methods * (n_methods + 1) / (6.0 * n_datasets)))
+
+
+def nemenyi_groups(results: dict[str, dict[str, float]], alpha: float = 0.05) -> dict:
+    """Average ranks, the critical difference and the cliques of equivalent methods.
+
+    Two methods are statistically indistinguishable (connected by a bar in the
+    CD diagram) when their average ranks differ by less than the CD.
+    """
+    methods, ranks = rank_matrix(results)
+    average_ranks = {method: float(ranks[i].mean()) for i, method in enumerate(methods)}
+    cd = critical_difference(len(methods), ranks.shape[1], alpha)
+    ordered = sorted(average_ranks, key=average_ranks.get)
+    groups = []
+    for i, method in enumerate(ordered):
+        clique = [
+            other
+            for other in ordered
+            if abs(average_ranks[other] - average_ranks[method]) <= cd
+        ]
+        if len(clique) > 1 and not any(set(clique).issubset(set(g)) for g in groups):
+            groups.append(clique)
+    return {"average_ranks": average_ranks, "critical_difference": cd, "groups": groups}
+
+
+def render_cd_diagram(results: dict[str, dict[str, float]], alpha: float = 0.05, width: int = 60) -> str:
+    """Plain-text critical-difference diagram (Fig. 6 substitute).
+
+    Methods are placed on a horizontal axis by average rank; lines below the
+    axis connect methods whose rank difference is below the critical
+    difference (i.e. not statistically different at the given alpha).
+    """
+    analysis = nemenyi_groups(results, alpha)
+    average_ranks = analysis["average_ranks"]
+    cd = analysis["critical_difference"]
+    ordered = sorted(average_ranks, key=average_ranks.get)
+    best, worst = average_ranks[ordered[0]], average_ranks[ordered[-1]]
+    span = max(worst - best, 1e-9)
+
+    def position(rank: float) -> int:
+        return int(round((rank - best) / span * (width - 1)))
+
+    lines = [f"Critical difference (Nemenyi, alpha={alpha}): {cd:.3f}", "-" * width]
+    for method in ordered:
+        rank = average_ranks[method]
+        marker_line = [" "] * width
+        marker_line[position(rank)] = "|"
+        lines.append("".join(marker_line) + f"  {rank:.3f}  {method}")
+    for group in analysis["groups"]:
+        group_ranks = [average_ranks[m] for m in group]
+        start, stop = position(min(group_ranks)), position(max(group_ranks))
+        bar = [" "] * width
+        for column in range(start, stop + 1):
+            bar[column] = "="
+        lines.append("".join(bar) + "  (not significantly different)")
+    return "\n".join(lines)

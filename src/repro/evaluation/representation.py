@@ -1,0 +1,126 @@
+"""Representation-quality metrics for contrastive learning.
+
+The paper grounds its geodesic mixup in the alignment/uniformity view of
+contrastive learning on the hypersphere (Wang & Isola, ICML 2020, its
+reference [48]).  This module provides those two quantities plus two
+label-aware diagnostics (silhouette score and nearest-centroid accuracy) so
+users can inspect *why* a pre-trained encoder transfers well, independently of
+any downstream classifier:
+
+* :func:`alignment` — mean squared distance between positive pairs (lower is
+  better): how tightly augmented views / modality pairs are pulled together.
+* :func:`uniformity` — log of the mean Gaussian potential between all pairs
+  (lower is better): how evenly representations cover the hypersphere.
+* :func:`silhouette_score` — classic cluster-quality score of representations
+  under their class labels.
+* :func:`nearest_centroid_accuracy` — accuracy of a nearest-class-centroid
+  classifier in representation space (a training-free probe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_positive
+
+
+def _normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, eps)
+
+
+def alignment(positives_a: np.ndarray, positives_b: np.ndarray, *, alpha: float = 2.0) -> float:
+    """Alignment of positive pairs: ``E ||f(x) - f(x+)||^alpha`` on the unit sphere.
+
+    Parameters
+    ----------
+    positives_a, positives_b:
+        Arrays of shape ``(n, d)``; row ``i`` of each forms a positive pair.
+    alpha:
+        Exponent of the distance (2 in Wang & Isola).
+    """
+    a = _normalize_rows(check_array("positives_a", np.asarray(positives_a, dtype=np.float64), ndim=2))
+    b = _normalize_rows(check_array("positives_b", np.asarray(positives_b, dtype=np.float64), ndim=2))
+    if a.shape != b.shape:
+        raise ValueError(f"positive pairs must align: {a.shape} vs {b.shape}")
+    check_positive("alpha", alpha)
+    return float((np.linalg.norm(a - b, axis=1) ** alpha).mean())
+
+
+def uniformity(representations: np.ndarray, *, t: float = 2.0) -> float:
+    """Uniformity: ``log E exp(-t ||f(x) - f(y)||^2)`` over all pairs (lower = more uniform)."""
+    x = _normalize_rows(check_array("representations", np.asarray(representations, dtype=np.float64), ndim=2))
+    check_positive("t", t)
+    if x.shape[0] < 2:
+        raise ValueError("uniformity needs at least two representations")
+    squared_distances = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=-1)
+    mask = ~np.eye(x.shape[0], dtype=bool)
+    return float(np.log(np.exp(-t * squared_distances[mask]).mean()))
+
+
+def silhouette_score(representations: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of representations grouped by class label.
+
+    Returns a value in ``[-1, 1]``; higher means classes form tighter, better
+    separated clusters in representation space.
+    """
+    x = check_array("representations", np.asarray(representations, dtype=np.float64), ndim=2)
+    y = np.asarray(labels)
+    if y.shape[0] != x.shape[0]:
+        raise ValueError("labels must match the number of representations")
+    classes = np.unique(y)
+    if classes.size < 2:
+        raise ValueError("silhouette score requires at least two classes")
+    distances = np.linalg.norm(x[:, None, :] - x[None, :, :], axis=-1)
+    scores = np.zeros(x.shape[0])
+    for i in range(x.shape[0]):
+        same = (y == y[i]) & (np.arange(x.shape[0]) != i)
+        if not same.any():
+            scores[i] = 0.0
+            continue
+        intra = distances[i, same].mean()
+        inter = min(
+            distances[i, y == other].mean() for other in classes if other != y[i]
+        )
+        denom = max(intra, inter)
+        scores[i] = 0.0 if denom == 0 else (inter - intra) / denom
+    return float(scores.mean())
+
+
+def nearest_centroid_accuracy(
+    train_representations: np.ndarray,
+    train_labels: np.ndarray,
+    test_representations: np.ndarray,
+    test_labels: np.ndarray,
+) -> float:
+    """Accuracy of a nearest-class-centroid classifier fit on train representations."""
+    train_x = check_array("train_representations", np.asarray(train_representations, dtype=np.float64), ndim=2)
+    test_x = check_array("test_representations", np.asarray(test_representations, dtype=np.float64), ndim=2)
+    train_y = np.asarray(train_labels)
+    test_y = np.asarray(test_labels)
+    if train_y.shape[0] != train_x.shape[0] or test_y.shape[0] != test_x.shape[0]:
+        raise ValueError("labels must match their representation arrays")
+    classes = np.unique(train_y)
+    centroids = np.stack([train_x[train_y == c].mean(axis=0) for c in classes])
+    distances = np.linalg.norm(test_x[:, None, :] - centroids[None, :, :], axis=-1)
+    predictions = classes[distances.argmin(axis=1)]
+    return float((predictions == test_y).mean())
+
+
+def representation_report(
+    representations: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    positives: tuple[np.ndarray, np.ndarray] | None = None,
+) -> dict[str, float]:
+    """Bundle the available metrics into one dictionary.
+
+    ``labels`` enables the label-aware metrics; ``positives`` (a pair of
+    aligned arrays) enables the alignment metric.
+    """
+    report = {"uniformity": uniformity(representations)}
+    if positives is not None:
+        report["alignment"] = alignment(*positives)
+    if labels is not None:
+        report["silhouette"] = silhouette_score(representations, labels)
+    return report

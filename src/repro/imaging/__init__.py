@@ -1,0 +1,13 @@
+"""``repro.imaging`` — converting time series into RGB line-chart images.
+
+The paper plots each variable of a sample as a line chart ('*' markers joined
+by straight lines), standardises the per-variable panels to the same square
+size, assigns each variable a distinct colour and stitches the panels into one
+image (Section IV-C1).  matplotlib is unavailable offline, so
+:mod:`repro.imaging.line_chart` implements a small rasteriser directly on
+NumPy arrays.
+"""
+
+from repro.imaging.line_chart import VARIABLE_COLORS, LineChartRenderer, render_series_image
+
+__all__ = ["LineChartRenderer", "render_series_image", "VARIABLE_COLORS"]

@@ -1,0 +1,82 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The AimTS paper is implemented in PyTorch; PyTorch is not available in this
+offline environment, so this subpackage provides the minimal-but-complete
+substrate the framework needs:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode automatic differentiation
+  over NumPy arrays with broadcasting-aware gradients.
+* :mod:`~repro.nn.functional` — convolutions, pooling, normalisation and the
+  loss primitives used by the contrastive objectives.
+* :mod:`~repro.nn.layers` — ``Module`` based layers (Linear, Conv1d, Conv2d,
+  BatchNorm, Dropout, activations, containers).
+* :mod:`~repro.nn.optim` — SGD, Adam and AdamW optimizers.
+* :mod:`~repro.nn.schedulers` — StepLR and cosine learning-rate schedules.
+* :mod:`~repro.nn.serialization` — ``state_dict`` save/load as ``.npz``.
+
+The API deliberately mirrors (a small subset of) PyTorch so that the AimTS
+model code reads like the original.
+"""
+
+from repro.nn import functional, init
+from repro.nn.layers import (
+    GELU,
+    MLP,
+    AdaptiveAvgPool1d,
+    AdaptiveAvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.schedulers import CosineAnnealingLR, LRScheduler, StepLR
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "functional",
+    "init",
+    "Linear",
+    "Conv1d",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AdaptiveAvgPool1d",
+    "AdaptiveAvgPool2d",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,330 @@
+"""Functional neural-network primitives built on :class:`repro.nn.tensor.Tensor`.
+
+The convolutions are implemented with im2col/col2im so that both the forward
+and backward passes reduce to dense matrix multiplications, which keeps the
+pure-NumPy substrate fast enough for the experiments in this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, *, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` of shape ``(B, C)`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalised class scores.
+    targets:
+        Integer class indices of shape ``(B,)``.
+    reduction:
+        Either ``"mean"`` or ``"sum"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets must be a 1-D array matching the logits batch size")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = np.arange(logits.shape[0])
+    picked = log_probs[batch, targets]
+    loss = -picked.sum()
+    if reduction == "mean":
+        loss = loss * (1.0 / logits.shape[0])
+    elif reduction != "sum":
+        raise ValueError(f"unknown reduction {reduction!r}")
+    return loss
+
+
+def nll_accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Classification accuracy of argmax predictions."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=-1)
+    targets = np.asarray(targets)
+    return float((predictions == targets).mean())
+
+
+# --------------------------------------------------------------------------- #
+# Normalisation / similarity
+# --------------------------------------------------------------------------- #
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project ``x`` onto the unit hypersphere along ``axis``."""
+    norm = (x * x).sum(axis=axis, keepdims=True).clamp_min(eps) ** 0.5
+    return x / norm
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """Pairwise cosine similarity between rows of ``a`` (n, d) and ``b`` (m, d)."""
+    a_norm = l2_normalize(a, axis=-1)
+    b_norm = l2_normalize(b, axis=-1)
+    return a_norm @ b_norm.transpose()
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+# --------------------------------------------------------------------------- #
+# im2col helpers (1-D)
+# --------------------------------------------------------------------------- #
+def _im2col_1d(x: np.ndarray, kernel: int, stride: int, dilation: int) -> np.ndarray:
+    """Turn ``(B, C, T_padded)`` into ``(B, out_t, C*kernel)`` patches."""
+    batch, channels, length = x.shape
+    span = (kernel - 1) * dilation + 1
+    out_t = (length - span) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, span, axis=2)
+    windows = windows[:, :, ::stride, ::dilation]  # (B, C, out_t, kernel)
+    cols = windows.transpose(0, 2, 1, 3).reshape(batch, out_t, channels * kernel)
+    return np.ascontiguousarray(cols)
+
+
+def _col2im_1d(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    dilation: int,
+) -> np.ndarray:
+    """Scatter ``(B, out_t, C*kernel)`` gradients back to ``(B, C, T_padded)``."""
+    batch, channels, length = x_shape
+    span = (kernel - 1) * dilation + 1
+    out_t = (length - span) // stride + 1
+    grad_x = np.zeros(x_shape, dtype=np.float64)
+    cols = cols.reshape(batch, out_t, channels, kernel)
+    for k in range(kernel):
+        offset = k * dilation
+        positions = np.arange(out_t) * stride + offset
+        np.add.at(grad_x, (slice(None), slice(None), positions), cols[:, :, :, k].transpose(0, 2, 1))
+    return grad_x
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> Tensor:
+    """1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C_in, T)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, K)``.
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"conv1d expects (B, C, T) input, got shape {x.shape}")
+    out_channels, in_channels, kernel = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
+        )
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    cols = _im2col_1d(x_padded, kernel, stride, dilation)  # (B, out_t, C_in*K)
+    w_flat = weight.data.reshape(out_channels, -1)  # (C_out, C_in*K)
+    out_data = cols @ w_flat.T  # (B, out_t, C_out)
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.transpose(0, 2, 1)  # (B, C_out, out_t)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad):
+        grad_out = grad.transpose(0, 2, 1)  # (B, out_t, C_out)
+        if weight.requires_grad:
+            grad_w = np.einsum("bto,btk->ok", grad_out, cols).reshape(weight.shape)
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_out.sum(axis=(0, 1)))
+        if x.requires_grad:
+            grad_cols = grad_out @ w_flat  # (B, out_t, C_in*K)
+            grad_padded = _col2im_1d(grad_cols, x_padded.shape, kernel, stride, dilation)
+            if padding:
+                grad_padded = grad_padded[:, :, padding:-padding]
+            x._accumulate(grad_padded)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# im2col helpers (2-D)
+# --------------------------------------------------------------------------- #
+def _im2col_2d(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int]) -> np.ndarray:
+    """Turn ``(B, C, H, W)`` into ``(B, out_h, out_w, C*kh*kw)`` patches."""
+    kh, kw = kernel
+    sh, sw = stride
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw]  # (B, C, out_h, out_w, kh, kw)
+    batch, channels, out_h, out_w = windows.shape[:4]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h, out_w, channels * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def _col2im_2d(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+) -> np.ndarray:
+    """Scatter patch gradients back onto the padded input image."""
+    batch, channels, height, width = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    grad_x = np.zeros(x_shape, dtype=np.float64)
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            rows = np.arange(out_h) * sh + i
+            cols_idx = np.arange(out_w) * sw + j
+            grad_x[:, :, rows[:, None], cols_idx[None, :]] += cols[:, :, :, :, i, j].transpose(
+                0, 3, 1, 2
+            )
+    return grad_x
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """2-D convolution over ``(B, C_in, H, W)`` input with ``(C_out, C_in, kh, kw)`` kernels."""
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects (B, C, H, W) input, got shape {x.shape}")
+    stride = (stride, stride) if isinstance(stride, int) else tuple(stride)
+    padding = (padding, padding) if isinstance(padding, int) else tuple(padding)
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
+        )
+    ph, pw = padding
+    x_padded = (
+        np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
+    )
+    cols = _im2col_2d(x_padded, (kh, kw), stride)  # (B, oh, ow, C*kh*kw)
+    w_flat = weight.data.reshape(out_channels, -1)
+    out_data = cols @ w_flat.T  # (B, oh, ow, C_out)
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad):
+        grad_out = grad.transpose(0, 2, 3, 1)  # (B, oh, ow, C_out)
+        if weight.requires_grad:
+            grad_w = np.einsum("bhwo,bhwk->ok", grad_out, cols).reshape(weight.shape)
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_out.sum(axis=(0, 1, 2)))
+        if x.requires_grad:
+            grad_cols = grad_out @ w_flat
+            grad_padded = _col2im_2d(grad_cols, x_padded.shape, (kh, kw), stride)
+            if ph or pw:
+                grad_padded = grad_padded[
+                    :, :, ph : grad_padded.shape[2] - ph or None, pw : grad_padded.shape[3] - pw or None
+                ]
+            x._accumulate(grad_padded)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over square windows of a ``(B, C, H, W)`` tensor."""
+    stride = stride or kernel_size
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kernel_size, kernel_size), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (B, C, oh, ow, k, k)
+    flat = windows.reshape(batch, channels, out_h, out_w, -1)
+    argmax = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, argmax[..., None], axis=-1).squeeze(-1)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        k_rows, k_cols = np.unravel_index(argmax, (kernel_size, kernel_size))
+        b_idx, c_idx, oh_idx, ow_idx = np.indices(argmax.shape)
+        rows = oh_idx * stride + k_rows
+        cols = ow_idx * stride + k_cols
+        np.add.at(grad_x, (b_idx, c_idx, rows, cols), grad)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def adaptive_avg_pool1d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Average pool a ``(B, C, T)`` tensor down to ``(B, C, output_size)``."""
+    if output_size == 1:
+        return x.mean(axis=2, keepdims=True)
+    batch, channels, length = x.shape
+    edges = np.linspace(0, length, output_size + 1).astype(int)
+    pieces = [x[:, :, start:stop].mean(axis=2, keepdims=True) for start, stop in zip(edges[:-1], edges[1:])]
+    return Tensor.concat(pieces, axis=2)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Average pool a ``(B, C, H, W)`` tensor down to ``(B, C, s, s)``."""
+    if output_size == 1:
+        return x.mean(axis=(2, 3), keepdims=True)
+    batch, channels, height, width = x.shape
+    h_edges = np.linspace(0, height, output_size + 1).astype(int)
+    w_edges = np.linspace(0, width, output_size + 1).astype(int)
+    rows = []
+    for h0, h1 in zip(h_edges[:-1], h_edges[1:]):
+        cells = [
+            x[:, :, h0:h1, w0:w1].mean(axis=(2, 3), keepdims=True)
+            for w0, w1 in zip(w_edges[:-1], w_edges[1:])
+        ]
+        rows.append(Tensor.concat(cells, axis=3))
+    return Tensor.concat(rows, axis=2)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)

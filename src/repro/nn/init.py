@@ -1,0 +1,48 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import new_rng
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (for ReLU fan-in)."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Zero-mean Gaussian initialisation."""
+    rng = new_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (normalisation scales)."""
+    return np.ones(shape)

@@ -1,0 +1,112 @@
+"""First-order optimizers for the NumPy substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a list of parameters and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used by the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias_correction1 = 1.0 - beta1**self._step
+        bias_correction2 = 1.0 - beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data = param.data * (1.0 - self.lr * self.weight_decay)
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay

@@ -1,0 +1,59 @@
+"""Learning-rate schedules.
+
+The paper uses Adam with ``StepLR`` decay during pre-training; a cosine
+schedule is provided as a common alternative for the ablation harness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` once per :meth:`step` call."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,31 @@
+"""Checkpoint serialization for :class:`repro.nn.module.Module` state dicts."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module_or_state: Module | dict[str, np.ndarray], path: str | os.PathLike) -> str:
+    """Save a module's ``state_dict`` (or a raw state dict) to an ``.npz`` file.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    state = module_or_state.state_dict() if isinstance(module_or_state, Module) else dict(module_or_state)
+    path = str(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(path: str | os.PathLike, module: Module | None = None) -> dict[str, np.ndarray]:
+    """Load a state dict from ``path``; optionally apply it to ``module``."""
+    with np.load(str(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    if module is not None:
+        module.load_state_dict(state)
+    return state

@@ -1,0 +1,499 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+The :class:`Tensor` class wraps a ``numpy.ndarray`` and records the operations
+applied to it so that :meth:`Tensor.backward` can propagate gradients through
+arbitrary compositions of the supported primitives.  Broadcasting is handled by
+summing gradients back to the original operand shapes, matching NumPy/PyTorch
+semantics.
+
+The implementation favours clarity over raw speed: each primitive stores a
+closure that computes the local vector-Jacobian product.  This is more than
+fast enough for the laptop-scale experiments in this reproduction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded for autograd."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum the leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected a raw value, got a Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated in :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 1000  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ utils
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------- graph core
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the objective with respect to this tensor.  Defaults to
+            ones for scalar tensors (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological ordering of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # -------------------------------------------------------------- operators
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(_as_array(other))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(_unbroadcast(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data, self.shape))
+                else:
+                    self._accumulate(_unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(_unbroadcast(np.outer(self.data, grad), other.shape))
+                else:
+                    other._accumulate(
+                        _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape)
+                    )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ----------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(grad):
+            if self.requires_grad:
+                sech2 = 1.0 - tanh_inner**2
+                d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+                local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+                self._accumulate(grad * local)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clamp_min(self, minimum: float) -> "Tensor":
+        mask = self.data >= minimum
+        out_data = np.maximum(self.data, minimum)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if self.requires_grad:
+                g = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if self.requires_grad:
+                expanded = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == expanded).astype(np.float64)
+                mask = mask / mask.sum(axis=axis, keepdims=True)
+                g = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                self._accumulate(mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -(-self).max(axis=axis, keepdims=keepdims)
+
+    # ---------------------------------------------------------- shape juggling
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        new_shape = list(self.shape)
+        if axis is None:
+            new_shape = [s for s in new_shape if s != 1]
+        else:
+            if new_shape[axis] != 1:
+                raise ValueError(f"cannot squeeze axis {axis} of size {new_shape[axis]}")
+            new_shape.pop(axis)
+        return self.reshape(tuple(new_shape))
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        new_shape = list(self.shape)
+        if axis < 0:
+            axis = len(new_shape) + 1 + axis
+        new_shape.insert(axis, 1)
+        return self.reshape(tuple(new_shape))
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(shape)
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tensors, backward)
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t.unsqueeze(axis) for t in tensors]
+        return Tensor.concat(tensors, axis=axis)

@@ -1,0 +1,28 @@
+"""Utility helpers shared across the AimTS reproduction.
+
+The submodules are intentionally small and dependency-free:
+
+* :mod:`repro.utils.seeding` — deterministic RNG management.
+* :mod:`repro.utils.validation` — argument checking helpers.
+* :mod:`repro.utils.tables` — plain-text result tables used by the benchmark
+  harness to print paper-style rows.
+"""
+
+from repro.utils.seeding import new_rng, seed_everything
+from repro.utils.tables import ResultTable
+from repro.utils.validation import (
+    check_array,
+    check_in_options,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "new_rng",
+    "seed_everything",
+    "ResultTable",
+    "check_array",
+    "check_in_options",
+    "check_positive",
+    "check_probability",
+]

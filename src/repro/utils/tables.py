@@ -1,0 +1,70 @@
+"""Plain-text result tables.
+
+The benchmark harness reports the same rows as the paper's tables.  Because
+neither pandas nor matplotlib is available offline, this module provides a
+minimal table formatter with fixed-width columns that renders nicely in a
+terminal and in ``EXPERIMENTS.md`` code blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class ResultTable:
+    """A simple column-aligned text table.
+
+    Examples
+    --------
+    >>> table = ResultTable(["Method", "Avg. ACC"], title="Table I")
+    >>> table.add_row(["AimTS", 0.87])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None, float_format: str = "{:.3f}"):
+        if not columns:
+            raise ValueError("columns must not be empty")
+        self.columns = list(columns)
+        self.title = title
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; floats are formatted with ``float_format``."""
+        row = [self._format(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def _format(self, value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        """Return the table as a multi-line string."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial delegation
+        return self.render()
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """The formatted rows added so far (read-only copy)."""
+        return [list(r) for r in self._rows]

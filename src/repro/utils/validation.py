@@ -1,0 +1,64 @@
+"""Lightweight argument validation helpers.
+
+These keep error messages consistent across the library and avoid repeating
+the same ``if``/``raise`` blocks in every public entry point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_options(name: str, value: str, options: Sequence[str]) -> str:
+    """Raise ``ValueError`` unless ``value`` is one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {sorted(options)}, got {value!r}")
+    return value
+
+
+def check_array(
+    name: str,
+    array: np.ndarray,
+    *,
+    ndim: int | None = None,
+    allow_empty: bool = False,
+) -> np.ndarray:
+    """Validate a NumPy array argument and return it as ``float64``/``int`` array.
+
+    Parameters
+    ----------
+    name:
+        Argument name used in error messages.
+    array:
+        Array-like input.
+    ndim:
+        Required number of dimensions, if any.
+    allow_empty:
+        Whether zero-sized arrays are accepted.
+    """
+    arr = np.asarray(array)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have {ndim} dimensions, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr

@@ -1,0 +1,61 @@
+"""Shared fixtures for the AimTS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.data.archives import make_dataset
+from repro.utils.seeding import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Make every test deterministic regardless of execution order."""
+    seed_everything(3407)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A per-test NumPy generator."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_config() -> AimTSConfig:
+    """A minimal AimTS configuration used by the slower integration tests."""
+    return AimTSConfig(
+        repr_dim=16,
+        proj_dim=8,
+        hidden_channels=8,
+        depth=1,
+        panel_size=16,
+        series_length=48,
+        batch_size=8,
+        epochs=1,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_finetune_config() -> FineTuneConfig:
+    """A minimal fine-tuning configuration."""
+    return FineTuneConfig(epochs=3, batch_size=8, classifier_hidden_dim=16, seed=0)
+
+
+@pytest.fixture
+def small_dataset():
+    """A small but learnable two-class univariate dataset."""
+    return make_dataset(
+        "unit_ecg", "ecg", n_classes=2, n_train=16, n_test=24, length=48, n_variables=1, seed=0
+    )
+
+
+@pytest.fixture
+def small_multivariate_dataset():
+    """A small three-variable, three-class dataset."""
+    return make_dataset(
+        "unit_motion", "motion", n_classes=3, n_train=18, n_test=24, length=48, n_variables=3, seed=1
+    )

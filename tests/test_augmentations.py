@@ -1,0 +1,156 @@
+"""Tests for the augmentation operations and the augmentation bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augmentations import (
+    DEFAULT_BANK,
+    AugmentationBank,
+    Compose,
+    Identity,
+    Jitter,
+    Masking,
+    Permutation,
+    Scaling,
+    Slicing,
+    TimeWarp,
+    WindowWarp,
+    default_bank,
+)
+
+ALL_AUGMENTATIONS = [Jitter, Scaling, TimeWarp, Slicing, WindowWarp, Permutation, Masking]
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(2, 48))
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(5, 2, 48))
+
+
+@pytest.mark.parametrize("augmentation_cls", ALL_AUGMENTATIONS)
+class TestEveryAugmentation:
+    def test_preserves_shape_single_sample(self, augmentation_cls, sample):
+        out = augmentation_cls(seed=0)(sample)
+        assert out.shape == sample.shape
+
+    def test_preserves_shape_batch(self, augmentation_cls, batch):
+        out = augmentation_cls(seed=0)(batch)
+        assert out.shape == batch.shape
+
+    def test_output_is_finite(self, augmentation_cls, batch):
+        assert np.all(np.isfinite(augmentation_cls(seed=0)(batch)))
+
+    def test_changes_the_input(self, augmentation_cls, sample):
+        out = augmentation_cls(seed=0)(sample)
+        assert not np.array_equal(out, sample)
+
+    def test_two_calls_differ(self, augmentation_cls, sample):
+        augmentation = augmentation_cls(seed=0)
+        first = augmentation(sample)
+        second = augmentation(sample)
+        assert not np.array_equal(first, second)
+
+    def test_does_not_mutate_input(self, augmentation_cls, sample):
+        original = sample.copy()
+        augmentation_cls(seed=0)(sample)
+        np.testing.assert_array_equal(sample, original)
+
+    def test_rejects_bad_dimensionality(self, augmentation_cls, rng):
+        with pytest.raises(ValueError):
+            augmentation_cls(seed=0)(rng.normal(size=(48,)))
+
+
+class TestSpecificBehaviours:
+    def test_identity_is_noop(self, sample):
+        np.testing.assert_array_equal(Identity()(sample), sample)
+
+    def test_jitter_noise_scale(self, rng):
+        x = np.zeros((1, 2000))
+        out = Jitter(sigma=0.1, seed=0)(x)
+        assert 0.05 < out.std() < 0.15
+
+    def test_jitter_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            Jitter(sigma=0.0)
+
+    def test_scaling_is_per_variable_multiplicative(self, rng):
+        x = np.ones((3, 30))
+        out = Scaling(sigma=0.2, seed=0)(x)
+        # each variable is multiplied by one constant
+        for row in out:
+            assert np.allclose(row, row[0])
+
+    def test_time_warp_preserves_value_range_roughly(self, rng):
+        x = np.sin(np.linspace(0, 6 * np.pi, 100))[None, :]
+        out = TimeWarp(strength=0.05, seed=0)(x)
+        assert out.min() >= -1.2 and out.max() <= 1.2
+
+    def test_slicing_zooms_into_a_window(self):
+        # a ramp that is sliced and re-stretched stays monotone
+        x = np.linspace(0, 1, 60)[None, :]
+        out = Slicing(crop_ratio=0.5, seed=0)(x)
+        assert np.all(np.diff(out[0]) >= -1e-9)
+        assert out[0].max() - out[0].min() < 1.0  # a strict sub-range of values
+
+    def test_slicing_rejects_tiny_crop(self):
+        with pytest.raises(ValueError):
+            Slicing(crop_ratio=0.05)
+
+    def test_window_warp_keeps_endpoints_close(self):
+        x = np.linspace(0, 1, 80)[None, :]
+        out = WindowWarp(window_ratio=0.3, seed=0)(x)
+        assert abs(out[0, 0] - 0.0) < 0.1
+        assert abs(out[0, -1] - 1.0) < 0.1
+
+    def test_permutation_preserves_value_multiset(self, rng):
+        x = rng.normal(size=(1, 30))
+        out = Permutation(max_segments=4, seed=0)(x)
+        np.testing.assert_allclose(np.sort(out[0]), np.sort(x[0]))
+
+    def test_masking_zeroes_a_window(self, rng):
+        x = rng.normal(size=(2, 50)) + 10.0
+        out = Masking(mask_ratio=0.3, seed=0)(x)
+        n_zero = (out == 0).sum(axis=1)
+        assert np.all(n_zero >= 10)
+
+    def test_compose_applies_in_sequence(self, sample):
+        composed = Compose([Scaling(sigma=0.1, seed=0), Jitter(sigma=0.05, seed=0)])
+        out = composed(sample)
+        assert out.shape == sample.shape
+        assert composed.name == "scaling+jitter"
+
+    def test_compose_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Compose([])
+
+
+class TestAugmentationBank:
+    def test_default_bank_matches_paper(self):
+        bank = default_bank(seed=0)
+        assert len(bank) == 5
+        assert tuple(bank.names) == DEFAULT_BANK
+
+    def test_bank_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AugmentationBank([])
+
+    def test_augment_batch_shape(self, batch):
+        bank = default_bank(seed=0)
+        out = bank.augment_batch(batch)
+        assert out.shape == (5,) + batch.shape
+
+    def test_two_views_are_independent(self, batch):
+        bank = default_bank(seed=0)
+        views_a, views_b = bank.two_views(batch)
+        assert views_a.shape == views_b.shape == (5,) + batch.shape
+        assert not np.allclose(views_a, views_b)
+
+    def test_bank_iteration(self):
+        bank = default_bank(seed=0)
+        assert len(list(iter(bank))) == 5

@@ -1,0 +1,118 @@
+"""Tests for channel-independent aggregation modes and the adaptive classifier head.
+
+The paper encodes every variable independently with shared weights
+(Section V-A3).  Downstream, the task-specific classifier may either see the
+concatenation of the per-variable representations ("concat", the default used
+by the benchmark harness) or their mean ("mean", used during pre-training so
+prototype shapes do not depend on the corpus dimensionality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig, TS2Vec
+from repro.core import AimTS, AimTSConfig, FineTuneConfig, FineTuner
+from repro.data.archives import make_dataset
+from repro.encoders import TSEncoder
+
+
+class TestEncoderAggregationModes:
+    def test_concat_output_dimension(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="concat", rng=0)
+        out = encoder(rng.normal(size=(4, 3, 40)))
+        assert out.shape == (4, 48)
+        assert encoder.output_dim(3) == 48
+        assert encoder.output_dim(1) == 16
+
+    def test_mean_output_dimension(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="mean", rng=0)
+        assert encoder(rng.normal(size=(4, 3, 40))).shape == (4, 16)
+        assert encoder.output_dim(3) == 16
+
+    def test_univariate_concat_and_mean_agree(self, rng):
+        x = rng.normal(size=(3, 1, 40))
+        concat_encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="concat", rng=5)
+        mean_encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="mean", rng=5)
+        np.testing.assert_allclose(concat_encoder(x).data, mean_encoder(x).data, atol=1e-12)
+
+    def test_mean_is_average_of_concat_blocks(self, rng):
+        x = rng.normal(size=(2, 3, 40))
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="concat", rng=7)
+        concat = encoder(x).data.reshape(2, 3, 16)
+        encoder.channel_aggregation = "mean"
+        mean = encoder(x).data
+        np.testing.assert_allclose(concat.mean(axis=1), mean, atol=1e-12)
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            TSEncoder(channel_aggregation="max")
+
+    def test_non_channel_independent_ignores_aggregation(self, rng):
+        encoder = TSEncoder(
+            in_channels=3, hidden_channels=8, repr_dim=16, depth=1,
+            channel_independent=False, channel_aggregation="concat", rng=0,
+        )
+        assert encoder(rng.normal(size=(2, 3, 40))).shape == (2, 16)
+        assert encoder.output_dim(3) == 16
+
+
+class TestFineTunerAdaptiveHead:
+    def test_classifier_built_lazily_with_correct_input_dim(self, small_multivariate_dataset):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, channel_aggregation="concat", rng=0)
+        finetuner = FineTuner(encoder, small_multivariate_dataset.n_classes, FineTuneConfig(epochs=1, seed=0))
+        assert finetuner.classifier is None
+        finetuner.fit(small_multivariate_dataset.train)
+        assert finetuner.classifier is not None
+        expected_in = 16 * small_multivariate_dataset.n_variables
+        assert finetuner.classifier.network.in_features == expected_in
+
+    def test_predict_before_fit_raises(self, small_dataset):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=1, rng=0)
+        finetuner = FineTuner(encoder, 2, FineTuneConfig(epochs=1, seed=0))
+        with pytest.raises(RuntimeError):
+            finetuner.predict(small_dataset.test.X)
+
+    def test_concat_learns_multivariate_task_better_than_chance(self, small_multivariate_dataset):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, channel_aggregation="concat", rng=0)
+        finetuner = FineTuner(
+            encoder, small_multivariate_dataset.n_classes, FineTuneConfig(epochs=40, learning_rate=3e-3, seed=0)
+        )
+        result = finetuner.fit_and_evaluate(small_multivariate_dataset)
+        assert result.accuracy > 1.0 / small_multivariate_dataset.n_classes + 0.1
+
+
+class TestConfigIntegration:
+    def test_aimts_config_validates_aggregation(self):
+        assert AimTSConfig(channel_aggregation="mean").channel_aggregation == "mean"
+        with pytest.raises(ValueError):
+            AimTSConfig(channel_aggregation="median")
+
+    def test_baseline_config_validates_aggregation(self):
+        assert BaselineConfig(channel_aggregation="mean").channel_aggregation == "mean"
+        with pytest.raises(ValueError):
+            BaselineConfig(channel_aggregation="sum")
+
+    def test_pretrainer_encoder_uses_mean_but_finetuner_gets_config_choice(self):
+        config = AimTSConfig(
+            repr_dim=12, proj_dim=6, hidden_channels=6, depth=1, panel_size=16,
+            series_length=32, batch_size=4, epochs=1, seed=0, channel_aggregation="concat",
+        )
+        model = AimTS(config)
+        assert model.pretrainer.ts_encoder.channel_aggregation == "mean"
+        finetuner = model.make_finetuner(n_classes=2)
+        assert finetuner.encoder.channel_aggregation == "concat"
+        # the pre-training encoder itself is left untouched by the copy
+        assert model.pretrainer.ts_encoder.channel_aggregation == "mean"
+
+    def test_baseline_finetune_applies_configured_aggregation(self, small_multivariate_dataset):
+        config = BaselineConfig(
+            repr_dim=12, proj_dim=6, hidden_channels=6, depth=1, series_length=48,
+            batch_size=6, epochs=1, seed=0, channel_aggregation="concat",
+        )
+        baseline = TS2Vec(config)
+        result = baseline.fine_tune(small_multivariate_dataset, FineTuneConfig(epochs=2, seed=0))
+        assert 0.0 <= result.accuracy <= 1.0
+        # the baseline's own pre-training encoder keeps the "mean" default
+        assert baseline.encoder.channel_aggregation == "mean"

@@ -1,0 +1,111 @@
+"""Tests for the geodesic mixup strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mixup import geodesic_mixup, linear_mixup, sample_mixup_coefficients
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def _unit_rows(rng, n, d):
+    x = rng.normal(size=(n, d))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestMixupCoefficients:
+    def test_range_and_count(self):
+        lam = sample_mixup_coefficients(100, gamma=0.1, seed=0)
+        assert lam.shape == (100,)
+        assert np.all((lam >= 0) & (lam <= 1))
+
+    def test_small_gamma_pushes_to_extremes(self):
+        lam = sample_mixup_coefficients(2000, gamma=0.1, seed=0)
+        extreme_fraction = ((lam < 0.1) | (lam > 0.9)).mean()
+        assert extreme_fraction > 0.6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_mixup_coefficients(0)
+        with pytest.raises(ValueError):
+            sample_mixup_coefficients(10, gamma=0.0)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            sample_mixup_coefficients(10, seed=5), sample_mixup_coefficients(10, seed=5)
+        )
+
+
+class TestGeodesicMixup:
+    def test_result_is_on_unit_sphere(self, rng):
+        u = Tensor(_unit_rows(rng, 6, 8))
+        v = Tensor(_unit_rows(rng, 6, 8))
+        lam = sample_mixup_coefficients(6, seed=0)
+        mixed = geodesic_mixup(u, v, lam)
+        np.testing.assert_allclose(np.linalg.norm(mixed.data, axis=1), np.ones(6), atol=1e-9)
+
+    def test_lambda_one_returns_u(self, rng):
+        u = Tensor(_unit_rows(rng, 4, 8))
+        v = Tensor(_unit_rows(rng, 4, 8))
+        mixed = geodesic_mixup(u, v, 1.0)
+        np.testing.assert_allclose(mixed.data, u.data, atol=1e-6)
+
+    def test_lambda_zero_returns_v(self, rng):
+        u = Tensor(_unit_rows(rng, 4, 8))
+        v = Tensor(_unit_rows(rng, 4, 8))
+        mixed = geodesic_mixup(u, v, 0.0)
+        np.testing.assert_allclose(mixed.data, v.data, atol=1e-6)
+
+    def test_midpoint_lies_between(self, rng):
+        u = Tensor(_unit_rows(rng, 5, 8))
+        v = Tensor(_unit_rows(rng, 5, 8))
+        mixed = geodesic_mixup(u, v, 0.5)
+        sim_u = (mixed.data * u.data).sum(axis=1)
+        sim_v = (mixed.data * v.data).sum(axis=1)
+        sim_uv = (u.data * v.data).sum(axis=1)
+        assert np.all(sim_u > sim_uv - 1e-9)
+        assert np.all(sim_v > sim_uv - 1e-9)
+        np.testing.assert_allclose(sim_u, sim_v, atol=1e-9)
+
+    def test_degenerate_identical_inputs(self, rng):
+        u = Tensor(_unit_rows(rng, 3, 8))
+        mixed = geodesic_mixup(u, u, 0.3)
+        np.testing.assert_allclose(mixed.data, u.data, atol=1e-6)
+
+    def test_non_normalised_inputs_are_handled(self, rng):
+        u = Tensor(rng.normal(size=(3, 8)) * 10)
+        v = Tensor(rng.normal(size=(3, 8)) * 0.1)
+        mixed = geodesic_mixup(u, v, 0.5)
+        np.testing.assert_allclose(np.linalg.norm(mixed.data, axis=1), np.ones(3), atol=1e-9)
+
+    def test_rejects_wrong_lambda_count(self, rng):
+        u = Tensor(_unit_rows(rng, 4, 8))
+        v = Tensor(_unit_rows(rng, 4, 8))
+        with pytest.raises(ValueError):
+            geodesic_mixup(u, v, np.array([0.1, 0.2, 0.3]))
+
+    def test_gradient_flows_to_both_inputs(self, rng):
+        u = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        mixed = geodesic_mixup(u, v, 0.5)
+        (mixed * mixed).sum().backward()
+        assert u.grad is not None and v.grad is not None
+
+
+class TestLinearMixup:
+    def test_also_unit_norm_after_renormalisation(self, rng):
+        u = Tensor(_unit_rows(rng, 4, 6))
+        v = Tensor(_unit_rows(rng, 4, 6))
+        mixed = linear_mixup(u, v, 0.3)
+        np.testing.assert_allclose(np.linalg.norm(mixed.data, axis=1), np.ones(4), atol=1e-9)
+
+    def test_geodesic_differs_from_linear_for_asymmetric_lambda(self, rng):
+        # at lambda = 0.5 both strategies give the (renormalised) angular
+        # bisector, so the comparison must use an asymmetric mixing ratio
+        u = F.l2_normalize(Tensor(rng.normal(size=(5, 16)))).detach()
+        v = F.l2_normalize(Tensor(rng.normal(size=(5, 16)))).detach()
+        geodesic = geodesic_mixup(u, v, 0.2).data
+        linear = linear_mixup(u, v, 0.2).data
+        assert np.abs(geodesic - linear).max() > 1e-4

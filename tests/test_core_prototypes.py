@@ -1,0 +1,117 @@
+"""Tests for prototype aggregation, view distances and adaptive temperatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pairwise_view_distances
+from repro.nn.tensor import Tensor
+
+
+class TestAggregatePrototype:
+    def test_mean_aggregation(self, rng):
+        views = Tensor(rng.normal(size=(5, 3, 8)), requires_grad=True)
+        prototype = aggregate_prototype(views, "mean")
+        assert prototype.shape == (3, 8)
+        np.testing.assert_allclose(prototype.data, views.data.mean(axis=0))
+
+    def test_mean_gradient_flows(self, rng):
+        views = Tensor(rng.normal(size=(4, 2, 6)), requires_grad=True)
+        aggregate_prototype(views).sum().backward()
+        np.testing.assert_allclose(views.grad, np.full((4, 2, 6), 0.25))
+
+    def test_median_aggregation_value(self, rng):
+        views = Tensor(rng.normal(size=(5, 3, 8)))
+        prototype = aggregate_prototype(views, "median")
+        np.testing.assert_allclose(prototype.data, np.median(views.data, axis=0))
+
+    def test_rejects_bad_shape_and_reduction(self, rng):
+        with pytest.raises(ValueError):
+            aggregate_prototype(Tensor(rng.normal(size=(3, 8))))
+        with pytest.raises(ValueError):
+            aggregate_prototype(Tensor(rng.normal(size=(2, 3, 8))), "max")
+
+    def test_prototype_dampens_single_outlier_view(self, rng):
+        # one corrupted view out of G=5 shifts the prototype by only ~1/5
+        base = rng.normal(size=(1, 4))
+        views = np.repeat(base[None, :, :], 5, axis=0)
+        corrupted = views.copy()
+        corrupted[0] += 5.0
+        clean_prototype = aggregate_prototype(Tensor(views)).data
+        corrupted_prototype = aggregate_prototype(Tensor(corrupted)).data
+        shift = np.abs(corrupted_prototype - clean_prototype).max()
+        assert shift == pytest.approx(1.0, rel=1e-6)  # 5.0 / G
+
+
+class TestPairwiseViewDistances:
+    def test_shape_and_symmetry(self, rng):
+        views = rng.normal(size=(4, 3, 2, 20))
+        distances = pairwise_view_distances(views)
+        assert distances.shape == (3, 4, 4)
+        np.testing.assert_allclose(distances, distances.transpose(0, 2, 1), atol=1e-12)
+
+    def test_zero_diagonal(self, rng):
+        views = rng.normal(size=(3, 2, 1, 10))
+        distances = pairwise_view_distances(views)
+        for i in range(2):
+            np.testing.assert_allclose(np.diag(distances[i]), 0.0, atol=1e-12)
+
+    def test_scales_with_actual_distance(self):
+        views = np.zeros((2, 1, 1, 10))
+        views[1] += 3.0
+        distances = pairwise_view_distances(views)
+        assert distances[0, 0, 1] == pytest.approx(3.0)
+
+    def test_length_normalisation(self, rng):
+        short = np.stack([np.zeros((1, 1, 10)), np.ones((1, 1, 10))])
+        long = np.stack([np.zeros((1, 1, 1000)), np.ones((1, 1, 1000))])
+        d_short = pairwise_view_distances(short)[0, 0, 1]
+        d_long = pairwise_view_distances(long)[0, 0, 1]
+        assert d_short == pytest.approx(d_long)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_view_distances(rng.normal(size=(2, 1, 1, 10)), rng.normal(size=(3, 1, 1, 10)))
+        with pytest.raises(ValueError):
+            pairwise_view_distances(rng.normal(size=(2, 1, 10)))
+
+
+class TestAdaptiveTemperatures:
+    def test_shape_and_bounds(self, rng):
+        distances = np.abs(rng.normal(size=(3, 5, 5)))
+        temperatures = adaptive_temperatures(distances, tau0=0.2)
+        assert temperatures.shape == (3, 5, 5)
+        assert np.all(temperatures >= 0.2 - 1e-12)
+        assert np.all(temperatures <= 1.2 + 1e-12)
+
+    def test_diagonal_equals_tau0(self, rng):
+        distances = np.abs(rng.normal(size=(2, 4, 4)))
+        temperatures = adaptive_temperatures(distances, tau0=0.3)
+        for b in range(2):
+            np.testing.assert_allclose(np.diag(temperatures[b]), 0.3, atol=1e-12)
+
+    def test_larger_distance_gets_larger_temperature(self):
+        # paper: views that are far apart get a higher temperature
+        distances = np.array([[[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]])
+        temperatures = adaptive_temperatures(distances, tau0=0.2)
+        assert temperatures[0, 0, 2] > temperatures[0, 0, 1]
+
+    def test_off_diagonal_softmax_sums_to_one(self, rng):
+        distances = np.abs(rng.normal(size=(1, 4, 4)))
+        temperatures = adaptive_temperatures(distances, tau0=0.2)
+        off_diagonal_sum = (temperatures[0] - 0.2).sum(axis=1)
+        np.testing.assert_allclose(off_diagonal_sum, np.ones(4), atol=1e-9)
+
+    def test_fixed_mode_is_constant(self, rng):
+        distances = np.abs(rng.normal(size=(2, 3, 3)))
+        temperatures = adaptive_temperatures(distances, tau0=0.25, mode="fixed")
+        np.testing.assert_allclose(temperatures, 0.25)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            adaptive_temperatures(np.zeros((2, 3, 4)))
+        with pytest.raises(ValueError):
+            adaptive_temperatures(np.zeros((2, 3, 3)), tau0=-1.0)
+        with pytest.raises(ValueError):
+            adaptive_temperatures(np.zeros((2, 3, 3)), mode="weird")

@@ -1,0 +1,86 @@
+"""Tests for the synthetic pattern families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import family_names, get_family, register_family
+
+
+class TestFamilyRegistry:
+    def test_all_expected_families_registered(self):
+        names = family_names()
+        for expected in ("ecg", "motion", "starlight", "device", "eeg", "vibration", "spectro", "traffic", "shapes"):
+            assert expected in names
+
+    def test_get_family_unknown(self):
+        with pytest.raises(KeyError):
+            get_family("does-not-exist")
+
+    def test_register_family_decorator(self):
+        @register_family("unit_test_family")
+        def dummy(n_samples, n_classes=2, length=8, n_variables=1, rng=None, noise=0.0, warp=0.0):
+            X = np.zeros((n_samples, n_variables, length))
+            y = np.zeros(n_samples, dtype=int)
+            return X, y
+
+        assert get_family("unit_test_family") is dummy
+
+
+@pytest.mark.parametrize("family", ["ecg", "motion", "starlight", "device", "eeg", "vibration", "spectro", "traffic", "shapes"])
+class TestEveryFamily:
+    def test_shapes_and_labels(self, family):
+        generator = get_family(family)
+        X, y = generator(20, n_classes=3, length=40, n_variables=2, rng=0)
+        assert X.shape == (20, 2, 40)
+        assert y.shape == (20,)
+        assert set(np.unique(y)).issubset({0, 1, 2})
+
+    def test_finite_values(self, family):
+        generator = get_family(family)
+        X, _ = generator(10, n_classes=2, length=32, n_variables=1, rng=1)
+        assert np.all(np.isfinite(X))
+
+    def test_determinism_with_same_seed(self, family):
+        generator = get_family(family)
+        X1, y1 = generator(8, n_classes=2, length=32, n_variables=1, rng=42)
+        X2, y2 = generator(8, n_classes=2, length=32, n_variables=1, rng=42)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_different_seeds_differ(self, family):
+        generator = get_family(family)
+        X1, _ = generator(8, n_classes=2, length=32, n_variables=1, rng=1)
+        X2, _ = generator(8, n_classes=2, length=32, n_variables=1, rng=2)
+        assert not np.allclose(X1, X2)
+
+
+class TestClassSeparability:
+    """The families must produce classes that a simple classifier can separate.
+
+    This is the property that makes the synthetic archives meaningful stand-ins
+    for UCR/UEA: class identity must be recoverable from the series.
+    """
+
+    @pytest.mark.parametrize("family", ["ecg", "motion", "starlight", "device", "eeg", "vibration"])
+    def test_nearest_centroid_beats_chance(self, family):
+        generator = get_family(family)
+        X_train, y_train = generator(60, n_classes=2, length=64, n_variables=1, rng=7)
+        X_test, y_test = generator(60, n_classes=2, length=64, n_variables=1, rng=7)
+        centroids = np.stack([X_train[y_train == c].mean(axis=0).ravel() for c in (0, 1)])
+        flat = X_test.reshape(len(X_test), -1)
+        distances = np.linalg.norm(flat[:, None, :] - centroids[None, :, :], axis=-1)
+        predictions = distances.argmin(axis=1)
+        accuracy = (predictions == y_test).mean()
+        assert accuracy > 0.7, f"{family} classes are not separable (acc={accuracy:.2f})"
+
+    def test_ecg_t_wave_polarity_differs_between_classes(self):
+        generator = get_family("ecg")
+        X, y = generator(80, n_classes=2, length=96, n_variables=1, rng=3, noise=0.0)
+        # the T wave lives in the second half of each beat; its mean amplitude
+        # should have opposite sign between the healthy and MI-like classes
+        healthy = X[y == 0][:, 0, :].mean(axis=0)
+        infarcted = X[y == 1][:, 0, :].mean(axis=0)
+        t_wave_region = slice(28, 38)  # after the first R peak
+        assert healthy[t_wave_region].mean() * infarcted[t_wave_region].mean() < 0

@@ -1,0 +1,122 @@
+"""Tests for the TS encoder, image encoder, projection and classifier heads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoders import ClassifierHead, ImageEncoder, ProjectionHead, TSEncoder
+from repro.nn import Adam
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestTSEncoder:
+    def test_output_shape_univariate(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, rng=0)
+        out = encoder(rng.normal(size=(4, 1, 50)))
+        assert out.shape == (4, 16)
+
+    def test_output_shape_multivariate_channel_independent(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, channel_independent=True, rng=0)
+        out = encoder(rng.normal(size=(4, 3, 50)))
+        assert out.shape == (4, 16)
+
+    def test_channel_dependent_requires_matching_channels(self, rng):
+        encoder = TSEncoder(in_channels=3, hidden_channels=8, repr_dim=16, channel_independent=False, rng=0)
+        assert encoder(rng.normal(size=(4, 3, 50))).shape == (4, 16)
+        with pytest.raises(ValueError):
+            encoder(rng.normal(size=(4, 2, 50)))
+
+    def test_channel_independent_transfers_across_dimensionalities(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, rng=0)
+        assert encoder(rng.normal(size=(2, 1, 40))).shape == (2, 16)
+        assert encoder(rng.normal(size=(2, 5, 40))).shape == (2, 16)
+
+    def test_variable_length_inputs(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, rng=0)
+        assert encoder(rng.normal(size=(2, 1, 32))).shape == (2, 16)
+        assert encoder(rng.normal(size=(2, 1, 100))).shape == (2, 16)
+
+    def test_2d_input_treated_as_univariate(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, rng=0)
+        assert encoder(rng.normal(size=(3, 40))).shape == (3, 16)
+
+    def test_rejects_4d_input(self, rng):
+        encoder = TSEncoder(rng=0)
+        with pytest.raises(ValueError):
+            encoder(rng.normal(size=(2, 1, 1, 40)))
+
+    def test_gradients_reach_all_parameters(self, rng):
+        encoder = TSEncoder(hidden_channels=8, repr_dim=8, depth=2, rng=0)
+        out = encoder(rng.normal(size=(3, 2, 30)))
+        (out * out).sum().backward()
+        for name, parameter in encoder.named_parameters():
+            assert parameter.grad is not None, f"no gradient for {name}"
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(2, 1, 30))
+        a = TSEncoder(hidden_channels=8, repr_dim=8, rng=7)(x).data
+        b = TSEncoder(hidden_channels=8, repr_dim=8, rng=7)(x).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestImageEncoder:
+    def test_output_shape(self, rng):
+        encoder = ImageEncoder(repr_dim=16, base_channels=4, depth=2, rng=0)
+        out = encoder(rng.random(size=(3, 3, 32, 32)))
+        assert out.shape == (3, 16)
+
+    def test_works_on_non_square_images(self, rng):
+        encoder = ImageEncoder(repr_dim=8, base_channels=4, depth=2, rng=0)
+        assert encoder(rng.random(size=(2, 3, 16, 32))).shape == (2, 8)
+
+    def test_rejects_3d_input(self, rng):
+        with pytest.raises(ValueError):
+            ImageEncoder(rng=0)(rng.random(size=(3, 32, 32)))
+
+    def test_gradients_flow(self, rng):
+        encoder = ImageEncoder(repr_dim=8, base_channels=4, depth=1, rng=0)
+        out = encoder(rng.random(size=(2, 3, 16, 16)))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+
+class TestProjectionAndClassifier:
+    def test_projection_is_unit_norm(self, rng):
+        head = ProjectionHead(16, 8, rng=0)
+        out = head(rng.normal(size=(5, 16)))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), np.ones(5), atol=1e-9)
+
+    def test_projection_without_normalisation(self, rng):
+        head = ProjectionHead(16, 8, normalize=False, rng=0)
+        out = head(rng.normal(size=(5, 16)))
+        assert not np.allclose(np.linalg.norm(out.data, axis=1), 1.0)
+
+    def test_classifier_logits_shape(self, rng):
+        head = ClassifierHead(16, 4, rng=0)
+        assert head(rng.normal(size=(6, 16))).shape == (6, 4)
+
+    def test_linear_probe_mode(self, rng):
+        head = ClassifierHead(16, 3, hidden_dim=None, rng=0)
+        assert head(rng.normal(size=(2, 16))).shape == (2, 3)
+
+    def test_encoder_plus_classifier_learns_simple_task(self, rng):
+        # class 0: low-frequency sine, class 1: high-frequency sine
+        t = np.linspace(0, 1, 40)
+        X0 = np.sin(2 * np.pi * 2 * t)[None, None, :] + 0.05 * rng.normal(size=(20, 1, 40))
+        X1 = np.sin(2 * np.pi * 8 * t)[None, None, :] + 0.05 * rng.normal(size=(20, 1, 40))
+        X = np.concatenate([X0, X1])
+        y = np.array([0] * 20 + [1] * 20)
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, rng=0)
+        classifier = ClassifierHead(16, 2, hidden_dim=16, rng=0)
+        optimizer = Adam(list(encoder.parameters()) + list(classifier.parameters()), lr=5e-3)
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(classifier(encoder(X)), y)
+            loss.backward()
+            optimizer.step()
+        encoder.eval()
+        classifier.eval()
+        accuracy = F.nll_accuracy(classifier(encoder(Tensor(X))), y)
+        assert accuracy >= 0.9

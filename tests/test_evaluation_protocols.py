@@ -1,0 +1,78 @@
+"""Integration tests for the three evaluation protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineConfig, LinearClassifier, MomentLike, TS2Vec
+from repro.core import AimTS, AimTSConfig, FineTuneConfig
+from repro.data import load_pretraining_corpus
+from repro.data.archives import make_dataset
+from repro.evaluation import (
+    run_case_by_case_comparison,
+    run_fewshot_comparison,
+    run_multisource_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def protocol_setup():
+    """Shared pre-trained AimTS model, baselines and two small datasets."""
+    config = AimTSConfig(
+        repr_dim=12,
+        proj_dim=6,
+        hidden_channels=6,
+        depth=1,
+        panel_size=16,
+        series_length=32,
+        batch_size=8,
+        epochs=1,
+        seed=0,
+    )
+    model = AimTS(config)
+    corpus = load_pretraining_corpus("monash", n_datasets=2, seed=0)
+    model.pretrain(corpus, max_samples=16)
+
+    datasets = [
+        make_dataset("proto_ecg", "ecg", n_classes=2, n_train=12, n_test=16, length=32, seed=0),
+        make_dataset("proto_dev", "device", n_classes=2, n_train=12, n_test=16, length=32, seed=1),
+    ]
+    finetune = FineTuneConfig(epochs=4, batch_size=8, classifier_hidden_dim=16, seed=0)
+    baseline_config = BaselineConfig(
+        repr_dim=12, proj_dim=6, hidden_channels=6, depth=1, series_length=32, batch_size=8, epochs=1, seed=0
+    )
+    return model, datasets, finetune, baseline_config
+
+
+class TestCaseByCaseProtocol:
+    def test_accuracies_for_all_methods_and_datasets(self, protocol_setup):
+        model, datasets, finetune, baseline_config = protocol_setup
+        baselines = {"TS2Vec": TS2Vec(baseline_config), "Linear": LinearClassifier()}
+        comparison = run_case_by_case_comparison(
+            model, baselines, datasets, finetune_config=finetune, baseline_pretrain_epochs=1
+        )
+        assert set(comparison.accuracies) == {"AimTS", "TS2Vec", "Linear"}
+        for per_dataset in comparison.accuracies.values():
+            assert set(per_dataset) == {"proto_ecg", "proto_dev"}
+            assert all(0.0 <= v <= 1.0 for v in per_dataset.values())
+        assert set(comparison.summary["AimTS"]) == {"avg_acc", "avg_rank", "num_top1"}
+
+
+class TestMultiSourceProtocol:
+    def test_pretrained_baseline_comparison(self, protocol_setup):
+        model, datasets, finetune, baseline_config = protocol_setup
+        moment = MomentLike(baseline_config)
+        moment.pretrain_multi_source(load_pretraining_corpus("monash", n_datasets=2, seed=0), max_samples=12, epochs=1)
+        comparison = run_multisource_comparison(model, {"MOMENT": moment}, datasets, finetune_config=finetune)
+        assert set(comparison.accuracies) == {"AimTS", "MOMENT"}
+
+    def test_fewshot_protocol_returns_one_result_per_ratio(self, protocol_setup):
+        model, datasets, finetune, baseline_config = protocol_setup
+        moment = MomentLike(baseline_config)
+        moment.pretrain_multi_source(load_pretraining_corpus("monash", n_datasets=2, seed=0), max_samples=12, epochs=1)
+        results = run_fewshot_comparison(
+            model, {"MOMENT": moment}, datasets, ratios=(0.25, 0.5), finetune_config=finetune
+        )
+        assert set(results) == {0.25, 0.5}
+        for comparison in results.values():
+            assert "AimTS" in comparison.accuracies

@@ -1,0 +1,98 @@
+"""Tests for the line-chart rasteriser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging import VARIABLE_COLORS, LineChartRenderer, render_series_image
+
+
+class TestRendererBasics:
+    def test_univariate_image_shape_and_range(self, rng):
+        image = render_series_image(rng.normal(size=(1, 40)), panel_size=24)
+        assert image.shape == (3, 24, 24)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_1d_input_is_accepted(self, rng):
+        image = render_series_image(rng.normal(size=40), panel_size=16)
+        assert image.shape == (3, 16, 16)
+
+    def test_multivariate_grid_layout(self, rng):
+        renderer = LineChartRenderer(panel_size=16)
+        # 3 variables -> 2x2 grid of 16px panels
+        image = renderer.render(rng.normal(size=(3, 30)))
+        assert image.shape == (3, 32, 32)
+        # 5 variables -> 3x2 grid (ceil(sqrt(5)) = 3 columns)
+        image5 = renderer.render(rng.normal(size=(5, 30)))
+        assert image5.shape == (3, 32, 48)
+
+    def test_variables_use_distinct_colors(self, rng):
+        renderer = LineChartRenderer(panel_size=16)
+        image = renderer.render(rng.normal(size=(2, 30)))
+        first_panel = image[:, :16, :16]
+        second_panel = image[:, :16, 16:32]
+        # colour ratio of non-black pixels differs between the panels
+        def dominant_channel(panel):
+            sums = panel.reshape(3, -1).sum(axis=1)
+            return int(np.argmax(sums))
+
+        assert dominant_channel(first_panel) != dominant_channel(second_panel)
+        assert len(VARIABLE_COLORS) >= 8
+
+    def test_render_batch(self, rng):
+        renderer = LineChartRenderer(panel_size=12)
+        images = renderer.render_batch(rng.normal(size=(4, 2, 20)))
+        assert images.shape == (4, 3, 12, 24)
+
+    def test_render_batch_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            LineChartRenderer().render_batch(rng.normal(size=(2, 20)))
+
+    def test_render_rejects_3d_sample(self, rng):
+        with pytest.raises(ValueError):
+            LineChartRenderer().render(rng.normal(size=(2, 3, 20)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LineChartRenderer(panel_size=0)
+        with pytest.raises(ValueError):
+            LineChartRenderer(margin=0.7)
+
+
+class TestRendererSemantics:
+    def test_constant_series_renders_flat_line(self):
+        renderer = LineChartRenderer(panel_size=24, marker_every=100)
+        image = renderer.render(np.full((1, 30), 3.0))
+        intensity = image.sum(axis=0)
+        lit_rows = np.flatnonzero(intensity.sum(axis=1) > 0)
+        assert lit_rows.size <= 4  # a horizontal line touches very few rows
+
+    def test_different_shapes_produce_different_images(self):
+        renderer = LineChartRenderer(panel_size=24)
+        t = np.linspace(0, 1, 50)
+        sine = np.sin(2 * np.pi * t)[None, :]
+        ramp = t[None, :]
+        image_sine = renderer.render(sine)
+        image_ramp = renderer.render(ramp)
+        assert np.abs(image_sine - image_ramp).mean() > 0.01
+
+    def test_amplitude_invariance_of_normalised_panels(self):
+        # the panel normalises the value axis, so scaling the series does not
+        # change the rendered shape (structural, not numerical, information)
+        renderer = LineChartRenderer(panel_size=24)
+        t = np.linspace(0, 1, 50)
+        small = np.sin(2 * np.pi * t)[None, :]
+        large = 100.0 * small
+        np.testing.assert_allclose(renderer.render(small), renderer.render(large), atol=1e-9)
+
+    def test_short_series_still_renders(self):
+        image = render_series_image(np.array([[1.0]]), panel_size=8)
+        assert image.shape == (3, 8, 8)
+        assert image.max() > 0
+
+    def test_markers_increase_lit_pixels(self, rng):
+        series = rng.normal(size=(1, 30))
+        dense = LineChartRenderer(panel_size=24, marker_every=1).render(series)
+        sparse = LineChartRenderer(panel_size=24, marker_every=30).render(series)
+        assert (dense.sum(axis=0) > 0).sum() >= (sparse.sum(axis=0) > 0).sum()

@@ -1,0 +1,173 @@
+"""Tests for the layer library and the Module system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameter_discovery_recursive(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert len(list(model.parameters())) == 4
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 5)
+        assert layer.num_parameters() == 3 * 5 + 5
+
+    def test_train_eval_cascades(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.BatchNorm1d(4))
+        state = model.state_dict()
+        clone = nn.Sequential(nn.Linear(3, 4), nn.BatchNorm1d(4))
+        clone.load_state_dict(state)
+        for key, value in clone.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = nn.Linear(3, 4)
+        bad = {k: np.zeros((1, 1)) for k in layer.state_dict()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self):
+        layer = nn.Linear(3, 4)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+
+class TestLinearAndConvLayers:
+    def test_linear_shapes_and_values(self, rng):
+        layer = nn.Linear(4, 3, rng=0)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_linear_higher_rank_input(self, rng):
+        layer = nn.Linear(4, 3, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_conv1d_layer(self, rng):
+        layer = nn.Conv1d(2, 4, 3, padding=1, dilation=2, rng=0)
+        out = layer(Tensor(rng.normal(size=(3, 2, 16))))
+        assert out.shape[0] == 3 and out.shape[1] == 4
+
+    def test_conv2d_layer(self, rng):
+        layer = nn.Conv2d(3, 5, 3, stride=2, padding=1, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 5, 8, 8)
+
+
+class TestNormalisationLayers:
+    def test_batchnorm1d_normalises_in_training(self, rng):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(64, 4)))
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+        assert abs(out.data.std() - 1.0) < 0.1
+
+    def test_batchnorm1d_3d_input(self, rng):
+        bn = nn.BatchNorm1d(3)
+        out = bn(Tensor(rng.normal(size=(8, 3, 20))))
+        assert out.shape == (8, 3, 20)
+
+    def test_batchnorm1d_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(2)
+        for _ in range(50):
+            bn(Tensor(rng.normal(loc=5.0, size=(32, 2))))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 2), 5.0)))
+        # after many batches the running mean approaches 5, so the eval output
+        # of inputs at the mean must sit near zero
+        assert np.all(np.abs(out.data) < 0.5)
+
+    def test_batchnorm1d_rejects_4d(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(2)(Tensor(rng.normal(size=(2, 2, 3, 3))))
+
+    def test_batchnorm2d(self, rng):
+        bn = nn.BatchNorm2d(3)
+        out = bn(Tensor(rng.normal(loc=2.0, size=(8, 3, 6, 6))))
+        assert abs(out.data.mean()) < 0.1
+
+    def test_batchnorm_running_stats_in_state_dict(self):
+        bn = nn.BatchNorm1d(2)
+        assert "running_mean" in bn.state_dict()
+
+    def test_layernorm(self, rng):
+        ln = nn.LayerNorm(8)
+        out = ln(Tensor(rng.normal(loc=4.0, size=(5, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-6)
+
+
+class TestOtherLayers:
+    def test_activation_layers(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.all(nn.ReLU()(x).data >= 0)
+        assert np.all(np.abs(nn.Tanh()(x).data) <= 1)
+        assert np.all((nn.Sigmoid()(x).data > 0) & (nn.Sigmoid()(x).data < 1))
+        assert nn.GELU()(x).shape == x.shape
+        np.testing.assert_array_equal(nn.Identity()(x).data, x.data)
+
+    def test_dropout_layer_respects_mode(self, rng):
+        layer = nn.Dropout(0.5, rng=0)
+        x = Tensor(np.ones((200,)))
+        train_out = layer(x)
+        layer.eval()
+        eval_out = layer(x)
+        assert (train_out.data == 0).any()
+        np.testing.assert_array_equal(eval_out.data, x.data)
+
+    def test_dropout_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_flatten(self, rng):
+        assert nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 12)
+
+    def test_maxpool_and_adaptive_pools(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AdaptiveAvgPool2d(1)(x).shape == (2, 3, 1, 1)
+        x1d = Tensor(rng.normal(size=(2, 3, 9)))
+        assert nn.AdaptiveAvgPool1d(1)(x1d).shape == (2, 3, 1)
+
+    def test_sequential_iteration_and_len(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(model) == 2
+        assert len(list(iter(model))) == 2
+
+    def test_mlp_forward_and_dropout(self, rng):
+        mlp = nn.MLP(6, [8, 8], 3, dropout=0.1, rng=0)
+        out = mlp(Tensor(rng.normal(size=(4, 6))))
+        assert out.shape == (4, 3)
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.MLP(4, [4], 2, activation="swishish")

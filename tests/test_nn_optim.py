@@ -1,0 +1,130 @@
+"""Tests for optimizers, schedulers and checkpoint serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.module import Parameter
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_minimise(optimizer_factory, steps=200):
+    """Minimise ||w - target||^2 and return the final distance to the optimum."""
+    target = np.array([1.0, -2.0, 3.0])
+    weight = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([weight])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((weight - Tensor(target)) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(weight.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert _quadratic_minimise(lambda p: nn.SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert _quadratic_minimise(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert _quadratic_minimise(lambda p: nn.Adam(p, lr=0.1)) < 1e-2
+
+    def test_adamw_converges(self):
+        assert _quadratic_minimise(lambda p: nn.AdamW(p, lr=0.1, weight_decay=0.01)) < 0.1
+
+    def test_weight_decay_shrinks_weights(self):
+        weight = Parameter(np.array([10.0]))
+        optimizer = nn.SGD([weight], lr=0.1, weight_decay=0.5)
+        for _ in range(20):
+            optimizer.zero_grad()
+            (weight * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(weight.data[0]) < 10.0
+
+    def test_optimizer_skips_parameters_without_grad(self):
+        weight = Parameter(np.array([1.0]))
+        optimizer = nn.Adam([weight], lr=0.1)
+        optimizer.step()  # no grad yet; should be a no-op
+        assert weight.data[0] == pytest.approx(1.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_negative_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(1))], lr=-0.1)
+
+    def test_adamw_decouples_decay(self):
+        # After one step with zero gradient, AdamW still shrinks the weight.
+        weight = Parameter(np.array([2.0]))
+        optimizer = nn.AdamW([weight], lr=0.1, weight_decay=0.1)
+        optimizer.zero_grad()
+        (weight * 0.0).sum().backward()
+        optimizer.step()
+        assert weight.data[0] < 2.0
+
+    def test_training_reduces_classification_loss(self, rng):
+        X = rng.normal(size=(32, 6))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = nn.MLP(6, [12], 2, rng=0)
+        optimizer = nn.Adam(model.parameters(), lr=0.02)
+        first = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(Tensor(X)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 0.5
+
+
+class TestSchedulers:
+    def test_steplr_halves_lr(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_steplr_rejects_bad_step(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.StepLR(optimizer, step_size=0)
+
+    def test_cosine_schedule_decreases_to_eta_min(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] > values[-1]
+        assert values[-1] == pytest.approx(0.1, abs=1e-9)
+
+    def test_scheduler_updates_optimizer_lr(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(3, 4, rng=0), nn.BatchNorm1d(4))
+        path = save_state_dict(model, tmp_path / "checkpoint")
+        assert path.endswith(".npz")
+        clone = nn.Sequential(nn.Linear(3, 4, rng=1), nn.BatchNorm1d(4))
+        load_state_dict(path, clone)
+        np.testing.assert_array_equal(
+            clone.state_dict()["0.weight"], model.state_dict()["0.weight"]
+        )
+
+    def test_load_returns_raw_state(self, tmp_path):
+        model = nn.Linear(2, 2, rng=0)
+        path = save_state_dict(model, tmp_path / "linear.npz")
+        state = load_state_dict(path)
+        assert set(state) == {"weight", "bias"}

@@ -1,0 +1,231 @@
+"""Tests for the autograd Tensor: forward values and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build_loss, *arrays, tolerance=1e-5):
+    """Compare autograd gradients against numerical gradients."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+    for tensor, array in zip(tensors, arrays):
+        numeric = numerical_gradient(lambda: float(build_loss(*[Tensor(x) for x in arrays]).data), array)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=tolerance, rtol=1e-4)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_tensor_copies_data_reference(self):
+        base = Tensor([1.0, 2.0])
+        wrapped = Tensor(base)
+        np.testing.assert_array_equal(wrapped.data, base.data)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_zeros_and_ones(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+
+    def test_len_and_repr(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert "shape=(4, 2)" in repr(t)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 3
+        assert not out.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        check_gradient(lambda x, y: (x + y).sum(), a, b)
+
+    def test_sub_and_neg(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        check_gradient(lambda x, y: (x - y).sum(), a, b)
+
+    def test_mul_broadcast(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 1))
+        check_gradient(lambda x, y: (x * y).sum(), a, b)
+
+    def test_div(self, rng):
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=(3, 3)) + 3.0
+        check_gradient(lambda x, y: (x / y).sum(), a, b)
+
+    def test_scalar_ops(self, rng):
+        a = rng.normal(size=(4,))
+        check_gradient(lambda x: (x * 2.5 + 1.0).sum(), a)
+        check_gradient(lambda x: (3.0 - x).sum(), a)
+        check_gradient(lambda x: (1.0 / (x + 5.0)).sum(), a)
+
+    def test_pow(self, rng):
+        a = np.abs(rng.normal(size=(5,))) + 0.5
+        check_gradient(lambda x: (x**3).sum(), a)
+        check_gradient(lambda x: (x**0.5).sum(), a)
+
+    def test_matmul_2d(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matmul_batched(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 3))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matmul_vector(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_getitem(self, rng):
+        a = rng.normal(size=(4, 5))
+        check_gradient(lambda x: (x[1:3, ::2] * 2).sum(), a)
+
+    def test_gradient_accumulates_when_reused(self):
+        a = Tensor([2.0], requires_grad=True)
+        loss = a * 3 + a * 4
+        loss.backward()
+        assert a.grad[0] == pytest.approx(7.0)
+
+
+class TestElementwiseGradients:
+    def test_exp_log(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda x: x.exp().sum(), a)
+        check_gradient(lambda x: x.log().sum(), a)
+
+    def test_relu(self, rng):
+        a = rng.normal(size=(10,)) + 0.05  # avoid the kink exactly at 0
+        check_gradient(lambda x: x.relu().sum(), a)
+
+    def test_tanh_sigmoid(self, rng):
+        a = rng.normal(size=(6,))
+        check_gradient(lambda x: x.tanh().sum(), a)
+        check_gradient(lambda x: x.sigmoid().sum(), a)
+
+    def test_gelu(self, rng):
+        a = rng.normal(size=(6,))
+        check_gradient(lambda x: x.gelu().sum(), a, tolerance=1e-4)
+
+    def test_abs(self, rng):
+        a = rng.normal(size=(6,)) + 0.1
+        check_gradient(lambda x: x.abs().sum(), a)
+
+    def test_clamp_min(self, rng):
+        a = rng.normal(size=(8,))
+        check_gradient(lambda x: x.clamp_min(0.1).sum(), a)
+
+    def test_sqrt_matches_pow(self, rng):
+        a = np.abs(rng.normal(size=(5,))) + 0.2
+        t = Tensor(a)
+        np.testing.assert_allclose(t.sqrt().data, np.sqrt(a))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        check_gradient(lambda x: (x.sum(axis=1) ** 2).sum(), a)
+
+    def test_mean(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradient(lambda x: (x.mean(axis=0) ** 2).sum(), a)
+        assert Tensor(a).mean().item() == pytest.approx(a.mean())
+
+    def test_var(self, rng):
+        a = rng.normal(size=(4, 6))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.var(axis=1).data, a.var(axis=1), atol=1e-12)
+
+    def test_max_min(self, rng):
+        a = rng.normal(size=(3, 5))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.max(axis=1).data, a.max(axis=1))
+        np.testing.assert_allclose(t.min(axis=1).data, a.min(axis=1))
+        check_gradient(lambda x: x.max(axis=1).sum(), a)
+
+    def test_reshape_and_flatten(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda x: (x.reshape(6, 4) ** 2).sum(), a)
+        assert Tensor(a).flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda x: (x.transpose(1, 0, 2) ** 2).sum(), a)
+        assert Tensor(a).T.shape == (4, 3, 2)
+
+    def test_swapaxes_squeeze_unsqueeze(self, rng):
+        a = rng.normal(size=(2, 1, 4))
+        t = Tensor(a)
+        assert t.swapaxes(0, 2).shape == (4, 1, 2)
+        assert t.squeeze(1).shape == (2, 4)
+        assert t.unsqueeze(0).shape == (1, 2, 1, 4)
+        with pytest.raises(ValueError):
+            t.squeeze(0)
+
+    def test_concat_and_stack(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(4, 3))
+        check_gradient(lambda x, y: (Tensor.concat([x, y], axis=0) ** 2).sum(), a, b)
+        stacked = Tensor.stack([Tensor(a), Tensor(a)], axis=0)
+        assert stacked.shape == (2, 2, 3)
+
+    def test_topological_order_diamond_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        d = (b + c).sum()
+        d.backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])

@@ -1,0 +1,96 @@
+"""Property-based tests for augmentations, imaging and core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.augmentations import Jitter, Permutation, Scaling, Slicing, TimeWarp, WindowWarp, default_bank
+from repro.core.mixup import geodesic_mixup, sample_mixup_coefficients
+from repro.core.prototypes import adaptive_temperatures, pairwise_view_distances
+from repro.imaging import LineChartRenderer
+from repro.nn.tensor import Tensor
+
+finite = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64)
+series_strategy = arrays(np.float64, shape=st.tuples(st.integers(1, 3), st.integers(16, 60)), elements=finite)
+
+
+@settings(max_examples=25, deadline=None)
+@given(series_strategy, st.integers(0, 10_000))
+def test_every_augmentation_preserves_shape_and_finiteness(sample, seed):
+    for augmentation_cls in (Jitter, Scaling, TimeWarp, Slicing, WindowWarp, Permutation):
+        out = augmentation_cls(seed=seed)(sample)
+        assert out.shape == sample.shape
+        assert np.all(np.isfinite(out))
+
+
+@settings(max_examples=25, deadline=None)
+@given(series_strategy, st.integers(0, 10_000))
+def test_permutation_preserves_value_multiset(sample, seed):
+    out = Permutation(max_segments=4, seed=seed)(sample)
+    np.testing.assert_allclose(np.sort(out, axis=1), np.sort(sample, axis=1), atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(series_strategy, st.integers(0, 10_000))
+def test_scaling_preserves_sign_pattern_per_variable(sample, seed):
+    out = Scaling(sigma=0.1, seed=seed)(sample)
+    # a positive multiplicative factor preserves each variable's zero crossings
+    for original_row, scaled_row in zip(sample, out):
+        factor = scaled_row[np.argmax(np.abs(original_row))] / (original_row[np.argmax(np.abs(original_row))] + 1e-12)
+        if factor > 0:
+            assert np.all(np.sign(original_row) * np.sign(scaled_row) >= -1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(series_strategy)
+def test_bank_views_shapes(sample):
+    bank = default_bank(seed=0)
+    batch = sample[None, :, :]
+    views_a, views_b = bank.two_views(batch)
+    assert views_a.shape == (len(bank),) + batch.shape
+    assert views_b.shape == views_a.shape
+
+
+@settings(max_examples=20, deadline=None)
+@given(series_strategy)
+def test_rendered_images_stay_in_unit_range(sample):
+    image = LineChartRenderer(panel_size=16).render(sample)
+    assert image.min() >= 0.0 and image.max() <= 1.0
+    assert np.all(np.isfinite(image))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, shape=(3, 2, 1, 12), elements=finite),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_adaptive_temperatures_bounded_by_tau0_plus_one(views, tau0):
+    distances = pairwise_view_distances(views)
+    temperatures = adaptive_temperatures(distances, tau0=tau0)
+    assert np.all(temperatures >= tau0 - 1e-9)
+    assert np.all(temperatures <= tau0 + 1.0 + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, shape=(4, 6), elements=st.floats(-3, 3, allow_nan=False, width=64)),
+    arrays(np.float64, shape=(4, 6), elements=st.floats(-3, 3, allow_nan=False, width=64)),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_geodesic_mixup_always_unit_norm(u, v, lam):
+    # degenerate all-zero rows are nudged so the normalisation is well defined
+    u = u + 1e-3
+    v = v - 1e-3
+    mixed = geodesic_mixup(Tensor(u), Tensor(v), lam)
+    np.testing.assert_allclose(np.linalg.norm(mixed.data, axis=1), np.ones(4), atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 200), st.floats(min_value=0.05, max_value=5.0))
+def test_mixup_coefficients_always_valid(n, gamma):
+    lam = sample_mixup_coefficients(n, gamma=gamma, seed=0)
+    assert lam.shape == (n,)
+    assert np.all((lam >= 0) & (lam <= 1))

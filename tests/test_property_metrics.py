@@ -1,0 +1,110 @@
+"""Property-based tests for the evaluation metrics and data utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.fewshot import few_shot_subset
+from repro.data.dataset import DatasetSplit
+from repro.data.loaders import pad_or_truncate, z_normalize
+from repro.evaluation.metrics import average_accuracy, average_rank, num_top1
+
+accuracy_value = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+
+
+@st.composite
+def results_dicts(draw):
+    n_methods = draw(st.integers(2, 5))
+    n_datasets = draw(st.integers(2, 6))
+    methods = [f"m{i}" for i in range(n_methods)]
+    datasets = [f"d{j}" for j in range(n_datasets)]
+    return {
+        method: {dataset: draw(accuracy_value) for dataset in datasets} for method in methods
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(results_dicts())
+def test_average_accuracy_within_bounds(results):
+    for value in average_accuracy(results).values():
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(results_dicts())
+def test_average_ranks_sum_is_constant(results):
+    ranks = average_rank(results)
+    n_methods = len(results)
+    expected_total = n_methods * (n_methods + 1) / 2
+    assert np.isclose(sum(ranks.values()), expected_total, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(results_dicts())
+def test_num_top1_never_exceeds_dataset_count(results):
+    n_datasets = len(next(iter(results.values())))
+    top1 = num_top1(results)
+    assert sum(top1.values()) <= n_datasets
+    assert all(count >= 0 for count in top1.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(results_dicts(), st.floats(min_value=0.01, max_value=0.2))
+def test_dominant_method_gets_best_rank_and_accuracy(results, margin):
+    # add a method that strictly dominates every other on every dataset: it
+    # must win on both aggregate metrics and collect every Top-1 count
+    datasets = list(next(iter(results.values())))
+    results = dict(results)
+    results["dominant"] = {
+        d: min(1.0 + margin, max(results[m][d] for m in results) + margin) for d in datasets
+    }
+    acc = average_accuracy(results)
+    ranks = average_rank(results)
+    top1 = num_top1(results)
+    assert max(acc, key=acc.get) == "dominant"
+    assert min(ranks, key=ranks.get) == "dominant"
+    assert ranks["dominant"] == 1.0
+    assert top1["dominant"] == len(datasets)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.integers(10, 40),
+    st.integers(8, 64),
+    st.integers(16, 64),
+)
+def test_pad_or_truncate_always_hits_target_length(n_vars, n_samples, length, target):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n_samples, n_vars, length))
+    out = pad_or_truncate(X, target)
+    assert out.shape == (n_samples, n_vars, target)
+    assert np.all(np.isfinite(out))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 30), st.integers(2, 4), st.integers(8, 40))
+def test_z_normalize_is_idempotent(n, m, t):
+    rng = np.random.default_rng(1)
+    X = rng.normal(loc=3.0, scale=7.0, size=(n, m, t))
+    once = z_normalize(X)
+    twice = z_normalize(once)
+    np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.05, max_value=1.0), st.integers(2, 4), st.integers(0, 1000))
+def test_few_shot_subset_invariants(ratio, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    n = 40
+    split = DatasetSplit(rng.normal(size=(n, 1, 16)), rng.integers(0, n_classes, size=n))
+    # ensure every class occurs at least once
+    split.y[:n_classes] = np.arange(n_classes)
+    subset = few_shot_subset(split, ratio, seed=seed)
+    assert len(subset) <= len(split)
+    assert set(np.unique(subset.y)) == set(np.unique(split.y))
+    # ratio=1 keeps everything
+    if ratio == 1.0:
+        assert len(subset) == len(split)

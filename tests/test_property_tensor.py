@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_is_commutative(x):
+    a = Tensor(x)
+    b = Tensor(x * 0.5 + 1.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_double_negation_is_identity(x):
+    np.testing.assert_allclose((-(-Tensor(x))).data, x, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_all_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x), atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_matches_numpy(x):
+    assert np.isclose(Tensor(x).mean().item(), x.mean(), atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_is_nonnegative_and_idempotent(x):
+    out = Tensor(x).relu()
+    assert np.all(out.data >= 0)
+    np.testing.assert_allclose(out.relu().data, out.data, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_roundtrip(x):
+    t = Tensor(np.abs(x) + 0.1)
+    np.testing.assert_allclose(t.log().exp().data, t.data, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_preserves_values(x):
+    flat = Tensor(x).reshape(-1)
+    np.testing.assert_allclose(np.sort(flat.data), np.sort(x.reshape(-1)), atol=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_rows_are_probability_vectors(x):
+    if x.ndim == 1:
+        x = x[None, :]
+    probs = F.softmax(Tensor(x), axis=-1).data
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(probs.shape[0]), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_l2_normalize_produces_unit_or_zero_rows(x):
+    if x.ndim == 1:
+        x = x[None, :]
+    norms = np.linalg.norm(F.l2_normalize(Tensor(x), axis=-1).data, axis=-1)
+    assert np.all((norms < 1.0 + 1e-6))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, shape=(4, 6), elements=finite_floats),
+    arrays(np.float64, shape=(6, 3), elements=finite_floats),
+)
+def test_matmul_matches_numpy(a, b):
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, shape=(3, 8), elements=finite_floats))
+def test_chained_ops_gradient_shape_matches_input(x):
+    t = Tensor(x, requires_grad=True)
+    ((t * 2 + 1).relu().sum()).backward()
+    assert t.grad.shape == x.shape

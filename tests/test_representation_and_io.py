@@ -1,0 +1,157 @@
+"""Tests for the representation-quality metrics and the dataset import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_from_arrays, load_dataset_file, save_dataset
+from repro.evaluation import (
+    alignment,
+    nearest_centroid_accuracy,
+    representation_report,
+    silhouette_score,
+    uniformity,
+)
+
+
+def _unit(rng, n, d):
+    x = rng.normal(size=(n, d))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestAlignmentUniformity:
+    def test_alignment_zero_for_identical_pairs(self, rng):
+        x = _unit(rng, 10, 8)
+        assert alignment(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_alignment_positive_for_random_pairs(self, rng):
+        assert alignment(_unit(rng, 10, 8), _unit(rng, 10, 8)) > 0.5
+
+    def test_alignment_improves_with_smaller_perturbation(self, rng):
+        x = _unit(rng, 20, 8)
+        small = alignment(x, x + 0.01 * rng.normal(size=x.shape))
+        large = alignment(x, x + 0.5 * rng.normal(size=x.shape))
+        assert small < large
+
+    def test_alignment_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            alignment(_unit(rng, 5, 4), _unit(rng, 6, 4))
+
+    def test_uniformity_prefers_spread_out_representations(self, rng):
+        spread = _unit(rng, 60, 16)
+        collapsed = np.tile(spread[:1], (60, 1)) + 1e-3 * rng.normal(size=(60, 16))
+        assert uniformity(spread) < uniformity(collapsed)
+
+    def test_uniformity_needs_two_points(self, rng):
+        with pytest.raises(ValueError):
+            uniformity(_unit(rng, 1, 4))
+
+    def test_report_keys(self, rng):
+        x = _unit(rng, 12, 6)
+        labels = np.array([0, 1] * 6)
+        report = representation_report(x, labels, positives=(x, x))
+        assert set(report) == {"uniformity", "alignment", "silhouette"}
+
+
+class TestSilhouetteAndCentroid:
+    def test_silhouette_high_for_separated_clusters(self, rng):
+        a = rng.normal(loc=0.0, scale=0.1, size=(20, 4))
+        b = rng.normal(loc=5.0, scale=0.1, size=(20, 4))
+        score = silhouette_score(np.concatenate([a, b]), np.array([0] * 20 + [1] * 20))
+        assert score > 0.8
+
+    def test_silhouette_near_zero_for_mixed_clusters(self, rng):
+        x = rng.normal(size=(40, 4))
+        score = silhouette_score(x, rng.integers(0, 2, size=40))
+        assert -0.3 < score < 0.3
+
+    def test_silhouette_requires_two_classes(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_score(rng.normal(size=(10, 3)), np.zeros(10))
+
+    def test_nearest_centroid_accuracy_perfect_for_separated_data(self, rng):
+        train = np.concatenate([rng.normal(0, 0.1, (15, 3)), rng.normal(4, 0.1, (15, 3))])
+        train_y = np.array([0] * 15 + [1] * 15)
+        test = np.concatenate([rng.normal(0, 0.1, (5, 3)), rng.normal(4, 0.1, (5, 3))])
+        test_y = np.array([0] * 5 + [1] * 5)
+        assert nearest_centroid_accuracy(train, train_y, test, test_y) == pytest.approx(1.0)
+
+    def test_pretrained_encoder_representation_quality(self, small_dataset):
+        """The metrics should rank a trained encoder above a random projection."""
+        from repro.core import FineTuneConfig, FineTuner
+        from repro.encoders import TSEncoder
+
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, rng=0)
+        finetuner = FineTuner(encoder, small_dataset.n_classes, FineTuneConfig(epochs=15, seed=0))
+        finetuner.fit(small_dataset.train)
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            trained = encoder(small_dataset.test.X).data
+        rng = np.random.default_rng(0)
+        random_proj = small_dataset.test.X.reshape(len(small_dataset.test), -1) @ rng.normal(
+            size=(small_dataset.test.X[0].size, 16)
+        )
+        trained_silhouette = silhouette_score(trained, small_dataset.test.y)
+        random_silhouette = silhouette_score(random_proj, small_dataset.test.y)
+        assert trained_silhouette > random_silhouette - 0.05
+
+
+class TestDatasetIO:
+    def test_from_arrays_stratified_split(self, rng):
+        X = rng.normal(size=(40, 2, 30))
+        y = np.array([0, 1] * 20)
+        dataset = dataset_from_arrays("user_ds", X, y, test_size=0.25, seed=0)
+        assert dataset.n_classes == 2
+        assert len(dataset.train) + len(dataset.test) == 40
+        assert set(np.unique(dataset.test.y)) == {0, 1}
+
+    def test_from_arrays_promotes_2d_input(self, rng):
+        dataset = dataset_from_arrays("uni", rng.normal(size=(20, 30)), np.arange(20) % 2, seed=0)
+        assert dataset.n_variables == 1
+
+    def test_from_arrays_relabels_arbitrary_labels(self, rng):
+        X = rng.normal(size=(12, 1, 10))
+        y = np.array(["cat", "dog"] * 6)
+        dataset = dataset_from_arrays("labels", X, y, seed=0)
+        assert dataset.n_classes == 2
+        assert dataset.metadata["original_labels"] == ["cat", "dog"]
+
+    def test_from_arrays_explicit_test_split(self, rng):
+        X = rng.normal(size=(10, 1, 10))
+        y = np.arange(10) % 2
+        dataset = dataset_from_arrays("explicit", X, y, X_test=X[:4], y_test=y[:4])
+        assert len(dataset.test) == 4
+        with pytest.raises(ValueError):
+            dataset_from_arrays("broken", X, y, X_test=X[:4])
+
+    def test_from_arrays_invalid_test_size(self, rng):
+        X = rng.normal(size=(10, 1, 10))
+        y = np.arange(10) % 2
+        with pytest.raises(ValueError):
+            dataset_from_arrays("bad", X, y, test_size=0.0)
+        with pytest.raises(ValueError):
+            dataset_from_arrays("bad", X, y, test_size=1.5)
+
+    def test_save_and_load_roundtrip(self, tmp_path, small_dataset):
+        path = save_dataset(small_dataset, tmp_path / "ds")
+        loaded = load_dataset_file(path)
+        assert loaded.name == small_dataset.name
+        assert loaded.n_classes == small_dataset.n_classes
+        np.testing.assert_array_equal(loaded.train.X, small_dataset.train.X)
+        np.testing.assert_array_equal(loaded.test.y, small_dataset.test.y)
+
+    def test_user_dataset_flows_through_finetuning(self, rng):
+        from repro.core import FineTuneConfig, FineTuner
+        from repro.encoders import TSEncoder
+
+        t = np.linspace(0, 1, 40)
+        class0 = np.sin(2 * np.pi * 2 * t) + 0.05 * rng.normal(size=(20, 40))
+        class1 = np.sin(2 * np.pi * 6 * t) + 0.05 * rng.normal(size=(20, 40))
+        X = np.concatenate([class0, class1])
+        y = np.array([0] * 20 + [1] * 20)
+        dataset = dataset_from_arrays("user_freq", X, y, test_size=0.3, seed=0)
+        encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, rng=0)
+        result = FineTuner(encoder, dataset.n_classes, FineTuneConfig(epochs=15, seed=0)).fit_and_evaluate(dataset)
+        assert result.accuracy > 0.7

@@ -1,0 +1,98 @@
+"""Tests for the utility helpers (seeding, validation, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ResultTable,
+    check_array,
+    check_in_options,
+    check_positive,
+    check_probability,
+    new_rng,
+    seed_everything,
+)
+
+
+class TestSeeding:
+    def test_seed_everything_reproducible(self):
+        seed_everything(123)
+        a = new_rng().normal(size=5)
+        seed_everything(123)
+        b = new_rng().normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_everything_rejects_negative(self):
+        with pytest.raises(ValueError):
+            seed_everything(-1)
+
+    def test_new_rng_accepts_int_generator_and_none(self):
+        assert isinstance(new_rng(5), np.random.Generator)
+        generator = np.random.default_rng(0)
+        assert new_rng(generator) is generator
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_new_rng_with_same_int_is_deterministic(self):
+        np.testing.assert_array_equal(new_rng(7).normal(size=3), new_rng(7).normal(size=3))
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_options(self):
+        assert check_in_options("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            check_in_options("mode", "c", ("a", "b"))
+
+    def test_check_array(self):
+        arr = check_array("x", [[1.0, 2.0]], ndim=2)
+        assert arr.shape == (1, 2)
+        with pytest.raises(ValueError):
+            check_array("x", [1.0, 2.0], ndim=2)
+        with pytest.raises(ValueError):
+            check_array("x", [])
+        with pytest.raises(ValueError):
+            check_array("x", [np.nan, 1.0])
+
+
+class TestResultTable:
+    def test_render_contains_title_and_rows(self):
+        table = ResultTable(["Method", "Acc"], title="Table X")
+        table.add_row(["AimTS", 0.87])
+        table.add_row(["TS2Vec", 0.83])
+        text = table.render()
+        assert "Table X" in text
+        assert "AimTS" in text and "0.870" in text
+        assert len(table.rows) == 2
+
+    def test_row_length_validation(self):
+        table = ResultTable(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_float_formatting(self):
+        table = ResultTable(["v"], float_format="{:.1f}")
+        table.add_row([0.123])
+        assert "0.1" in table.render()
+
+    def test_str_matches_render(self):
+        table = ResultTable(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
