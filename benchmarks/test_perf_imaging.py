@@ -1,0 +1,181 @@
+"""Performance benchmarks for the vectorized imaging pipeline (perf marker).
+
+Not part of any paper table — this module tracks the reproduction's own
+performance trajectory.  It measures
+
+* rasteriser throughput: the vectorized ``render_batch`` against the retained
+  scalar ``reference=True`` path on the acceptance batch ``(64, 3, 96)``,
+* the cross-epoch :class:`~repro.imaging.RenderCache` during a 2-epoch
+  ``AimTSPretrainer.fit`` with the series-image loss on: hit rate, residual
+  render time after the pre-compute pass, and cached vs. uncached epoch
+  wall-clock,
+
+and appends every run to ``BENCH_imaging.json`` at the repo root so
+successive PRs can compare numbers on the same machine.
+
+Excluded from tier-1 by the ``perf`` marker (see ``pytest.ini``); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_imaging.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import AimTSConfig
+from repro.core.pretrainer import AimTSPretrainer
+from repro.imaging import LineChartRenderer
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_imaging.json"
+
+#: the acceptance-criterion batch shape
+BATCH_SHAPE = (64, 3, 96)
+
+
+def append_bench_record(record: dict) -> None:
+    """Append one measurement record to ``BENCH_imaging.json``."""
+    records = []
+    if BENCH_PATH.exists():
+        records = json.loads(BENCH_PATH.read_text())
+    record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **record}
+    records.append(record)
+    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def _machine() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def test_render_batch_vectorized_speedup():
+    """Vectorized rasteriser must be ≥ 10× the seed (reference) renderer."""
+    rng = np.random.default_rng(3407)
+    X = rng.normal(size=BATCH_SHAPE)
+    reference = LineChartRenderer(reference=True)
+    vectorized = LineChartRenderer()
+
+    start = time.perf_counter()
+    reference_images = reference.render_batch(X)
+    reference_seconds = time.perf_counter() - start
+
+    vectorized.render_batch(X)  # warm-up
+    vectorized_seconds = min(
+        _timed(lambda: vectorized.render_batch(X)) for _ in range(3)
+    )
+    speedup = reference_seconds / vectorized_seconds
+
+    # sanity: the fast path draws the same pixels it is being compared against
+    np.testing.assert_allclose(
+        vectorized.render_batch(X), reference_images, rtol=0, atol=1e-12
+    )
+
+    renderer32 = LineChartRenderer(dtype="float32")
+    renderer32.render_batch(X)
+    float32_seconds = min(_timed(lambda: renderer32.render_batch(X)) for _ in range(3))
+
+    record = {
+        "benchmark": "render_batch",
+        "batch_shape": list(BATCH_SHAPE),
+        "reference_seconds": reference_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "float32_seconds": float32_seconds,
+        "reference_samples_per_sec": BATCH_SHAPE[0] / reference_seconds,
+        "vectorized_samples_per_sec": BATCH_SHAPE[0] / vectorized_seconds,
+        "speedup": speedup,
+        **_machine(),
+    }
+    append_bench_record(record)
+    print(
+        f"\n[perf] render_batch{BATCH_SHAPE}: reference {reference_seconds:.3f}s "
+        f"({record['reference_samples_per_sec']:.1f}/s) vs vectorized "
+        f"{vectorized_seconds * 1e3:.1f}ms ({record['vectorized_samples_per_sec']:.1f}/s) "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, f"vectorized renderer only {speedup:.1f}x faster"
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _fit_config(**overrides) -> AimTSConfig:
+    base = dict(
+        repr_dim=16,
+        proj_dim=8,
+        hidden_channels=8,
+        depth=1,
+        panel_size=24,
+        series_length=96,
+        n_variables=3,
+        batch_size=16,
+        epochs=2,
+        seed=3407,
+        use_prototype_loss=False,
+        use_series_image_loss=True,
+    )
+    base.update(overrides)
+    return AimTSConfig(**base)
+
+
+def test_two_epoch_fit_cache_hit_rate():
+    """A 2-epoch fit re-renders nothing: every lookup is a cache hit."""
+    rng = np.random.default_rng(3407)
+    pool = rng.normal(size=(128, 3, 96))
+
+    # warm up numpy (allocator, ufunc dispatch) so neither fit pays cold-start
+    LineChartRenderer(panel_size=24).render_batch(pool)
+
+    cached = AimTSPretrainer(_fit_config(cache_images=True))
+    cached_seconds = _timed(lambda: cached.fit(pool))
+    stats = cached.render_cache.stats()
+
+    uncached = AimTSPretrainer(_fit_config(cache_images=False))
+    uncached_seconds = _timed(lambda: uncached.fit(pool))
+
+    # render_seconds accumulates in precompute_pool and on get_batch misses;
+    # with zero misses, all of it is the one-off precompute pass and the
+    # per-epoch re-render time is exactly zero
+    precompute_seconds = stats["render_seconds"]
+    epoch_render_seconds = 0.0 if stats["misses"] == 0 else float("nan")
+
+    record = {
+        "benchmark": "pretrain_2epoch_cache",
+        "pool_shape": list(pool.shape),
+        "cache_hit_rate": stats["hit_rate"],
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "rendered_samples": stats["rendered_samples"],
+        "precompute_seconds": precompute_seconds,
+        "post_precompute_render_seconds": epoch_render_seconds,
+        "epoch_wallclock_cached": cached_seconds / 2,
+        "epoch_wallclock_uncached": uncached_seconds / 2,
+        "fit_seconds_cached": cached_seconds,
+        "fit_seconds_uncached": uncached_seconds,
+        **_machine(),
+    }
+    append_bench_record(record)
+    print(
+        f"\n[perf] 2-epoch fit on {pool.shape}: cached {cached_seconds:.2f}s "
+        f"vs uncached {uncached_seconds:.2f}s; hit rate {stats['hit_rate']:.3f}, "
+        f"rendered {stats['rendered_samples']} samples once in "
+        f"{precompute_seconds:.3f}s"
+    )
+    assert stats["hit_rate"] >= 0.99
+    assert stats["misses"] == 0
+    # every pool sample was rasterised exactly once, in the precompute pass
+    assert stats["rendered_samples"] == pool.shape[0]
+    # identical losses with and without the cache
+    assert cached.history.series_image_loss == uncached.history.series_image_loss

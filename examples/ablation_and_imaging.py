@@ -84,6 +84,13 @@ def main() -> None:
     after = list(pretrainer.parameters())
     changed = sum(int(not np.allclose(b, a.data)) for b, a in zip(before, after))
     print(f"\nAfter one epoch on this batch, {changed}/{len(after)} parameter tensors changed.")
+    if pretrainer.render_cache is not None:
+        stats = pretrainer.render_cache.stats()
+        print(
+            f"Render cache: {stats['entries']} images "
+            f"({stats['nbytes'] / 1024:.0f} KiB), hit rate {stats['hit_rate']:.0%} — "
+            "the pool is rasterised once and every epoch reuses the cached images."
+        )
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ TEMPERATURE_MODES = ("adaptive", "fixed")
 MIXUP_MODES = ("geodesic", "linear", "none")
 PROTOTYPE_REDUCTIONS = ("mean", "median")
 CHANNEL_AGGREGATIONS = ("concat", "mean")
+IMAGE_DTYPES = ("float32", "float64")
 
 
 @dataclass
@@ -31,6 +32,14 @@ class AimTSConfig:
         TS-encoder trunk architecture.
     image_channels, image_depth, panel_size:
         Image-encoder architecture and line-chart rendering resolution.
+    image_dtype, cache_images, cache_max_bytes:
+        Imaging-pipeline performance knobs: the rasteriser's compute dtype
+        ("float64" is bit-exact against the reference renderer, "float32"
+        halves image memory), whether pre-training memoises the deterministic
+        pool renders across epochs (see :class:`repro.imaging.RenderCache`),
+        and the byte budget for that cache (default 256 MiB ≈ 10k cached
+        panel-32 univariate images; pool samples beyond the budget render on
+        demand each epoch; None = unbounded).
     series_length, n_variables:
         Common shape every pre-training sample is resampled to.
     alpha:
@@ -57,6 +66,10 @@ class AimTSConfig:
     image_channels: int = 8
     image_depth: int = 2
     panel_size: int = 32
+    # imaging pipeline performance
+    image_dtype: str = "float64"
+    cache_images: bool = True
+    cache_max_bytes: int | None = 256 * 1024 * 1024
     # data shape
     series_length: int = 96
     n_variables: int = 1
@@ -109,6 +122,9 @@ class AimTSConfig:
         check_positive("gamma", self.gamma)
         check_positive("tau0", self.tau0)
         check_positive("tau", self.tau)
+        check_in_options("image_dtype", self.image_dtype, IMAGE_DTYPES)
+        if self.cache_max_bytes is not None:
+            check_positive("cache_max_bytes", self.cache_max_bytes)
         check_in_options("temperature_mode", self.temperature_mode, TEMPERATURE_MODES)
         check_in_options("mixup_mode", self.mixup_mode, MIXUP_MODES)
         check_in_options("prototype_reduction", self.prototype_reduction, PROTOTYPE_REDUCTIONS)

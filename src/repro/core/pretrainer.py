@@ -28,7 +28,7 @@ from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pa
 from repro.data.dataset import TimeSeriesDataset
 from repro.data.loaders import BatchIterator, build_pretraining_pool
 from repro.encoders import ImageEncoder, ProjectionHead, TSEncoder
-from repro.imaging import LineChartRenderer
+from repro.imaging import LineChartRenderer, RenderCache
 from repro.nn import Adam, StepLR, Tensor
 from repro.nn import functional as F
 from repro.utils.seeding import new_rng
@@ -93,7 +93,10 @@ class AimTSPretrainer:
         self._rng = new_rng(self.config.seed)
         cfg = self.config
         self.bank = build_augmentation_bank(cfg, self._rng)
-        self.renderer = LineChartRenderer(panel_size=cfg.panel_size)
+        self.renderer = LineChartRenderer(panel_size=cfg.panel_size, dtype=cfg.image_dtype)
+        #: cross-epoch cache of the deterministic pool renders; built by
+        #: :meth:`fit` when ``config.cache_images`` is on.
+        self.render_cache: RenderCache | None = None
         seed = int(self._rng.integers(0, 2**31))
         self.ts_encoder = TSEncoder(
             in_channels=cfg.n_variables,
@@ -146,8 +149,15 @@ class AimTSPretrainer:
         projections = projections.reshape(G, B, self.config.proj_dim).transpose(1, 0, 2)
         return projections, representations
 
-    def compute_batch_loss(self, batch: np.ndarray) -> dict[str, Tensor]:
-        """Compute all loss components for one ``(B, M, T)`` batch."""
+    def compute_batch_loss(
+        self, batch: np.ndarray, *, images: np.ndarray | None = None
+    ) -> dict[str, Tensor]:
+        """Compute all loss components for one ``(B, M, T)`` batch.
+
+        ``images`` optionally supplies pre-rendered line-chart images for the
+        batch (e.g. served from :attr:`render_cache`); when omitted the batch
+        is rendered on the spot.
+        """
         cfg = self.config
         losses: dict[str, Tensor] = {}
 
@@ -177,7 +187,8 @@ class AimTSPretrainer:
             )
 
         if cfg.use_series_image_loss:
-            images = self.renderer.render_batch(batch)
+            if images is None:
+                images = self.renderer.render_batch(batch)
             series_repr = self.ts_encoder(batch)
             image_repr = self.image_encoder(images)
             series_proj = self.series_projection(series_repr)
@@ -238,16 +249,35 @@ class AimTSPretrainer:
 
         optimizer = Adam(list(self.parameters()), lr=cfg.learning_rate)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma)
-        iterator = BatchIterator(pool, batch_size=cfg.batch_size, shuffle=True, seed=self._rng)
+        iterator = BatchIterator(
+            pool, batch_size=cfg.batch_size, shuffle=True, seed=self._rng, return_indices=True
+        )
+
+        # the renders are deterministic per pool sample, so rasterise the pool
+        # once up front and serve every shuffled batch of every epoch from the
+        # cache; insert_on_miss=False freezes the precomputed prefix so a
+        # byte budget smaller than the pool renders the rest on demand
+        # instead of churning the LRU under shuffled (uniform) access
+        use_cache = cfg.use_series_image_loss and cfg.cache_images
+        if use_cache:
+            self.render_cache = RenderCache(
+                self.renderer, max_bytes=cfg.cache_max_bytes, insert_on_miss=False
+            )
+            self.render_cache.precompute_pool(pool)
+        else:
+            self.render_cache = None
 
         for epoch in range(cfg.epochs):
             epoch_totals = {"total": 0.0, "prototype": 0.0, "series_image": 0.0}
             n_batches = 0
-            for batch, _ in iterator:
+            for batch, _, batch_indices in iterator:
                 if batch.shape[0] < 2:
                     continue  # contrastive losses need at least two samples
+                images = (
+                    self.render_cache.get_batch(batch, batch_indices) if use_cache else None
+                )
                 optimizer.zero_grad()
-                losses = self.compute_batch_loss(batch)
+                losses = self.compute_batch_loss(batch, images=images)
                 losses["total"].backward()
                 optimizer.step()
                 for key in epoch_totals:

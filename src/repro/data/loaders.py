@@ -3,6 +3,13 @@
 Multi-source pre-training mixes datasets with different lengths and variable
 counts; :func:`pad_or_truncate` and :func:`z_normalize` bring samples to a
 common shape and scale, and :class:`BatchIterator` shuffles and batches them.
+
+All three are vectorized hot paths: :func:`pad_or_truncate` resamples every
+series of a ``(n, M, T)`` array with one batched gather (no per-series
+``np.interp`` loop), and :func:`z_normalize` / :class:`BatchIterator` accept a
+``dtype`` argument and only copy/cast when the input does not already have the
+requested dtype (floating inputs are kept as-is by default, so a float32
+pipeline never round-trips through float64).
 """
 
 from __future__ import annotations
@@ -16,9 +23,28 @@ from repro.utils.seeding import new_rng
 from repro.utils.validation import check_positive
 
 
-def z_normalize(X: np.ndarray, eps: float = 1e-8) -> np.ndarray:
-    """Per-sample, per-variable z-normalisation of ``(n, M, T)`` data."""
-    X = np.asarray(X, dtype=np.float64)
+def as_float_array(X: np.ndarray, dtype: str | np.dtype | None = None) -> np.ndarray:
+    """Return ``X`` as a floating array, copying only when a cast is needed.
+
+    ``dtype=None`` keeps floating inputs untouched and promotes everything
+    else (ints, bools) to float64; an explicit ``dtype`` casts when required.
+    """
+    X = np.asarray(X)
+    if dtype is None:
+        dtype = X.dtype if np.issubdtype(X.dtype, np.floating) else np.float64
+    return X.astype(dtype, copy=False)
+
+
+def z_normalize(
+    X: np.ndarray, eps: float = 1e-8, *, dtype: str | np.dtype | None = None
+) -> np.ndarray:
+    """Per-sample, per-variable z-normalisation of ``(n, M, T)`` data.
+
+    ``dtype`` selects the compute/output dtype; by default floating inputs
+    keep their own dtype (no silent float64 upcast) and integer inputs are
+    promoted to float64.
+    """
+    X = as_float_array(X, dtype)
     mean = X.mean(axis=-1, keepdims=True)
     std = X.std(axis=-1, keepdims=True)
     return (X - mean) / (std + eps)
@@ -29,19 +55,22 @@ def pad_or_truncate(X: np.ndarray, length: int) -> np.ndarray:
 
     Shorter series are linearly interpolated up; longer series are linearly
     interpolated down, preserving shape information better than cropping.
+    The resampling runs as one batched gather over all ``n * M`` series at
+    once: target positions are mapped into the source index space, and each
+    output sample blends its two bracketing observations.
     """
     check_positive("length", length)
-    X = np.asarray(X, dtype=np.float64)
+    X = as_float_array(X)
     n, m, t = X.shape
     if t == length:
         return X.copy()
-    old_grid = np.linspace(0.0, 1.0, t)
-    new_grid = np.linspace(0.0, 1.0, length)
-    out = np.empty((n, m, length))
-    for i in range(n):
-        for j in range(m):
-            out[i, j] = np.interp(new_grid, old_grid, X[i, j])
-    return out
+    if t == 1:
+        return np.repeat(X, length, axis=-1)
+    # positions of the target grid in source-index space (both grids span [0, 1])
+    positions = np.linspace(0.0, t - 1.0, length)
+    left = np.minimum(np.floor(positions).astype(np.intp), t - 2)
+    frac = (positions - left).astype(X.dtype, copy=False)
+    return X[..., left] * (1.0 - frac) + X[..., left + 1] * frac
 
 
 def select_variables(X: np.ndarray, n_variables: int) -> np.ndarray:
@@ -75,6 +104,13 @@ class BatchIterator:
         Whether to reshuffle at the start of every epoch.
     seed:
         RNG seed for shuffling.
+    dtype:
+        Optional dtype for the samples; ``None`` keeps floating inputs
+        untouched (no copy) and promotes integer inputs to float64.
+    return_indices:
+        Yield ``(batch, labels, indices)`` triples, where ``indices`` are the
+        positions of the batch rows in ``X`` — the key the cross-epoch render
+        cache uses to memoise per-sample images.
     """
 
     def __init__(
@@ -85,27 +121,33 @@ class BatchIterator:
         batch_size: int = 16,
         shuffle: bool = True,
         seed: int | np.random.Generator | None = None,
+        dtype: str | np.dtype | None = None,
+        return_indices: bool = False,
     ):
         check_positive("batch_size", batch_size)
-        self.X = np.asarray(X, dtype=np.float64)
+        self.X = as_float_array(X, dtype)
         self.y = None if y is None else np.asarray(y, dtype=np.int64)
         if self.y is not None and self.y.shape[0] != self.X.shape[0]:
             raise ValueError("X and y must have the same number of samples")
         self.batch_size = int(batch_size)
         self.shuffle = shuffle
+        self.return_indices = bool(return_indices)
         self._rng = new_rng(seed)
 
     def __len__(self) -> int:
         return int(np.ceil(self.X.shape[0] / self.batch_size))
 
-    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
+    def __iter__(self) -> Iterator[tuple]:
         order = np.arange(self.X.shape[0])
         if self.shuffle:
             self._rng.shuffle(order)
         for start in range(0, order.size, self.batch_size):
             batch = order[start : start + self.batch_size]
             labels = self.y[batch] if self.y is not None else None
-            yield self.X[batch], labels
+            if self.return_indices:
+                yield self.X[batch], labels, batch
+            else:
+                yield self.X[batch], labels
 
 
 def build_pretraining_pool(

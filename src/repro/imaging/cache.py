@@ -1,0 +1,245 @@
+"""Cross-epoch render cache for the line-chart imaging pipeline.
+
+Line-chart rendering is deterministic: the same pool sample always produces
+the same image, yet the seed training loop re-rendered every sample on every
+batch of every epoch.  :class:`RenderCache` memoises rendered images so the
+rasteriser runs **once per pool sample** (ideally in one vectorized
+:meth:`precompute_pool` pass before the first epoch) and every subsequent
+epoch is served from memory.
+
+Design:
+
+* entries are keyed by **pool index** for O(1) lookup, and each entry stores a
+  **content hash** of the raw series so a stale or reshuffled pool can never
+  serve a wrong image — on hash mismatch the sample is transparently
+  re-rendered and the entry refreshed;
+* storage is an LRU ``OrderedDict`` of per-sample image arrays (views into
+  the bulk array produced by :meth:`precompute_pool`, so the bulk path costs
+  one contiguous allocation);
+* an optional ``max_bytes`` budget bounds memory: inserts evict
+  least-recently-used entries, and :meth:`precompute_pool` fills the cache
+  only up to the budget;
+* hit/miss/eviction counters plus render timings are exposed via
+  :meth:`stats` so benchmarks (``benchmarks/test_perf_imaging.py``) can
+  report cache hit rate and residual render time per epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.imaging.line_chart import LineChartRenderer
+
+
+def content_hash(sample: np.ndarray) -> bytes:
+    """A compact content digest of one ``(M, T)`` sample (shape-sensitive).
+
+    Values are canonicalised to float64 before hashing so a pool and its
+    batches hash identically even when one side was promoted (int → float64,
+    float32 → float64) on its way through the loaders — the renderer casts to
+    its own dtype anyway, so value-equal inputs produce identical images.
+    """
+    arr = np.ascontiguousarray(sample, dtype=np.float64)
+    digest = hashlib.blake2b(arr.tobytes(), digest_size=16)
+    digest.update(repr(arr.shape).encode())
+    return digest.digest()
+
+
+class RenderCache:
+    """Memoise deterministic line-chart renders across epochs.
+
+    Parameters
+    ----------
+    renderer:
+        The :class:`LineChartRenderer` used to produce images on a miss.
+    max_bytes:
+        Optional cap on the total image bytes held; least-recently-used
+        entries are evicted to stay under it.  ``None`` means unbounded.
+    validate:
+        Verify the stored content hash against the requested batch on every
+        lookup (cheap: one blake2b over the raw series).  Disable only when
+        the pool is provably immutable.
+    insert_on_miss:
+        Whether :meth:`get_batch` inserts freshly rendered images for indices
+        it has never seen.  Disable after :meth:`precompute_pool` when the
+        budget is smaller than the pool: with uniformly shuffled access, LRU
+        churn would evict entries that were about to hit, so a *frozen*
+        prefix (hits for cached samples, plain on-demand renders for the
+        rest, no eviction traffic) is strictly faster.  Content-hash
+        mismatches on already-cached indices are still refreshed in place.
+    """
+
+    def __init__(
+        self,
+        renderer: LineChartRenderer,
+        *,
+        max_bytes: int | None = None,
+        validate: bool = True,
+        insert_on_miss: bool = True,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
+        self.renderer = renderer
+        self.max_bytes = max_bytes
+        self.validate = validate
+        self.insert_on_miss = insert_on_miss
+        self._images: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._hashes: dict[int, bytes] = {}
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rendered_samples = 0
+        self.render_seconds = 0.0
+
+    # ------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._images
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of cached image data."""
+        return self._nbytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        """Counters for benchmarks and logging."""
+        return {
+            "entries": len(self._images),
+            "nbytes": self._nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "rendered_samples": self.rendered_samples,
+            "render_seconds": self.render_seconds,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._images.clear()
+        self._hashes.clear()
+        self._nbytes = 0
+
+    # ---------------------------------------------------------------- filling
+    def _render(self, batch: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        images = self.renderer.render_batch(batch)
+        self.render_seconds += time.perf_counter() - start
+        self.rendered_samples += batch.shape[0]
+        return images
+
+    def _evict_until_fits(self, incoming: int) -> bool:
+        """Evict LRU entries to make room; False if ``incoming`` can never fit."""
+        if self.max_bytes is None:
+            return True
+        if incoming > self.max_bytes:
+            return False
+        while self._nbytes + incoming > self.max_bytes and self._images:
+            index, evicted = self._images.popitem(last=False)
+            self._hashes.pop(index, None)
+            self._nbytes -= evicted.nbytes
+            self.evictions += 1
+        return self._nbytes + incoming <= self.max_bytes
+
+    def insert(self, index: int, sample: np.ndarray, image: np.ndarray) -> bool:
+        """Store one rendered ``image`` for pool ``index``; False if it cannot fit."""
+        index = int(index)
+        if self.max_bytes is not None and image.nbytes > self.max_bytes:
+            return False  # reject before touching any existing entry
+        previous = self._images.pop(index, None)
+        if previous is not None:
+            self._nbytes -= previous.nbytes
+            self._hashes.pop(index, None)
+        if not self._evict_until_fits(image.nbytes):
+            return False
+        if self.max_bytes is not None and image.base is not None:
+            # under a byte budget a view would pin its whole bulk render array
+            # in memory past eviction, so the accounting would under-count;
+            # unbounded caches keep the cheap no-copy views
+            image = image.copy()
+        self._images[index] = image
+        self._hashes[index] = content_hash(sample)
+        self._nbytes += image.nbytes
+        return True
+
+    def precompute_pool(
+        self, pool: np.ndarray, *, chunk_size: int = 512
+    ) -> dict[str, float | int]:
+        """Render a whole ``(N, M, T)`` pool once and cache every image.
+
+        Rendering happens in vectorized chunks of ``chunk_size`` samples; in
+        an unbounded cache the entries are views into each chunk's bulk
+        array, so no per-image copies are made.  With ``max_bytes`` set, only
+        the pool prefix that fits the budget is rendered and cached — nothing
+        beyond it is rasterised (those samples render on demand later), no
+        earlier entry is churned out, and the cached images are standalone
+        copies so eviction actually frees memory.  Returns :meth:`stats`.
+        """
+        pool = np.asarray(pool)
+        if pool.ndim != 3:
+            raise ValueError(f"expected (N, M, T) pool, got shape {pool.shape}")
+        n_cacheable = pool.shape[0]
+        if self.max_bytes is not None:
+            # the image size is known before rendering anything, so the
+            # budgeted prefix can be sized up front
+            image_nbytes = self.renderer.image_nbytes(pool.shape[1])
+            budget_left = max(0, self.max_bytes - self._nbytes)
+            n_cacheable = min(n_cacheable, budget_left // image_nbytes)
+        for start in range(0, n_cacheable, int(chunk_size)):
+            chunk = pool[start : start + min(int(chunk_size), n_cacheable - start)]
+            images = self._render(chunk)
+            for offset in range(chunk.shape[0]):
+                self.insert(start + offset, chunk[offset], images[offset])
+        return self.stats()
+
+    # ---------------------------------------------------------------- lookups
+    def get_batch(self, batch: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Serve rendered images for ``batch`` ``(B, M, T)`` at pool ``indices``.
+
+        Cached entries whose content hash matches the batch row are returned
+        as-is (a *hit*); everything else is rendered in one vectorized call (a
+        *miss*) and inserted for the next epoch.
+        """
+        batch = np.asarray(batch)
+        indices = np.asarray(indices, dtype=np.int64)
+        if batch.ndim != 3:
+            raise ValueError(f"expected (B, M, T) batch, got shape {batch.shape}")
+        if indices.shape != (batch.shape[0],):
+            raise ValueError(
+                f"indices must be (B,) == ({batch.shape[0]},), got {indices.shape}"
+            )
+        cached: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        for position, index in enumerate(indices.tolist()):
+            image = self._images.get(index)
+            if image is not None and (
+                not self.validate or self._hashes[index] == content_hash(batch[position])
+            ):
+                self._images.move_to_end(index)
+                cached[position] = image
+                self.hits += 1
+            else:
+                missing.append(position)
+                self.misses += 1
+        if not missing:
+            return np.stack([cached[position] for position in range(len(indices))], axis=0)
+        rendered = self._render(batch[missing])
+        for offset, position in enumerate(missing):
+            cached[position] = rendered[offset]
+            index = int(indices[position])
+            if self.insert_on_miss or index in self._images:
+                self.insert(index, batch[position], rendered[offset])
+        return np.stack([cached[position] for position in range(len(indices))], axis=0)

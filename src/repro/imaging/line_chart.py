@@ -1,4 +1,4 @@
-"""A pure-NumPy line-chart rasteriser.
+"""A pure-NumPy line-chart rasteriser with a vectorized batch fast path.
 
 :class:`LineChartRenderer` turns a multivariate time series ``(M, T)`` into an
 RGB image ``(3, H, W)`` in ``[0, 1]``:
@@ -13,6 +13,29 @@ RGB image ``(3, H, W)`` in ``[0, 1]``:
 The rasteriser draws lines by super-sampling each segment and splatting the
 samples onto the pixel grid, which produces smooth-enough anti-aliased strokes
 without any external dependency.
+
+Two implementations share this contract:
+
+* the **vectorized** path (default) renders *all segments of all variables of
+  a whole* ``(B, M, T)`` *batch at once*: per-segment step counts are expanded
+  into flattened index arrays, every super-sample of every panel is splatted
+  with a single ``np.maximum.at`` scatter per bilinear corner, and markers are
+  written with one fancy-index assignment.  On a ``(64, 3, 96)`` batch this is
+  two orders of magnitude faster than the scalar path;
+* the **reference** path (``reference=True``) keeps the original scalar
+  per-variable / per-segment loops.  It exists for pixel-equivalence testing —
+  in float64 the vectorized path reproduces it bit-for-bit (both paths apply
+  the same elementwise formulas in the same order, and ``max``-splatting is
+  order independent).
+
+Non-finite values (NaN/±inf) are sanitised before drawing: missing samples are
+linearly interpolated from their finite neighbours (edge values extend), and a
+series with *no* finite sample raises a :class:`ValueError` instead of
+silently poisoning the canvas.
+
+Rendering supports a ``dtype`` knob: ``float64`` (default, bit-exact against
+the reference) or ``float32`` (fast path with half the memory traffic, pixel
+values within float32 round-off of the float64 render).
 """
 
 from __future__ import annotations
@@ -35,6 +58,55 @@ VARIABLE_COLORS: tuple[tuple[float, float, float], ...] = (
     (0.50, 0.50, 0.50),  # grey
 )
 
+#: pixel offsets of the small '*'-style marker.
+_MARKER_OFFSETS: tuple[tuple[int, int], ...] = (
+    (-1, 0),
+    (1, 0),
+    (0, -1),
+    (0, 1),
+    (0, 0),
+    (-1, -1),
+    (1, 1),
+    (-1, 1),
+    (1, -1),
+)
+
+#: dtypes the renderer can draw in.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def fill_non_finite(X: np.ndarray) -> np.ndarray:
+    """Replace NaN/±inf samples of each series by linear interpolation.
+
+    ``X`` is ``(..., T)``; every trailing-axis series containing non-finite
+    values is repaired by interpolating over its finite samples (edge values
+    extend to leading/trailing gaps).  Returns ``X`` unchanged (no copy) when
+    everything is finite.
+
+    Raises
+    ------
+    ValueError
+        If any series has no finite sample at all (an all-NaN series carries
+        no shape information and cannot be rendered).
+    """
+    X = np.asarray(X)
+    finite = np.isfinite(X)
+    if finite.all():
+        return X
+    length = X.shape[-1]
+    flat = X.reshape(-1, length).copy()
+    good_mask = finite.reshape(-1, length)
+    grid = np.arange(length, dtype=np.float64)
+    for row in np.flatnonzero(~good_mask.all(axis=1)):
+        good = good_mask[row]
+        if not good.any():
+            raise ValueError(
+                "cannot render a series with no finite values (all-NaN/inf); "
+                "drop or impute the sample before rendering"
+            )
+        flat[row, ~good] = np.interp(grid[~good], grid[good], flat[row, good])
+    return flat.reshape(X.shape)
+
 
 class LineChartRenderer:
     """Render time-series samples as standardized RGB line-chart images.
@@ -50,6 +122,12 @@ class LineChartRenderer:
         point like the paper; larger values keep small panels readable).
     margin:
         Fraction of the panel left blank around the chart area.
+    dtype:
+        Canvas/compute dtype: ``float64`` (default, bit-exact against the
+        reference path) or ``float32`` (fast path).
+    reference:
+        Use the original scalar per-segment loops instead of the vectorized
+        batch path; kept for equivalence testing and debugging.
     """
 
     def __init__(
@@ -59,6 +137,8 @@ class LineChartRenderer:
         line_width: float = 1.0,
         marker_every: int = 4,
         margin: float = 0.08,
+        dtype: str | np.dtype = np.float64,
+        reference: bool = False,
     ):
         self.panel_size = int(check_positive("panel_size", panel_size))
         self.line_width = check_positive("line_width", line_width)
@@ -66,10 +146,16 @@ class LineChartRenderer:
         if not 0.0 <= margin < 0.5:
             raise ValueError(f"margin must be in [0, 0.5), got {margin}")
         self.margin = margin
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValueError(f"dtype must be float32 or float64, got {self.dtype}")
+        self.reference = bool(reference)
+        if self.reference and self.dtype != np.float64:
+            raise ValueError("the reference renderer only draws in float64")
 
-    # ------------------------------------------------------------ panel level
+    # ------------------------------------------------------- reference panels
     def _render_panel(self, series: np.ndarray) -> np.ndarray:
-        """Render a single variable as a grayscale intensity panel ``(S, S)``."""
+        """Scalar reference: render one variable as an intensity panel ``(S, S)``."""
         size = self.panel_size
         canvas = np.zeros((size, size), dtype=np.float64)
         length = series.shape[0]
@@ -92,7 +178,7 @@ class LineChartRenderer:
         # draw segments by super-sampling
         for i in range(length - 1):
             x0, y0, x1, y1 = xs[i], ys[i], xs[i + 1], ys[i + 1]
-            segment_length = math.hypot(x1 - x0, y1 - y0)
+            segment_length = float(np.hypot(x1 - x0, y1 - y0))
             n_steps = max(2, int(segment_length * 3))
             ts = np.linspace(0.0, 1.0, n_steps)
             px = x0 + ts * (x1 - x0)
@@ -125,13 +211,124 @@ class LineChartRenderer:
         """Draw a small '*'-style marker centred on ``(x, y)``."""
         size = canvas.shape[0]
         cx, cy = int(round(x)), int(round(y))
-        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1), (0, 0), (-1, -1), (1, 1), (-1, 1), (1, -1)]
-        for dx, dy in offsets:
+        for dx, dy in _MARKER_OFFSETS:
             col, row = cx + dx, cy + dy
             if 0 <= row < size and 0 <= col < size:
                 canvas[row, col] = 1.0
 
+    # ------------------------------------------------------ vectorized panels
+    def _render_panels(self, series: np.ndarray) -> np.ndarray:
+        """Vectorized: render ``(N, T)`` series into ``(N, S, S)`` panels.
+
+        All segments of all series are expanded into one flat array of
+        super-samples (per-segment step counts differ, so the expansion uses
+        ``np.repeat`` over a cumulative-sum index), splatted with a single
+        ``np.maximum.at`` scatter per bilinear corner, and all markers are
+        written with one fancy-index assignment.
+        """
+        dtype = self.dtype
+        size = self.panel_size
+        n_series, length = series.shape
+        if length == 1:
+            series = np.repeat(series, 2, axis=1)
+            length = 2
+
+        low = series.min(axis=1, keepdims=True)
+        high = series.max(axis=1, keepdims=True)
+        # same criterion as math.isclose(low, high) with rel_tol=1e-9, abs_tol=0
+        flat_series = np.abs(high - low) <= 1e-9 * np.maximum(np.abs(high), np.abs(low))
+        span = np.where(flat_series, 1.0, high - low).astype(dtype, copy=False)
+        normalised = np.where(flat_series, dtype.type(0.5), (series - low) / span)
+
+        pad = self.margin * (size - 1)
+        usable = (size - 1) - 2 * pad
+        xs = (pad + np.linspace(0.0, 1.0, length) * usable).astype(dtype, copy=False)
+        ys = (pad + (1.0 - normalised) * usable).astype(dtype, copy=False)
+
+        # ---- expand every segment into its super-samples (flattened arrays)
+        seg_x0 = np.broadcast_to(xs[:-1], (n_series, length - 1)).ravel()
+        seg_dx = np.broadcast_to(xs[1:] - xs[:-1], (n_series, length - 1)).ravel()
+        seg_y0 = ys[:, :-1].ravel()
+        seg_dy = (ys[:, 1:] - ys[:, :-1]).ravel()
+        counts = np.maximum(2, (np.hypot(seg_dx, seg_dy) * 3.0).astype(np.int64))
+
+        total = int(counts.sum())
+        seg_id = np.repeat(np.arange(counts.size), counts)
+        ends = np.cumsum(counts)
+        step_idx = np.arange(total) - np.repeat(ends - counts, counts)
+        # linspace(0, 1, n)[j] == j * (1 / (n - 1)) with the endpoint forced,
+        # so this reproduces the reference positions bit-for-bit in float64
+        t = step_idx.astype(dtype) * (dtype.type(1.0) / (counts - 1).astype(dtype))[seg_id]
+        t[step_idx == counts[seg_id] - 1] = 1.0
+
+        px = seg_x0[seg_id] + t * seg_dx[seg_id]
+        py = seg_y0[seg_id] + t * seg_dy[seg_id]
+
+        # ---- one bilinear scatter per corner over the whole batch
+        canvas = np.zeros((n_series, size, size), dtype=dtype)
+        flat_canvas = canvas.reshape(-1)
+        base = (seg_id // (length - 1)) * (size * size)
+        fpx = np.floor(px)
+        fpy = np.floor(py)
+        x0i = fpx.astype(np.int64)
+        y0i = fpy.astype(np.int64)
+        fx = px - fpx
+        fy = py - fpy
+        line_width = dtype.type(self.line_width)
+        for dx, dy, weight in (
+            (0, 0, (1 - fx) * (1 - fy)),
+            (1, 0, fx * (1 - fy)),
+            (0, 1, (1 - fx) * fy),
+            (1, 1, fx * fy),
+        ):
+            cols = np.clip(x0i + dx, 0, size - 1)
+            rows = np.clip(y0i + dy, 0, size - 1)
+            np.maximum.at(flat_canvas, base + rows * size + cols, weight * line_width)
+
+        # ---- all markers in one masked assignment (markers overwrite strokes)
+        marker_idx = np.arange(0, length, self.marker_every)
+        cx = np.rint(xs[marker_idx]).astype(np.int64)  # (K,) shared across series
+        cy = np.rint(ys[:, marker_idx]).astype(np.int64)  # (N, K)
+        offsets = np.asarray(_MARKER_OFFSETS, dtype=np.int64)
+        cols = cx[None, :, None] + offsets[None, None, :, 0]  # (1, K, 9)
+        rows = cy[:, :, None] + offsets[None, None, :, 1]  # (N, K, 9)
+        cols, rows = np.broadcast_arrays(cols, rows)
+        in_bounds = (rows >= 0) & (rows < size) & (cols >= 0) & (cols < size)
+        panel_base = (np.arange(n_series) * size * size)[:, None, None]
+        flat_canvas[(panel_base + rows * size + cols)[in_bounds]] = 1.0
+
+        return np.clip(canvas, 0.0, 1.0, out=canvas)
+
     # ------------------------------------------------------------ image level
+    def grid_shape(self, n_variables: int) -> tuple[int, int]:
+        """Panel grid ``(rows, cols)`` used to stitch an ``n_variables`` sample."""
+        grid_cols = int(math.ceil(math.sqrt(n_variables)))
+        return int(math.ceil(n_variables / grid_cols)), grid_cols
+
+    def image_nbytes(self, n_variables: int) -> int:
+        """Bytes of one composed ``(3, H, W)`` image for an ``n_variables`` sample."""
+        grid_rows, grid_cols = self.grid_shape(n_variables)
+        return 3 * grid_rows * grid_cols * self.panel_size**2 * self.dtype.itemsize
+
+    def _compose(self, panels: np.ndarray, n_variables: int) -> np.ndarray:
+        """Tint ``(B, M, S, S)`` panels and stitch them into ``(B, 3, H, W)``."""
+        n_samples = panels.shape[0]
+        grid_rows, grid_cols = self.grid_shape(n_variables)
+        size = self.panel_size
+        images = np.zeros(
+            (n_samples, 3, grid_rows * size, grid_cols * size), dtype=self.dtype
+        )
+        colors = np.asarray(
+            [VARIABLE_COLORS[v % len(VARIABLE_COLORS)] for v in range(n_variables)],
+            dtype=self.dtype,
+        )
+        for variable in range(n_variables):
+            row, col = divmod(variable, grid_cols)
+            images[:, :, row * size : (row + 1) * size, col * size : (col + 1) * size] = (
+                panels[:, variable, None] * colors[variable, :, None, None]
+            )
+        return images
+
     def render(self, sample: np.ndarray) -> np.ndarray:
         """Render one sample ``(M, T)`` into an RGB image ``(3, H, W)``.
 
@@ -139,14 +336,17 @@ class LineChartRenderer:
         ``grid_cols = ceil(sqrt(M))`` and rows as needed; unused cells remain
         black.  Each panel is tinted with its variable colour.
         """
-        sample = np.asarray(sample, dtype=np.float64)
+        sample = np.asarray(sample, dtype=self.dtype)
         if sample.ndim == 1:
             sample = sample[None, :]
         if sample.ndim != 2:
             raise ValueError(f"expected (M, T) sample, got shape {sample.shape}")
+        sample = fill_non_finite(sample)
         n_variables = sample.shape[0]
-        grid_cols = int(math.ceil(math.sqrt(n_variables)))
-        grid_rows = int(math.ceil(n_variables / grid_cols))
+        if not self.reference:
+            panels = self._render_panels(sample)
+            return self._compose(panels[None], n_variables)[0]
+        grid_rows, grid_cols = self.grid_shape(n_variables)
         size = self.panel_size
         image = np.zeros((3, grid_rows * size, grid_cols * size), dtype=np.float64)
         for variable in range(n_variables):
@@ -160,11 +360,24 @@ class LineChartRenderer:
         return image
 
     def render_batch(self, X: np.ndarray) -> np.ndarray:
-        """Render a batch ``(B, M, T)`` into images ``(B, 3, H, W)``."""
-        X = np.asarray(X, dtype=np.float64)
+        """Render a batch ``(B, M, T)`` into images ``(B, 3, H, W)``.
+
+        The default (vectorized) path rasterises the whole batch in one pass;
+        with ``reference=True`` every sample is drawn by the scalar loops.
+        """
+        X = np.asarray(X, dtype=self.dtype)
         if X.ndim != 3:
             raise ValueError(f"expected (B, M, T) batch, got shape {X.shape}")
-        return np.stack([self.render(sample) for sample in X], axis=0)
+        n_samples, n_variables, length = X.shape
+        if n_samples == 0:
+            empty = np.zeros((0, n_variables, self.panel_size, self.panel_size), dtype=X.dtype)
+            return self._compose(empty, n_variables).astype(X.dtype, copy=False)
+        if self.reference:
+            return np.stack([self.render(sample) for sample in X], axis=0)
+        X = fill_non_finite(X)
+        panels = self._render_panels(X.reshape(n_samples * n_variables, length))
+        panels = panels.reshape(n_samples, n_variables, self.panel_size, self.panel_size)
+        return self._compose(panels, n_variables)
 
 
 def render_series_image(

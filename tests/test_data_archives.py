@@ -195,6 +195,46 @@ class TestLoaders:
         with pytest.raises(ValueError):
             BatchIterator(rng.normal(size=(4, 1, 8)), batch_size=0)
 
+    def test_pad_or_truncate_matches_per_series_interp(self, rng):
+        # the batched gather must agree with the old per-series np.interp loop
+        for t, target in ((30, 40), (64, 40), (7, 96), (2, 5)):
+            X = rng.normal(size=(4, 3, t))
+            out = pad_or_truncate(X, target)
+            old_grid = np.linspace(0.0, 1.0, t)
+            new_grid = np.linspace(0.0, 1.0, target)
+            for i in range(4):
+                for j in range(3):
+                    np.testing.assert_allclose(
+                        out[i, j], np.interp(new_grid, old_grid, X[i, j]), atol=1e-12
+                    )
+
+    def test_pad_or_truncate_single_observation(self):
+        out = pad_or_truncate(np.full((2, 1, 1), 7.0), 6)
+        np.testing.assert_array_equal(out, np.full((2, 1, 6), 7.0))
+
+    def test_z_normalize_preserves_float_dtype(self, rng):
+        X32 = rng.normal(size=(2, 1, 20)).astype(np.float32)
+        assert z_normalize(X32).dtype == np.float32
+        assert z_normalize(X32, dtype=np.float64).dtype == np.float64
+        assert z_normalize(np.arange(24).reshape(2, 1, 12)).dtype == np.float64
+
+    def test_batch_iterator_avoids_redundant_copy(self, rng):
+        X = rng.normal(size=(4, 1, 8))
+        assert BatchIterator(X).X is X  # already float64: no copy
+        X32 = X.astype(np.float32)
+        assert BatchIterator(X32).X is X32  # floating dtype preserved
+        assert BatchIterator(X32, dtype=np.float64).X.dtype == np.float64
+
+    def test_batch_iterator_return_indices(self, rng):
+        X = rng.normal(size=(10, 1, 8))
+        iterator = BatchIterator(X, batch_size=4, shuffle=True, seed=0, return_indices=True)
+        seen = []
+        for batch, labels, indices in iterator:
+            assert labels is None
+            np.testing.assert_array_equal(batch, X[indices])
+            seen.extend(indices.tolist())
+        assert sorted(seen) == list(range(10))
+
     def test_build_pretraining_pool_shapes(self):
         corpus = make_monash_like_corpus(3, samples_per_dataset=5, seed=0)
         pool = build_pretraining_pool(corpus, length=32, n_variables=1)

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.imaging import VARIABLE_COLORS, LineChartRenderer, render_series_image
+from repro.imaging import (
+    VARIABLE_COLORS,
+    LineChartRenderer,
+    fill_non_finite,
+    render_series_image,
+)
 
 
 class TestRendererBasics:
@@ -96,3 +101,111 @@ class TestRendererSemantics:
         dense = LineChartRenderer(panel_size=24, marker_every=1).render(series)
         sparse = LineChartRenderer(panel_size=24, marker_every=30).render(series)
         assert (dense.sum(axis=0) > 0).sum() >= (sparse.sum(axis=0) > 0).sum()
+
+
+class TestVectorizedEquivalence:
+    """The vectorized batch path must be pixel-equivalent to the reference."""
+
+    @pytest.mark.parametrize(
+        "shape,kwargs",
+        [
+            ((6, 1, 40), {}),
+            ((4, 3, 30), {"panel_size": 24}),
+            ((3, 5, 17), {"marker_every": 1}),
+            ((2, 2, 1), {}),  # single-observation series
+            ((5, 1, 25), {"line_width": 2.5}),  # splat values above 1 before clip
+            ((4, 2, 33), {"margin": 0.0}),
+            ((2, 9, 12), {}),  # colour cycle wraps past 8 variables
+        ],
+    )
+    def test_render_batch_pixel_equivalence(self, rng, shape, kwargs):
+        X = rng.normal(size=shape)
+        reference = LineChartRenderer(reference=True, **kwargs).render_batch(X)
+        vectorized = LineChartRenderer(**kwargs).render_batch(X)
+        np.testing.assert_allclose(vectorized, reference, rtol=0, atol=1e-12)
+
+    def test_single_sample_render_equivalence(self, rng):
+        sample = rng.normal(size=(3, 28))
+        reference = LineChartRenderer(reference=True).render(sample)
+        vectorized = LineChartRenderer().render(sample)
+        np.testing.assert_allclose(vectorized, reference, rtol=0, atol=1e-12)
+
+    def test_constant_series_equivalence(self):
+        X = np.stack([np.full((1, 30), 3.0), np.zeros((1, 30))])
+        reference = LineChartRenderer(reference=True).render_batch(X)
+        vectorized = LineChartRenderer().render_batch(X)
+        np.testing.assert_allclose(vectorized, reference, rtol=0, atol=1e-12)
+
+    def test_empty_batch(self):
+        images = LineChartRenderer(panel_size=8).render_batch(np.zeros((0, 2, 10)))
+        assert images.shape == (0, 3, 8, 16)
+        reference = LineChartRenderer(panel_size=8, reference=True).render_batch(
+            np.zeros((0, 2, 10))
+        )
+        assert reference.shape == (0, 3, 8, 16)
+        assert reference.dtype == images.dtype == np.float64
+
+    def test_reference_flag_rejects_bad_shapes_too(self, rng):
+        with pytest.raises(ValueError):
+            LineChartRenderer(reference=True).render_batch(rng.normal(size=(2, 20)))
+        with pytest.raises(ValueError):
+            LineChartRenderer().render(rng.normal(size=(2, 3, 20)))
+
+
+class TestDtypeFastPath:
+    def test_float32_output_dtype_and_closeness(self, rng):
+        X = rng.normal(size=(4, 2, 40))
+        full = LineChartRenderer().render_batch(X)
+        fast = LineChartRenderer(dtype="float32").render_batch(X)
+        assert fast.dtype == np.float32
+        assert full.dtype == np.float64
+        assert np.abs(fast - full).max() < 1e-3
+        assert fast.min() >= 0.0 and fast.max() <= 1.0
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            LineChartRenderer(dtype="int32")
+
+    def test_reference_path_requires_float64(self):
+        with pytest.raises(ValueError, match="float64"):
+            LineChartRenderer(dtype="float32", reference=True)
+
+    def test_image_nbytes_matches_actual_render(self, rng):
+        for dtype, n_variables in (("float64", 3), ("float32", 5)):
+            renderer = LineChartRenderer(panel_size=12, dtype=dtype)
+            images = renderer.render_batch(rng.normal(size=(2, n_variables, 10)))
+            assert renderer.image_nbytes(n_variables) == images[0].nbytes
+
+
+class TestNaNHandling:
+    def test_nan_series_renders_finite_image(self, rng):
+        X = rng.normal(size=(2, 2, 50))
+        X[0, 0, 5:15] = np.nan
+        X[1, 1, 0] = np.inf
+        images = LineChartRenderer().render_batch(X)
+        assert np.isfinite(images).all()
+        assert images.max() > 0
+
+    def test_nan_equivalence_between_paths(self, rng):
+        X = rng.normal(size=(2, 1, 40))
+        X[0, 0, 10:20] = np.nan
+        X[1, 0, -1] = np.nan  # trailing gap extends the last finite value
+        reference = LineChartRenderer(reference=True).render_batch(X)
+        vectorized = LineChartRenderer().render_batch(X)
+        np.testing.assert_allclose(vectorized, reference, rtol=0, atol=1e-12)
+
+    def test_all_nan_series_raises(self):
+        X = np.full((1, 1, 20), np.nan)
+        with pytest.raises(ValueError, match="no finite values"):
+            LineChartRenderer().render_batch(X)
+        with pytest.raises(ValueError, match="no finite values"):
+            LineChartRenderer(reference=True).render(X[0])
+
+    def test_fill_non_finite_interpolates(self):
+        series = np.array([0.0, np.nan, 2.0, np.nan, np.nan, 5.0])
+        filled = fill_non_finite(series)
+        np.testing.assert_allclose(filled, [0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_fill_non_finite_no_copy_when_clean(self, rng):
+        X = rng.normal(size=(2, 3, 10))
+        assert fill_non_finite(X) is X
