@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import BaselineConfig, MomentLike, UniTSLike
+from repro.api import make_estimator
+from repro.baselines import BaselineConfig
 from repro.core import AimTS, AimTSConfig, FineTuneConfig
 from repro.data import load_archive, load_dataset, load_pretraining_corpus
 from repro.utils.seeding import seed_everything
@@ -74,7 +75,7 @@ def make_finetune_config(**overrides) -> FineTuneConfig:
 def pretrain_aimts(config: AimTSConfig | None = None, *, corpus_source: str = "monash", max_samples: int = 160) -> AimTS:
     """Pre-train a fresh AimTS model on a multi-source corpus."""
     seed_everything(3407)
-    model = AimTS(config or make_aimts_config())
+    model = make_estimator("aimts", config=config or make_aimts_config())
     corpus = load_pretraining_corpus(corpus_source, n_datasets=12, seed=3407)
     model.pretrain(corpus, max_samples=max_samples)
     return model
@@ -91,11 +92,12 @@ def foundation_baselines() -> dict:
     """MOMENT-like and UniTS-like baselines pre-trained on the same corpus."""
     seed_everything(3407)
     corpus = load_pretraining_corpus("monash", n_datasets=12, seed=3407)
-    moment = MomentLike(make_baseline_config())
-    moment.pretrain_multi_source(corpus, max_samples=160)
-    units = UniTSLike(make_baseline_config())
-    units.pretrain_multi_source(corpus, max_samples=160)
-    return {"MOMENT": moment, "UniTS": units}
+    baselines = {}
+    for api_name, display_name in (("moment", "MOMENT"), ("units", "UniTS")):
+        baseline = make_estimator(api_name, config=make_baseline_config())
+        baseline.pretrain(corpus, max_samples=160)
+        baselines[display_name] = baseline
+    return baselines
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,7 @@ import pytest
 
 from benchmarks.conftest import make_aimts_config, make_finetune_config, pretrain_aimts, print_table, run_once
 from repro.data import load_dataset
+from repro.evaluation import run_protocol
 
 SWEEP_DATASETS = ("AllGestureWiimoteX", "AllGestureWiimoteY", "AllGestureWiimoteZ")
 ALPHA_VALUES = (0.9, 0.8, 0.7, 0.6)
@@ -25,8 +26,8 @@ GAMMA_VALUES = (0.1, 0.3, 0.5, 0.7)
 
 def _evaluate(model, finetune):
     datasets = [load_dataset(name, seed=3407) for name in SWEEP_DATASETS]
-    accuracies = model.evaluate_archive(datasets, finetune)
-    return float(np.mean(list(accuracies.values())))
+    comparison = run_protocol(model, datasets, protocol="multi_source", finetune_config=finetune)
+    return float(np.mean(list(comparison.accuracies[model.name].values())))
 
 
 def _sweep(parameter: str, values, finetune):

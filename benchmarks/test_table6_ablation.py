@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import make_aimts_config, make_finetune_config, pretrain_aimts, print_table, run_once
+from repro.evaluation import run_protocol
 
 #: variant name -> AimTSConfig overrides
 ABLATION_VARIANTS = {
@@ -39,7 +40,10 @@ def test_table6_component_ablation(benchmark, ucr_suite):
         scores = {}
         for variant, overrides in ABLATION_VARIANTS.items():
             model = pretrain_aimts(make_aimts_config(**overrides), max_samples=120)
-            accuracies = model.evaluate_archive(evaluation_suite, finetune)
+            comparison = run_protocol(
+                model, evaluation_suite, protocol="multi_source", finetune_config=finetune
+            )
+            accuracies = comparison.accuracies[model.name]
             scores[variant] = sum(accuracies.values()) / len(accuracies)
         return scores
 

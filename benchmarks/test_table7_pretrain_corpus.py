@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import make_finetune_config, pretrain_aimts, print_table, run_once
+from repro.evaluation import run_protocol
 
 CORPORA = ("monash", "ucr", "uea")
 
@@ -28,7 +29,15 @@ def test_table7_pretraining_corpora(benchmark, ucr_suite, uea_suite):
         for corpus in CORPORA:
             model = pretrain_aimts(corpus_source=corpus, max_samples=120)
             table[corpus] = {
-                suite_name: float(np.mean(list(model.evaluate_archive(suite, finetune).values())))
+                suite_name: float(
+                    np.mean(
+                        list(
+                            run_protocol(
+                                model, suite, protocol="multi_source", finetune_config=finetune
+                            ).accuracies[model.name].values()
+                        )
+                    )
+                )
                 for suite_name, suite in downstream.items()
             }
         return table

@@ -1,15 +1,17 @@
-"""Quickstart: pre-train AimTS on a multi-source corpus and fine-tune it downstream.
+"""Quickstart: the unified Estimator API, full-bundle checkpoints, run_protocol.
 
 This is the 5-minute tour of the library:
 
-1. load an unlabeled multi-source pre-training corpus (Monash-style),
-2. pre-train AimTS with its two contrastive objectives,
-3. fine-tune the pre-trained TS encoder on a small labelled downstream dataset
-   (an ECG200-style two-class problem) and report test accuracy,
-4. compare against training the same architecture from scratch,
-5. save and reload the pre-trained checkpoint.
+1. build AimTS from the component registry (``make_estimator``),
+2. pre-train on an unlabeled multi-source corpus (Monash-style),
+3. fine-tune on a small labelled downstream dataset and classify new series
+   with ``predict`` / ``predict_proba`` directly on the facade,
+4. save a full-bundle checkpoint and reconstruct a working estimator from it
+   with ``load_estimator`` (no config or class needed at load time),
+5. compare against baselines on a whole archive with one ``run_protocol``
+   call.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
@@ -17,23 +19,23 @@ from __future__ import annotations
 import tempfile
 import time
 
-from repro import AimTS, AimTSConfig, FineTuneConfig
-from repro.core.finetuner import FineTuner
+import numpy as np
+
+from repro import load_estimator, make_estimator
+from repro.core import FineTuneConfig
 from repro.data import load_dataset, load_pretraining_corpus
-from repro.encoders import TSEncoder
+from repro.evaluation import run_protocol
 from repro.utils.seeding import seed_everything
 
 
 def main() -> None:
     seed_everything(3407)
 
-    # ------------------------------------------------------------------ 1. data
-    corpus = load_pretraining_corpus("monash", n_datasets=10)
-    print(f"Pre-training corpus: {len(corpus)} unlabeled datasets "
-          f"({sum(len(d.train) for d in corpus)} series in total)")
-
-    # --------------------------------------------------------------- 2. pretrain
-    config = AimTSConfig(
+    # ------------------------------------------------------- 1. registry
+    # every model in the repo is constructible from a string + overrides;
+    # config-dataclass fields and constructor keywords are routed automatically
+    model = make_estimator(
+        "aimts",
         repr_dim=24,
         proj_dim=12,
         hidden_channels=12,
@@ -43,31 +45,49 @@ def main() -> None:
         batch_size=12,
         epochs=2,           # the paper pre-trains for 2 epochs as well
     )
-    model = AimTS(config)
+
+    # ------------------------------------------------------- 2. pretrain
+    corpus = load_pretraining_corpus("monash", n_datasets=10)
+    print(f"Pre-training corpus: {len(corpus)} unlabeled datasets "
+          f"({sum(len(d.train) for d in corpus)} series in total)")
     start = time.perf_counter()
     history = model.pretrain(corpus, max_samples=160, verbose=True)
     print(f"Pre-training finished in {time.perf_counter() - start:.1f}s; "
           f"final loss {history.total_loss[-1]:.4f}")
 
-    # --------------------------------------------------------------- 3. finetune
+    # ------------------------------------------------------- 3. finetune + predict
     downstream = load_dataset("ECG200")
     print(f"\nDownstream dataset: {downstream.describe()}")
     finetune_config = FineTuneConfig(epochs=20, learning_rate=3e-3)
     result = model.fine_tune(downstream, finetune_config)
     print(f"AimTS (multi-source pre-trained) test accuracy: {result.accuracy:.3f}")
 
-    # ------------------------------------------------- 4. from-scratch comparison
-    scratch_encoder = TSEncoder(hidden_channels=12, repr_dim=24, depth=2, rng=3407)
-    scratch = FineTuner(scratch_encoder, downstream.n_classes, finetune_config)
-    scratch_result = scratch.fit_and_evaluate(downstream)
-    print(f"Same architecture trained from scratch:        {scratch_result.accuracy:.3f}")
+    # batch inference straight on the facade — no FineTuner internals needed
+    new_series = downstream.test.X[:5]
+    print(f"predict:        {model.predict(new_series)}")
+    print(f"predict_proba:  {np.round(model.predict_proba(new_series), 3).tolist()}")
 
-    # ------------------------------------------------------------- 5. checkpoint
+    # ------------------------------------------------------- 4. full-bundle checkpoint
     with tempfile.TemporaryDirectory() as tmp:
         path = model.save(f"{tmp}/aimts_checkpoint")
-        restored = AimTS(config).load(path)
-        restored_result = restored.fine_tune(downstream, finetune_config)
-        print(f"Restored checkpoint reproduces fine-tuning:    {restored_result.accuracy:.3f}")
+        # the bundle stores the config, encoders, fine-tuned classifier and
+        # label map, so the estimator comes back whole from the path alone
+        restored = load_estimator(path)
+        identical = np.array_equal(
+            restored.predict(downstream.test.X), model.predict(downstream.test.X)
+        )
+        print(f"Restored bundle predicts identically:          {identical}")
+
+    # ------------------------------------------------------- 5. one-call archive protocol
+    comparison = run_protocol(
+        {"AimTS": model, "Rocket": "rocket", "Linear": "linear"},
+        [downstream],
+        protocol="multi_source",
+        finetune_config=finetune_config,
+    )
+    for method, accuracies in comparison.accuracies.items():
+        print(f"{method:>8s}: {accuracies[downstream.name]:.3f}")
+    print(f"Best method: {comparison.best_method()}")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,16 @@ Quick start
 """
 
 from repro.core import AimTS, AimTSConfig, FineTuneConfig
+from repro.api import estimator_names, load_estimator, make_estimator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["AimTS", "AimTSConfig", "FineTuneConfig", "__version__"]
+__all__ = [
+    "AimTS",
+    "AimTSConfig",
+    "FineTuneConfig",
+    "make_estimator",
+    "load_estimator",
+    "estimator_names",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""``repro.api`` — the public estimator contract shared by every model.
+
+This package defines the three pieces that make AimTS and all of its
+comparison baselines interchangeable:
+
+* :class:`~repro.api.estimator.Estimator` — the structural protocol every
+  model implements: ``pretrain(corpus_or_X)``, ``fine_tune(dataset, config)``,
+  ``encode(X)``, ``predict(X)`` / ``predict_proba(X)`` and ``save(path)`` /
+  ``load(path)``.
+* :mod:`~repro.api.registry` — string-keyed registries of estimators,
+  encoders and augmentations, so experiments can be driven by config:
+  ``make_estimator("ts2vec", repr_dim=32)``.
+* :mod:`~repro.api.bundle` — versioned full-bundle checkpoints: one ``.npz``
+  holding every weight array plus an embedded JSON manifest (schema version,
+  originating config, label map, fine-tuned classifier, ...), loadable back
+  into a fresh estimator with :func:`~repro.api.registry.load_estimator`.
+
+>>> from repro.api import make_estimator, estimator_names
+>>> sorted(estimator_names())  # doctest: +ELLIPSIS
+['aimts', ...]
+>>> model = make_estimator("rocket", n_kernels=100)
+"""
+
+from repro.api.estimator import Estimator, FineTunedPredictorMixin, RidgePredictorMixin
+from repro.api.bundle import (
+    SCHEMA_VERSION,
+    BundleFormatError,
+    load_bundle,
+    peek_manifest,
+    save_bundle,
+)
+from repro.api.registry import (
+    AUGMENTATIONS,
+    ENCODERS,
+    ESTIMATORS,
+    Registry,
+    estimator_names,
+    load_estimator,
+    make_estimator,
+)
+
+__all__ = [
+    "Estimator",
+    "FineTunedPredictorMixin",
+    "RidgePredictorMixin",
+    "Registry",
+    "ESTIMATORS",
+    "ENCODERS",
+    "AUGMENTATIONS",
+    "make_estimator",
+    "load_estimator",
+    "estimator_names",
+    "save_bundle",
+    "load_bundle",
+    "peek_manifest",
+    "BundleFormatError",
+    "SCHEMA_VERSION",
+]

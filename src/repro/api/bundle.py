@@ -1,0 +1,157 @@
+"""Versioned full-bundle checkpoints: one ``.npz`` + an embedded JSON manifest.
+
+A *bundle* persists an estimator whole — encoder weights, projection heads,
+the fine-tuned classifier, the label map, normalization statistics and the
+originating config — so a checkpoint can be reconstructed into a working
+estimator with no out-of-band information (see
+:func:`repro.api.registry.load_estimator`).
+
+Layout: a single ``.npz`` archive whose keys are the weight arrays plus one
+reserved ``__manifest__`` entry holding the UTF-8 JSON manifest.  The
+manifest always contains:
+
+``format``
+    The literal ``"repro-bundle"`` (detects non-bundle ``.npz`` files).
+``schema_version``
+    Integer; loading a bundle written with an unsupported schema raises
+    :class:`BundleFormatError` with a clear message instead of garbage.
+``estimator``
+    The registry key of the estimator that wrote the bundle.
+``dtypes``
+    Per-array dtype strings recorded at save time and re-checked at load
+    time, so silent dtype conversion anywhere in the round trip is an error
+    rather than an accuracy drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+#: current bundle schema; bump when the layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: reserved archive key holding the JSON manifest
+MANIFEST_KEY = "__manifest__"
+
+_FORMAT = "repro-bundle"
+
+
+class BundleFormatError(ValueError):
+    """Raised when a file is not a bundle or uses an unsupported schema."""
+
+
+def _normalize_path(path: str | os.PathLike) -> str:
+    path = str(path)
+    # case-insensitive so "model.NPZ" is not double-suffixed to "model.NPZ.npz"
+    if not path.lower().endswith(".npz"):
+        path = path + ".npz"
+    return path
+
+
+def resolve_read_path(path: str | os.PathLike) -> str:
+    """Accept the same path string that ``save_bundle`` was given.
+
+    ``save_bundle("/tmp/model")`` writes ``/tmp/model.npz``; loading with
+    either string must work, so the suffix is appended when the bare path
+    does not exist.
+    """
+    path = str(path)
+    if not os.path.exists(path):
+        return _normalize_path(path)
+    return path
+
+
+def save_bundle(
+    path: str | os.PathLike,
+    arrays: dict[str, np.ndarray],
+    manifest: dict,
+) -> str:
+    """Write ``arrays`` + ``manifest`` as one bundle; returns the path written.
+
+    The manifest is augmented with the format tag, the schema version and the
+    per-array dtype table; caller-provided keys win except for ``dtypes``.
+    """
+    path = _normalize_path(path)
+    payload = {key: np.asarray(value) for key, value in arrays.items()}
+    if MANIFEST_KEY in payload:
+        raise ValueError(f"array key {MANIFEST_KEY!r} is reserved for the manifest")
+    manifest = dict(manifest)
+    manifest.setdefault("format", _FORMAT)
+    manifest.setdefault("schema_version", SCHEMA_VERSION)
+    manifest["dtypes"] = {key: str(value.dtype) for key, value in payload.items()}
+    encoded = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    payload[MANIFEST_KEY] = np.frombuffer(encoded, dtype=np.uint8)
+    # write through a file handle: np.savez would re-append ".npz" to a
+    # string path whose suffix differs in case (e.g. "model.NPZ")
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+    return path
+
+
+def _decode_manifest(raw: np.ndarray) -> dict:
+    try:
+        return json.loads(bytes(np.asarray(raw, dtype=np.uint8)).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:  # pragma: no cover - corrupt file
+        raise BundleFormatError(f"bundle manifest is not valid JSON: {exc}") from exc
+
+
+def _check_manifest(manifest: dict, path: str) -> None:
+    if manifest.get("format") != _FORMAT:
+        raise BundleFormatError(
+            f"{path!r} is not a repro bundle (format={manifest.get('format')!r})"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BundleFormatError(
+            f"{path!r} uses bundle schema version {version!r}; this build only "
+            f"supports version {SCHEMA_VERSION} — re-save the bundle with a "
+            "matching version of the library"
+        )
+
+
+def load_bundle(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a bundle back as ``(arrays, manifest)``.
+
+    Raises :class:`BundleFormatError` for non-bundle archives, unsupported
+    schema versions, or dtype drift between save and load.
+    """
+    path = resolve_read_path(path)
+    with np.load(path) as archive:
+        if MANIFEST_KEY not in archive.files:
+            raise BundleFormatError(
+                f"{path!r} has no manifest; it is a legacy state-dict archive, "
+                "not a bundle (use repro.nn.serialization.load_state_dict)"
+            )
+        manifest = _decode_manifest(archive[MANIFEST_KEY])
+        _check_manifest(manifest, path)
+        arrays = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
+    for key, dtype in manifest.get("dtypes", {}).items():
+        if key in arrays and str(arrays[key].dtype) != dtype:
+            raise BundleFormatError(
+                f"dtype drift for {key!r}: saved as {dtype}, loaded as "
+                f"{arrays[key].dtype}"
+            )
+    return arrays, manifest
+
+
+def sub_state(state: dict[str, np.ndarray], prefix: str) -> dict[str, np.ndarray]:
+    """Extract the sub-dictionary of ``state`` under ``prefix.``."""
+    return {
+        key[len(prefix) + 1 :]: value
+        for key, value in state.items()
+        if key.startswith(prefix + ".")
+    }
+
+
+def peek_manifest(path: str | os.PathLike) -> dict | None:
+    """Return the manifest of ``path``, or ``None`` for legacy archives."""
+    path = resolve_read_path(path)
+    with np.load(path) as archive:
+        if MANIFEST_KEY not in archive.files:
+            return None
+        manifest = _decode_manifest(archive[MANIFEST_KEY])
+    _check_manifest(manifest, path)
+    return manifest

@@ -1,0 +1,216 @@
+"""String-keyed component registries and the ``make_estimator`` entry point.
+
+Three registries are populated on first use (imports stay cheap and cycle
+free): :data:`ESTIMATORS` (every model in the repo), :data:`ENCODERS` (the
+neural trunks and heads) and :data:`AUGMENTATIONS` (the series augmentation
+ops).  Each maps a lower-case name to a factory, so experiments are driven
+by plain data:
+
+>>> from repro.api import make_estimator
+>>> model = make_estimator("ts2vec", repr_dim=32)           # name + overrides
+>>> model = make_estimator({"name": "rocket", "n_kernels": 100})  # spec dict
+
+For estimator families configured through a dataclass (``AimTSConfig`` /
+``BaselineConfig``) the factory splits overrides automatically: keys naming a
+config field go into the config, everything else into the constructor
+(``make_estimator("ts2vec", repr_dim=32, tau=0.1)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections.abc import Mapping
+from typing import Callable
+
+from repro.api.bundle import BundleFormatError, load_bundle
+
+
+class Registry:
+    """A case-insensitive name → factory mapping for one component kind."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.strip().lower()
+
+    def register(self, name: str, factory: Callable | None = None):
+        """Register ``factory`` under ``name`` (also usable as a decorator).
+
+        Re-registering a name overrides it — including the builtins, which
+        are populated first so a custom registration is never clobbered by
+        the lazy builtin population later.
+        """
+        self._populate()
+        key = self._key(name)
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self._factories[key] = fn
+                return fn
+
+            return decorator
+        self._factories[key] = factory
+        return factory
+
+    def create(self, name: str, **kwargs):
+        """Instantiate the component registered under ``name``."""
+        self._populate()
+        key = self._key(name)
+        if key not in self._factories:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
+            )
+        return self._factories[key](**kwargs)
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        self._populate()
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        self._populate()
+        return self._key(name) in self._factories
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._populate()
+        return len(self._factories)
+
+    def _populate(self) -> None:
+        _populate_builtins()
+
+
+#: every model in the repo (AimTS + all comparison baselines)
+ESTIMATORS = Registry("estimator")
+#: neural trunks and heads
+ENCODERS = Registry("encoder")
+#: series augmentation ops (the G-augmentation bank vocabulary)
+AUGMENTATIONS = Registry("augmentation")
+
+_POPULATED = False
+_POPULATING = False  # reentrancy guard: _populate_builtins itself calls register()
+
+
+def _config_split_factory(cls, config_cls) -> Callable:
+    """Factory that routes overrides into the config dataclass vs. the ctor."""
+    config_fields = {field.name for field in dataclasses.fields(config_cls)}
+
+    def factory(config=None, **overrides):
+        config_kwargs = {
+            key: overrides.pop(key) for key in list(overrides) if key in config_fields
+        }
+        if config is None:
+            config = config_cls(**config_kwargs)
+        elif config_kwargs:
+            config = dataclasses.replace(config, **config_kwargs)
+        return cls(config, **overrides)
+
+    factory.component_class = cls
+    return factory
+
+
+def _populate_builtins() -> None:
+    """Register the built-in components (idempotent, lazy to avoid cycles)."""
+    global _POPULATED, _POPULATING
+    if _POPULATED or _POPULATING:
+        return
+    _POPULATING = True
+    try:
+        from repro.augmentations import ops as aug_ops
+        from repro.baselines import (
+            LinearClassifier,
+            MiniRocket,
+            MomentLike,
+            Rocket,
+            SimCLR,
+            SupervisedCNN,
+            TLoss,
+            TNC,
+            TS2Vec,
+            TSTCC,
+            UniTSLike,
+        )
+        from repro.baselines.base import BaselineConfig
+        from repro.core.config import AimTSConfig
+        from repro.core.model import AimTS
+        from repro.encoders import ClassifierHead, ImageEncoder, ProjectionHead, TSEncoder
+
+        ESTIMATORS.register(AimTS.api_name, _config_split_factory(AimTS, AimTSConfig))
+        for cls in (TS2Vec, TSTCC, TLoss, TNC, SimCLR, MomentLike, UniTSLike):
+            ESTIMATORS.register(cls.api_name, _config_split_factory(cls, BaselineConfig))
+        for cls in (SupervisedCNN, LinearClassifier, Rocket, MiniRocket):
+            ESTIMATORS.register(cls.api_name, cls)  # plain keyword constructors
+
+        ENCODERS.register("ts_encoder", TSEncoder)
+        ENCODERS.register("image_encoder", ImageEncoder)
+        ENCODERS.register("projection", ProjectionHead)
+        ENCODERS.register("classifier", ClassifierHead)
+
+        for cls in (
+            aug_ops.Jitter,
+            aug_ops.Scaling,
+            aug_ops.TimeWarp,
+            aug_ops.Slicing,
+            aug_ops.WindowWarp,
+            aug_ops.Permutation,
+            aug_ops.Masking,
+        ):
+            AUGMENTATIONS.register(cls.name, cls)
+
+        # only mark populated once every registration succeeded, so a failed
+        # first population re-raises its real error instead of leaving the
+        # registries permanently empty
+        _POPULATED = True
+    finally:
+        _POPULATING = False
+
+
+def make_estimator(spec, **overrides):
+    """Construct an estimator from a name or spec dict plus overrides.
+
+    ``spec`` is either a registry name (``"aimts"``, ``"ts2vec"``, ...) or a
+    mapping with a ``"name"`` key whose remaining items are treated as
+    overrides (explicit keyword ``overrides`` win on conflict).
+    """
+    if isinstance(spec, Mapping):
+        spec = dict(spec)
+        try:
+            name = spec.pop("name")
+        except KeyError:
+            raise ValueError("estimator spec dict requires a 'name' key") from None
+        overrides = {**spec, **overrides}
+    else:
+        name = spec
+    return ESTIMATORS.create(name, **overrides)
+
+
+def estimator_names() -> list[str]:
+    """Names of every registered estimator."""
+    return ESTIMATORS.names()
+
+
+def load_estimator(path: str | os.PathLike):
+    """Reconstruct a fully working estimator from a bundle checkpoint.
+
+    Reads the bundle manifest, rebuilds the estimator from the registry using
+    the originating config stored in it, then loads all weights — including a
+    fine-tuned classifier when present, so ``load_estimator(p).predict(X)``
+    works with no further calls.
+    """
+    arrays, manifest = load_bundle(path)
+    name = manifest.get("estimator")
+    if not name:
+        raise BundleFormatError(f"bundle {str(path)!r} does not name its estimator")
+    overrides = dict(manifest.get("config") or {})
+    overrides.update(manifest.get("init_kwargs") or {})
+    estimator = make_estimator(name, **overrides)
+    if hasattr(estimator, "_load_from_state"):  # reuse the bundle read above
+        estimator._load_from_state(arrays, manifest)
+    else:  # pragma: no cover - third-party estimators without the fast path
+        estimator.load(path)
+    return estimator

@@ -5,15 +5,24 @@ with the baseline's own self-supervised objective (``batch_loss``), and a
 classifier is then fine-tuned on the labelled training split via the same
 :class:`~repro.core.finetuner.FineTuner` used by AimTS, so the comparison
 isolates the representation-learning objective.
+
+All baselines implement the :class:`repro.api.Estimator` contract:
+``pretrain`` accepts either a raw ``(N, M, T)`` pool or a list of datasets
+(multi-source), ``fine_tune`` returns a ``FineTuneResult`` and arms
+``predict`` / ``predict_proba``, and ``save`` / ``load`` round-trip the whole
+model through versioned full-bundle checkpoints.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.estimator import FineTunedPredictorMixin
 from repro.core.config import FineTuneConfig
 from repro.core.finetuner import FineTuner, FineTuneResult
 from repro.data.dataset import TimeSeriesDataset
@@ -53,7 +62,7 @@ class BaselineConfig:
             )
 
 
-class SelfSupervisedBaseline:
+class SelfSupervisedBaseline(FineTunedPredictorMixin):
     """Base class for contrastive / reconstruction pre-training baselines.
 
     Subclasses implement :meth:`batch_loss`, which receives one mini-batch of
@@ -62,6 +71,9 @@ class SelfSupervisedBaseline:
 
     #: short name used in result tables
     name = "baseline"
+    #: registry key (see :data:`repro.api.registry.ESTIMATORS`)
+    api_name = "baseline"
+    supports_pretraining = True
 
     def __init__(self, config: BaselineConfig | None = None):
         self.config = config or BaselineConfig()
@@ -70,6 +82,9 @@ class SelfSupervisedBaseline:
         self.projection = ProjectionHead(
             self.config.repr_dim, self.config.proj_dim, rng=int(self._rng.integers(0, 2**31))
         )
+        self._pretrained = False
+        self._finetuner: FineTuner | None = None
+        self._label_map: np.ndarray | None = None
 
     def _build_encoder(self) -> TSEncoder:
         return TSEncoder(
@@ -81,13 +96,29 @@ class SelfSupervisedBaseline:
             rng=int(self._rng.integers(0, 2**31)),
         )
 
+    @property
+    def is_pretrained(self) -> bool:
+        """Whether :meth:`pretrain` (or :meth:`load`) has been called."""
+        return self._pretrained
+
     # ------------------------------------------------------------- objectives
     def batch_loss(self, batch: np.ndarray) -> Tensor:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def _named_auxiliary_modules(self) -> dict:
+        """Extra trainable modules beyond encoder + projection (overridable).
+
+        Keys become checkpoint prefixes, so they must be stable across
+        versions of a subclass.
+        """
+        return {}
+
     def _auxiliary_modules(self) -> list:
-        """Extra trainable modules beyond encoder + projection (overridable)."""
-        return []
+        return list(self._named_auxiliary_modules().values())
+
+    def _manifest_init_kwargs(self) -> dict:
+        """Constructor keywords (beyond the config) recorded in bundles."""
+        return {}
 
     def parameters(self):
         yield from self.encoder.parameters()
@@ -96,9 +127,37 @@ class SelfSupervisedBaseline:
             yield from module.parameters()
 
     # ------------------------------------------------------------ pre-training
-    def pretrain(self, X: np.ndarray, *, epochs: int | None = None, verbose: bool = False) -> list[float]:
-        """Self-supervised pre-training on unlabeled series ``(N, M, T)``."""
-        X = z_normalize(np.asarray(X, dtype=np.float64))
+    def pretrain(
+        self,
+        corpus_or_X: list[TimeSeriesDataset] | np.ndarray,
+        *,
+        epochs: int | None = None,
+        max_samples: int | None = None,
+        n_variables: int = 1,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Self-supervised pre-training.
+
+        Accepts either an unlabeled pool ``(N, M, T)`` (case-by-case
+        paradigm) or a list of datasets, which are merged into a common-shape
+        multi-source pool first (Fig. 8d paradigm).  Returns the per-epoch
+        loss curve.
+        """
+        if not isinstance(corpus_or_X, np.ndarray):
+            pool = build_pretraining_pool(
+                corpus_or_X,
+                length=self.config.series_length,
+                n_variables=n_variables,
+                max_samples=max_samples,
+                seed=self._rng,
+            )
+            return self.pretrain(pool, epochs=epochs, verbose=verbose)
+
+        X = z_normalize(np.asarray(corpus_or_X, dtype=np.float64))
+        if max_samples is not None and X.shape[0] > max_samples:
+            # seeded subsample rather than head-truncation: raw pools are often
+            # class-sorted, matching build_pretraining_pool's semantics
+            X = X[np.sort(self._rng.choice(X.shape[0], size=max_samples, replace=False))]
         epochs = epochs or self.config.epochs
         optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
         iterator = BatchIterator(X, batch_size=self.config.batch_size, shuffle=True, seed=self._rng)
@@ -117,6 +176,7 @@ class SelfSupervisedBaseline:
             curve.append(total / max(batches, 1))
             if verbose:
                 print(f"[{self.name}] epoch {epoch + 1}/{epochs} loss={curve[-1]:.4f}")
+        self._pretrained = True
         return curve
 
     def pretrain_multi_source(
@@ -127,15 +187,10 @@ class SelfSupervisedBaseline:
         max_samples: int | None = None,
         epochs: int | None = None,
     ) -> list[float]:
-        """Pre-train on a merged multi-source pool (Fig. 8d protocol)."""
-        pool = build_pretraining_pool(
-            corpus,
-            length=self.config.series_length,
-            n_variables=n_variables,
-            max_samples=max_samples,
-            seed=self._rng,
+        """Pre-train on a merged multi-source pool (alias of :meth:`pretrain`)."""
+        return self.pretrain(
+            corpus, n_variables=n_variables, max_samples=max_samples, epochs=epochs
         )
-        return self.pretrain(pool, epochs=epochs)
 
     # ------------------------------------------------------------- evaluation
     def fine_tune(
@@ -146,7 +201,7 @@ class SelfSupervisedBaseline:
         label_ratio: float | None = None,
     ) -> FineTuneResult:
         """Fine-tune a classifier on the downstream dataset (encoder included)."""
-        from repro.data.fewshot import few_shot_subset
+        from repro.data.fewshot import few_shot_view
 
         encoder_copy = copy.deepcopy(self.encoder)
         # the self-supervised objectives pre-train with "mean" aggregation (the
@@ -154,18 +209,11 @@ class SelfSupervisedBaseline:
         # the configured aggregation so every method sees the same head setup
         encoder_copy.channel_aggregation = self.config.channel_aggregation
         finetuner = FineTuner(encoder_copy, dataset.n_classes, finetune_config)
-        working = dataset
-        if label_ratio is not None:
-            train = few_shot_subset(dataset.train, label_ratio, seed=self.config.seed)
-            working = TimeSeriesDataset(
-                name=dataset.name,
-                domain=dataset.domain,
-                train=train,
-                test=dataset.test,
-                n_classes=dataset.n_classes,
-                metadata=dict(dataset.metadata, label_ratio=label_ratio),
-            )
-        return finetuner.fit_and_evaluate(working)
+        working = few_shot_view(dataset, label_ratio, seed=self.config.seed)
+        result = finetuner.fit_and_evaluate(working)
+        self._finetuner = finetuner
+        self._label_map = np.arange(dataset.n_classes, dtype=np.int64)
+        return result
 
     def fit_and_evaluate(
         self,
@@ -174,9 +222,73 @@ class SelfSupervisedBaseline:
         *,
         pretrain_epochs: int | None = None,
     ) -> float:
-        """Case-by-case protocol: pre-train on the dataset itself, then fine-tune."""
+        """Deprecated: pre-train on the dataset itself, then fine-tune.
+
+        Use ``pretrain(dataset.train.X)`` + ``fine_tune(dataset)`` directly,
+        or :func:`repro.evaluation.run_protocol` for whole-archive runs.
+        """
+        warnings.warn(
+            f"{type(self).__name__}.fit_and_evaluate is deprecated; call "
+            "pretrain() + fine_tune() or use repro.evaluation.run_protocol",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.pretrain(dataset.train.X, epochs=pretrain_epochs)
         return self.fine_tune(dataset, finetune_config).accuracy
+
+    # ------------------------------------------------------------ persistence
+    def _model_modules(self) -> dict:
+        return {
+            "encoder": self.encoder,
+            "projection": self.projection,
+            **self._named_auxiliary_modules(),
+        }
+
+    def save(self, path) -> str:
+        """Save a full-bundle checkpoint (see :mod:`repro.api.bundle`)."""
+        from repro.api.bundle import save_bundle
+
+        arrays: dict[str, np.ndarray] = {}
+        for prefix, module in self._model_modules().items():
+            for key, value in module.state_dict().items():
+                arrays[f"model.{prefix}.{key}"] = value
+        manifest = {
+            "estimator": self.api_name,
+            "config": dataclasses.asdict(self.config),
+            "init_kwargs": self._manifest_init_kwargs(),
+            "pretrained": self._pretrained,
+        }
+        if self.is_fitted:
+            self._pack_finetuner(arrays, manifest)
+        return save_bundle(path, arrays, manifest)
+
+    def load(self, path) -> "SelfSupervisedBaseline":
+        """Load a checkpoint saved by :meth:`save` into this instance."""
+        from repro.api.bundle import load_bundle
+
+        return self._load_from_state(*load_bundle(path))
+
+    def _load_from_state(self, state: dict, manifest: dict) -> "SelfSupervisedBaseline":
+        """Restore from already-read bundle contents (single-read load path)."""
+        from repro.api.bundle import sub_state
+
+        for prefix, module in self._model_modules().items():
+            module.load_state_dict(sub_state(state, f"model.{prefix}"))
+        self._pretrained = bool(manifest.get("pretrained", True))
+        finetune = manifest.get("finetune")
+        if finetune is None:
+            # a pretrain-only bundle resets any classifier fitted before load —
+            # it was trained against weights this instance no longer has
+            self._finetuner = None
+            self._label_map = None
+        else:
+            finetuner = FineTuner(
+                copy.deepcopy(self.encoder),
+                finetune["n_classes"],
+                FineTuneConfig(**finetune["config"]),
+            )
+            self._restore_finetuner(finetuner, state, finetune)
+        return self
 
     # ------------------------------------------------------------------ utils
     def encode(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:

@@ -47,6 +47,7 @@ class MomentLike(SelfSupervisedBaseline):
     """Masked time-series reconstruction pre-training (MOMENT-style)."""
 
     name = "MOMENT"
+    api_name = "moment"
 
     def __init__(self, config: BaselineConfig | None = None, *, mask_ratio: float = 0.3):
         super().__init__(config)
@@ -56,8 +57,11 @@ class MomentLike(SelfSupervisedBaseline):
             self.config.repr_dim, self.config.series_length, rng=int(self._rng.integers(0, 2**31))
         )
 
-    def _auxiliary_modules(self):
-        return [self.decoder]
+    def _named_auxiliary_modules(self) -> dict:
+        return {"decoder": self.decoder}
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"mask_ratio": self.masking.mask_ratio}
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         """Reconstruct the (first variable of the) original series from a masked view."""
@@ -78,6 +82,7 @@ class UniTSLike(MomentLike):
     """Unified reconstruction + instance-discrimination pre-training (UniTS-style)."""
 
     name = "UniTS"
+    api_name = "units"
 
     def __init__(
         self,
@@ -90,6 +95,13 @@ class UniTSLike(MomentLike):
         super().__init__(config, mask_ratio=mask_ratio)
         self.contrastive_weight = contrastive_weight
         self.tau = tau
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {
+            "mask_ratio": self.masking.mask_ratio,
+            "contrastive_weight": self.contrastive_weight,
+            "tau": self.tau,
+        }
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         reconstruction_loss = super().batch_loss(batch)

@@ -21,6 +21,7 @@ class SimCLR(SelfSupervisedBaseline):
     """Two-view NT-Xent contrastive learning with a fixed augmentation pipeline."""
 
     name = "SimCLR"
+    api_name = "simclr"
 
     def __init__(self, config: BaselineConfig | None = None, *, tau: float = 0.2):
         super().__init__(config)
@@ -29,6 +30,9 @@ class SimCLR(SelfSupervisedBaseline):
         self.augmentation = Compose(
             [Jitter(sigma=0.08, seed=rng), Scaling(sigma=0.1, seed=rng), TimeWarp(strength=0.1, seed=rng)]
         )
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"tau": self.tau}
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         view_a = self.augmentation(batch)

@@ -21,10 +21,14 @@ class TLoss(SelfSupervisedBaseline):
     """Triplet loss over random subseries."""
 
     name = "T-Loss"
+    api_name = "tloss"
 
     def __init__(self, config: BaselineConfig | None = None, *, n_negatives: int = 4):
         super().__init__(config)
         self.n_negatives = n_negatives
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"n_negatives": self.n_negatives}
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         B, M, T = batch.shape

@@ -20,10 +20,14 @@ class TNC(SelfSupervisedBaseline):
     """Temporal neighborhood coding with a bilinear-free logistic objective."""
 
     name = "TNC"
+    api_name = "tnc"
 
     def __init__(self, config: BaselineConfig | None = None, *, window_ratio: float = 0.4):
         super().__init__(config)
         self.window_ratio = window_ratio
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"window_ratio": self.window_ratio}
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         B, M, T = batch.shape

@@ -26,11 +26,15 @@ class TS2Vec(SelfSupervisedBaseline):
     """Overlapping-crop contextual contrastive learning."""
 
     name = "TS2Vec"
+    api_name = "ts2vec"
 
     def __init__(self, config: BaselineConfig | None = None, *, tau: float = 0.2, min_overlap: float = 0.3):
         super().__init__(config)
         self.tau = tau
         self.min_overlap = min_overlap
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"tau": self.tau, "min_overlap": self.min_overlap}
 
     def _sample_overlapping_crops(self, batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Two crops with a guaranteed overlapping region (the context views)."""

@@ -22,6 +22,7 @@ class TSTCC(SelfSupervisedBaseline):
     """Weak/strong augmentation cross-view contrastive learning."""
 
     name = "TS-TCC"
+    api_name = "tstcc"
 
     def __init__(self, config: BaselineConfig | None = None, *, tau: float = 0.2):
         super().__init__(config)
@@ -34,6 +35,9 @@ class TSTCC(SelfSupervisedBaseline):
         self.strong_augmentation = Compose(
             [Permutation(max_segments=5, seed=rng), Jitter(sigma=0.1, seed=rng)]
         )
+
+    def _manifest_init_kwargs(self) -> dict:
+        return {"tau": self.tau}
 
     def batch_loss(self, batch: np.ndarray) -> Tensor:
         weak = self.weak_augmentation(batch)

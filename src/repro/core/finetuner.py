@@ -58,10 +58,13 @@ class FineTuner:
         # depends on the downstream dataset when the encoder concatenates the
         # per-variable representations (channel_aggregation="concat").
         self.classifier: ClassifierHead | None = None
+        #: number of variables the classifier input was sized for (set at fit time)
+        self.n_variables: int | None = None
 
     def _ensure_classifier(self, n_variables: int) -> None:
         if self.classifier is not None:
             return
+        self.n_variables = int(n_variables)
         if hasattr(self.encoder, "output_dim"):
             in_dim = self.encoder.output_dim(n_variables)
         else:  # pragma: no cover - non-standard encoders
@@ -114,8 +117,8 @@ class FineTuner:
                 print(f"[finetune] epoch {epoch + 1}/{self.config.epochs} loss={curve[-1]:.4f}")
         return curve
 
-    def predict(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
-        """Predict integer class labels for ``(n, M, T)`` samples."""
+    def predict_logits(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Evaluation-mode class logits ``(n, n_classes)`` for ``(n, M, T)`` samples."""
         if self.classifier is None:
             raise RuntimeError("call fit() before predict()")
         X = z_normalize(np.asarray(X, dtype=np.float64))
@@ -125,10 +128,20 @@ class FineTuner:
         with no_grad():
             for start in range(0, X.shape[0], batch_size):
                 logits = self.classifier(self.encoder(X[start : start + batch_size]))
-                outputs.append(logits.data.argmax(axis=-1))
+                outputs.append(logits.data)
         self.encoder.train()
         self.classifier.train()
         return np.concatenate(outputs, axis=0)
+
+    def predict(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Predict integer class labels for ``(n, M, T)`` samples."""
+        return self.predict_logits(X, batch_size=batch_size).argmax(axis=-1)
+
+    def predict_proba(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Softmax class probabilities ``(n, n_classes)`` for ``(n, M, T)`` samples."""
+        from repro.api.estimator import softmax
+
+        return softmax(self.predict_logits(X, batch_size=batch_size))
 
     def score(self, split: DatasetSplit) -> float:
         """Classification accuracy on a labelled split."""

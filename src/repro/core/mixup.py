@@ -72,6 +72,18 @@ def geodesic_mixup(u: Tensor, v: Tensor, lam: np.ndarray | float) -> Tensor:
         degenerate, 1.0 - lam_array, np.sin((1.0 - lam_array) * theta) / np.where(degenerate, 1.0, sin_theta)
     )
     mixed = u * Tensor(weight_u) + v * Tensor(weight_v)
+    # Exactly antipodal inputs make the combination collapse to the zero
+    # vector (every midpoint of the two poles is equally valid); fall back to
+    # the endpoint favoured by lam so the result stays on the unit sphere.
+    collapsed = np.linalg.norm(mixed.data, axis=-1, keepdims=True) < 1e-8
+    if np.any(collapsed):
+        mask = collapsed.astype(np.float64)
+        toward_u = (lam_array >= 0.5).astype(np.float64)
+        mixed = (
+            mixed * Tensor(1.0 - mask)
+            + u * Tensor(mask * toward_u)
+            + v * Tensor(mask * (1.0 - toward_u))
+        )
     return F.l2_normalize(mixed, axis=-1)
 
 

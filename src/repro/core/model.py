@@ -8,36 +8,53 @@ This is the public entry point most users need:
 >>> model.pretrain(load_pretraining_corpus("monash", n_datasets=4))   # doctest: +SKIP
 >>> result = model.fine_tune(load_dataset("ECG200"))                  # doctest: +SKIP
 >>> result.accuracy                                                   # doctest: +SKIP
+
+``AimTS`` implements the :class:`repro.api.Estimator` contract, so it is
+interchangeable with every baseline: construct it from the registry
+(``make_estimator("aimts", repr_dim=32)``), run it through
+:func:`repro.evaluation.run_protocol`, and persist it whole with
+:meth:`save` / :meth:`load` full-bundle checkpoints.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 import os
+import warnings
 
 import numpy as np
 
+from repro.api.estimator import FineTunedPredictorMixin
 from repro.core.config import AimTSConfig, FineTuneConfig
 from repro.core.finetuner import FineTuner, FineTuneResult
 from repro.core.pretrainer import AimTSPretrainer, PretrainHistory
 from repro.data.dataset import TimeSeriesDataset
-from repro.data.fewshot import few_shot_subset
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.data.fewshot import few_shot_view
+from repro.nn.serialization import load_state_dict
 
 
-class AimTS:
+class AimTS(FineTunedPredictorMixin):
     """Augmented Series and Image Contrastive Learning for TSC.
 
     The model wraps a :class:`AimTSPretrainer` (pre-training stage) and
     produces fresh :class:`FineTuner` instances per downstream dataset, so
     fine-tuning one dataset never contaminates another — exactly the
-    multi-source generalization paradigm (Fig. 1d) of the paper.
+    multi-source generalization paradigm (Fig. 1d) of the paper.  The most
+    recent fine-tuner is kept on the facade, backing :meth:`predict` /
+    :meth:`predict_proba`.
     """
+
+    name = "AimTS"
+    api_name = "aimts"
+    supports_pretraining = True
 
     def __init__(self, config: AimTSConfig | None = None):
         self.config = config or AimTSConfig()
         self.pretrainer = AimTSPretrainer(self.config)
         self._pretrained = False
+        self._finetuner: FineTuner | None = None
+        self._label_map: np.ndarray | None = None
 
     # ------------------------------------------------------------ pre-training
     @property
@@ -49,11 +66,19 @@ class AimTS:
         self,
         corpus: list[TimeSeriesDataset] | np.ndarray,
         *,
+        epochs: int | None = None,
         max_samples: int | None = None,
         verbose: bool = False,
     ) -> PretrainHistory:
-        """Run multi-source self-supervised pre-training (Eq. 1)."""
-        history = self.pretrainer.fit(corpus, max_samples=max_samples, verbose=verbose)
+        """Run multi-source self-supervised pre-training (Eq. 1).
+
+        ``corpus`` is either a list of datasets (merged into one pool) or an
+        already-built ``(N, M, T)`` pool; ``epochs`` overrides the configured
+        epoch count for this call.
+        """
+        history = self.pretrainer.fit(
+            corpus, epochs=epochs, max_samples=max_samples, verbose=verbose
+        )
         self._pretrained = True
         return history
 
@@ -98,19 +123,11 @@ class AimTS:
             used (the Table V few-shot protocol).
         """
         finetuner = self.make_finetuner(dataset.n_classes, config)
-        if label_ratio is not None:
-            train = few_shot_subset(dataset.train, label_ratio, seed=self.config.seed)
-            working = TimeSeriesDataset(
-                name=dataset.name,
-                domain=dataset.domain,
-                train=train,
-                test=dataset.test,
-                n_classes=dataset.n_classes,
-                metadata=dict(dataset.metadata, label_ratio=label_ratio),
-            )
-        else:
-            working = dataset
-        return finetuner.fit_and_evaluate(working, verbose=verbose)
+        working = few_shot_view(dataset, label_ratio, seed=self.config.seed)
+        result = finetuner.fit_and_evaluate(working, verbose=verbose)
+        self._finetuner = finetuner
+        self._label_map = np.arange(dataset.n_classes, dtype=np.int64)
+        return result
 
     def evaluate_archive(
         self,
@@ -120,11 +137,18 @@ class AimTS:
         label_ratio: float | None = None,
         verbose: bool = False,
     ) -> dict[str, float]:
-        """Fine-tune and evaluate on every dataset of an archive.
+        """Deprecated: fine-tune and evaluate on every dataset of an archive.
 
-        Returns a mapping ``dataset name → test accuracy``; this is the basic
-        building block of the Table I / Table IV evaluation protocols.
+        Use :func:`repro.evaluation.run_protocol` instead, which runs the same
+        loop for any registered estimator and returns the paper-style summary
+        metrics on top of the raw accuracies.
         """
+        warnings.warn(
+            "AimTS.evaluate_archive is deprecated; use "
+            "repro.evaluation.run_protocol(model, datasets) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         results = {}
         for dataset in datasets:
             result = self.fine_tune(dataset, config, label_ratio=label_ratio, verbose=False)
@@ -134,10 +158,8 @@ class AimTS:
         return results
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: str | os.PathLike) -> str:
-        """Save the pre-trained encoders and projection heads to ``path``."""
-        state = {}
-        named = {
+    def _pretrain_modules(self) -> dict[str, object]:
+        return {
             "ts_encoder": self.pretrainer.ts_encoder,
             "image_encoder": self.pretrainer.image_encoder,
             "view_projection": self.pretrainer.view_projection,
@@ -145,28 +167,63 @@ class AimTS:
             "series_projection": self.pretrainer.series_projection,
             "image_projection": self.pretrainer.image_projection,
         }
-        for prefix, module in named.items():
+
+    def save(self, path: str | os.PathLike) -> str:
+        """Save a full-bundle checkpoint of the model to ``path``.
+
+        The bundle holds the pre-trained encoders and projection heads, the
+        fine-tuned classifier (when :meth:`fine_tune` has run), the label map
+        and the originating config, all behind a schema-versioned manifest —
+        see :mod:`repro.api.bundle`.
+        """
+        from repro.api.bundle import save_bundle
+
+        arrays: dict[str, np.ndarray] = {}
+        for prefix, module in self._pretrain_modules().items():
             for key, value in module.state_dict().items():
-                state[f"{prefix}.{key}"] = value
-        return save_state_dict(state, path)
+                arrays[f"{prefix}.{key}"] = value
+        manifest = {
+            "estimator": self.api_name,
+            "config": dataclasses.asdict(self.config),
+            "pretrained": self._pretrained,
+        }
+        if self.is_fitted:
+            self._pack_finetuner(arrays, manifest)
+        return save_bundle(path, arrays, manifest)
 
     def load(self, path: str | os.PathLike) -> "AimTS":
-        """Load encoders and projection heads saved by :meth:`save`."""
-        state = load_state_dict(path)
-        named = {
-            "ts_encoder": self.pretrainer.ts_encoder,
-            "image_encoder": self.pretrainer.image_encoder,
-            "view_projection": self.pretrainer.view_projection,
-            "prototype_projection": self.pretrainer.prototype_projection,
-            "series_projection": self.pretrainer.series_projection,
-            "image_projection": self.pretrainer.image_projection,
-        }
-        for prefix, module in named.items():
-            sub_state = {
-                key[len(prefix) + 1 :]: value
-                for key, value in state.items()
-                if key.startswith(prefix + ".")
-            }
-            module.load_state_dict(sub_state)
-        self._pretrained = True
+        """Load a checkpoint saved by :meth:`save`.
+
+        Understands both the current full-bundle format and legacy
+        encoder-only ``.npz`` state dicts (pre-bundle checkpoints).
+        """
+        from repro.api.bundle import load_bundle, peek_manifest, resolve_read_path
+
+        path = resolve_read_path(path)
+        if peek_manifest(path) is None:  # legacy encoder-only checkpoint
+            return self._load_from_state(load_state_dict(path), None)
+        return self._load_from_state(*load_bundle(path))
+
+    def _load_from_state(self, state: dict, manifest: dict | None) -> "AimTS":
+        """Restore from already-read bundle contents (single-read load path)."""
+        from repro.api.bundle import sub_state
+
+        for prefix, module in self._pretrain_modules().items():
+            module.load_state_dict(sub_state(state, prefix))
+
+        # any classifier fitted before load was trained against weights this
+        # instance no longer has; a bundle without a finetune section (and a
+        # legacy checkpoint) resets it
+        self._finetuner = None
+        self._label_map = None
+        if manifest is None:
+            self._pretrained = True
+            return self
+        self._pretrained = bool(manifest.get("pretrained", True))
+        finetune = manifest.get("finetune")
+        if finetune is not None:
+            finetuner = self.make_finetuner(
+                finetune["n_classes"], FineTuneConfig(**finetune["config"])
+            )
+            self._restore_finetuner(finetuner, state, finetune)
         return self

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.augmentations import AugmentationBank, default_bank
-from repro.augmentations import ops as aug_ops
 from repro.core.config import AimTSConfig
 from repro.core.losses import prototype_loss, series_image_loss
 from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pairwise_view_distances
@@ -32,18 +31,6 @@ from repro.imaging import LineChartRenderer, RenderCache
 from repro.nn import Adam, StepLR, Tensor
 from repro.nn import functional as F
 from repro.utils.seeding import new_rng
-
-#: mapping from config augmentation names to constructor callables
-_AUGMENTATION_FACTORY = {
-    "jitter": lambda seed: aug_ops.Jitter(seed=seed),
-    "scaling": lambda seed: aug_ops.Scaling(seed=seed),
-    "time_warp": lambda seed: aug_ops.TimeWarp(seed=seed),
-    "slicing": lambda seed: aug_ops.Slicing(seed=seed),
-    "window_warp": lambda seed: aug_ops.WindowWarp(seed=seed),
-    "permutation": lambda seed: aug_ops.Permutation(seed=seed),
-    "masking": lambda seed: aug_ops.Masking(seed=seed),
-}
-
 
 @dataclass
 class PretrainHistory:
@@ -67,14 +54,22 @@ class PretrainHistory:
 
 
 def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> AugmentationBank:
-    """Instantiate the augmentation bank named in ``config.augmentation_names``."""
+    """Instantiate the augmentation bank named in ``config.augmentation_names``.
+
+    Names resolve through :data:`repro.api.registry.AUGMENTATIONS`, so banks
+    are constructible from plain config the same way estimators are.
+    """
+    from repro.api.registry import AUGMENTATIONS
+
     augmentations = []
     for name in config.augmentation_names:
-        if name not in _AUGMENTATION_FACTORY:
+        if name not in AUGMENTATIONS:
             raise KeyError(
-                f"unknown augmentation {name!r}; known: {sorted(_AUGMENTATION_FACTORY)}"
+                f"unknown augmentation {name!r}; known: {AUGMENTATIONS.names()}"
             )
-        augmentations.append(_AUGMENTATION_FACTORY[name](new_rng(int(rng.integers(0, 2**31)))))
+        augmentations.append(
+            AUGMENTATIONS.create(name, seed=new_rng(int(rng.integers(0, 2**31))))
+        )
     return AugmentationBank(augmentations)
 
 
@@ -218,6 +213,7 @@ class AimTSPretrainer:
         self,
         corpus: list[TimeSeriesDataset] | np.ndarray,
         *,
+        epochs: int | None = None,
         max_samples: int | None = None,
         verbose: bool = False,
     ) -> PretrainHistory:
@@ -228,12 +224,15 @@ class AimTSPretrainer:
         corpus:
             Either a list of :class:`TimeSeriesDataset` (their train splits are
             merged into one pool) or an already-built pool array ``(N, M, T)``.
+        epochs:
+            Overrides ``config.epochs`` for this call when given.
         max_samples:
             Optional cap on the pool size, useful for quick experiments.
         verbose:
             Print one line per epoch.
         """
         cfg = self.config
+        n_epochs = epochs if epochs is not None else cfg.epochs
         if isinstance(corpus, np.ndarray):
             pool = np.asarray(corpus, dtype=np.float64)
         else:
@@ -245,7 +244,9 @@ class AimTSPretrainer:
                 seed=self._rng,
             )
         if max_samples is not None and pool.shape[0] > max_samples:
-            pool = pool[:max_samples]
+            # seeded subsample rather than head-truncation: raw pools are often
+            # class-sorted, matching build_pretraining_pool's semantics
+            pool = pool[np.sort(self._rng.choice(pool.shape[0], size=max_samples, replace=False))]
 
         optimizer = Adam(list(self.parameters()), lr=cfg.learning_rate)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma)
@@ -267,7 +268,7 @@ class AimTSPretrainer:
         else:
             self.render_cache = None
 
-        for epoch in range(cfg.epochs):
+        for epoch in range(n_epochs):
             epoch_totals = {"total": 0.0, "prototype": 0.0, "series_image": 0.0}
             n_batches = 0
             for batch, _, batch_indices in iterator:
@@ -292,7 +293,7 @@ class AimTSPretrainer:
             scheduler.step()
             if verbose:
                 print(
-                    f"[pretrain] epoch {epoch + 1}/{cfg.epochs} "
+                    f"[pretrain] epoch {epoch + 1}/{n_epochs} "
                     f"loss={self.history.total_loss[-1]:.4f} "
                     f"proto={self.history.prototype_loss[-1]:.4f} "
                     f"si={self.history.series_image_loss[-1]:.4f}"

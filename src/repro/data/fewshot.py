@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data.dataset import DatasetSplit
+from repro.data.dataset import DatasetSplit, TimeSeriesDataset
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_probability
 
@@ -47,3 +47,28 @@ def few_shot_subset(
         selected.extend(rng.choice(class_indices, size=keep, replace=False).tolist())
     selected_array = np.sort(np.asarray(selected))
     return split.subset(selected_array)
+
+
+def few_shot_view(
+    dataset: TimeSeriesDataset,
+    label_ratio: float | None,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> TimeSeriesDataset:
+    """A view of ``dataset`` whose train split keeps a stratified label fraction.
+
+    Returns ``dataset`` unchanged when ``label_ratio`` is None.  The single
+    place every estimator's ``fine_tune(..., label_ratio=...)`` goes through,
+    so the Table V protocol semantics cannot drift between model families.
+    """
+    if label_ratio is None:
+        return dataset
+    train = few_shot_subset(dataset.train, label_ratio, seed=seed)
+    return TimeSeriesDataset(
+        name=dataset.name,
+        domain=dataset.domain,
+        train=train,
+        test=dataset.test,
+        n_classes=dataset.n_classes,
+        metadata=dict(dataset.metadata, label_ratio=label_ratio),
+    )

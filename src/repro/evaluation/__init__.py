@@ -19,10 +19,12 @@ from repro.evaluation.metrics import (
     summarize_methods,
 )
 from repro.evaluation.protocols import (
+    PROTOCOLS,
     ComparisonResult,
     run_case_by_case_comparison,
     run_fewshot_comparison,
     run_multisource_comparison,
+    run_protocol,
 )
 from repro.evaluation.ranking import (
     critical_difference,
@@ -51,6 +53,8 @@ __all__ = [
     "nemenyi_groups",
     "render_cd_diagram",
     "ComparisonResult",
+    "PROTOCOLS",
+    "run_protocol",
     "run_case_by_case_comparison",
     "run_multisource_comparison",
     "run_fewshot_comparison",

@@ -1,13 +1,25 @@
-"""The paper's three evaluation protocols.
+"""The paper's evaluation protocols behind one generic runner.
 
-* :func:`run_case_by_case_comparison` — every baseline is trained separately
-  on each downstream dataset (paradigms 1/2 of Fig. 1), while AimTS is
-  pre-trained once on a multi-source corpus and fine-tuned per dataset
-  (Tables I, II, III).
-* :func:`run_multisource_comparison` — all methods are pre-trained once on a
-  multi-source corpus and fine-tuned per dataset (Table IV, Fig. 8d).
-* :func:`run_fewshot_comparison` — pre-trained models are fine-tuned with only
-  a fraction of the downstream labels (Table V).
+:func:`run_protocol` evaluates any set of registered estimators — given by
+name, spec dict or instance — on any archive (given by name or as a dataset
+list) under one of the three paper paradigms:
+
+* ``"case_by_case"`` — estimators with a pre-training stage that enter the
+  protocol un-pretrained are pre-trained on each downstream dataset's own
+  training split (paradigms 1/2 of Fig. 1, Tables I–III); already
+  pre-trained estimators (e.g. a multi-source AimTS) are only fine-tuned.
+* ``"multi_source"`` — every pre-trainable estimator is pre-trained once on
+  a shared corpus and fine-tuned per dataset (Table IV, Fig. 8d).
+* ``"few_shot"`` — the multi-source protocol repeated per label ratio
+  (Table V).
+
+The original three protocol functions (:func:`run_case_by_case_comparison`,
+:func:`run_multisource_comparison`, :func:`run_fewshot_comparison`) are thin
+wrappers over the same engine and keep their legacy semantics, with one
+deliberate refinement: estimators that enter the case-by-case protocol
+*already pre-trained* (the typical multi-source AimTS) are never re-pretrained
+per dataset — the old code special-cased AimTS; the new engine generalises the
+exemption to any pre-trained estimator.
 
 All protocol functions return ``{method: {dataset: accuracy}}`` dictionaries
 that plug directly into :mod:`repro.evaluation.metrics` and
@@ -16,12 +28,16 @@ that plug directly into :mod:`repro.evaluation.metrics` and
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.config import FineTuneConfig
 from repro.core.model import AimTS
 from repro.data.dataset import TimeSeriesDataset
 from repro.evaluation.metrics import summarize_methods
+
+PROTOCOLS = ("case_by_case", "multi_source", "few_shot")
 
 
 @dataclass
@@ -40,6 +56,243 @@ class ComparisonResult:
         return max(self.summary, key=lambda m: self.summary[m]["avg_acc"])
 
 
+# --------------------------------------------------------------- resolution
+def _resolve_estimators(estimators) -> dict[str, object]:
+    """Normalise names / spec dicts / instances into ``{display_name: estimator}``."""
+    from repro.api.registry import make_estimator
+
+    def build(item):
+        if isinstance(item, (str, Mapping)):
+            return make_estimator(item)
+        return item
+
+    # a mapping is a single spec dict only when its "name" entry is a registry
+    # key; {"name": <estimator instance>, ...} is a display-name mapping
+    if isinstance(estimators, Mapping) and not isinstance(estimators.get("name"), str):
+        return {name: build(item) for name, item in estimators.items()}
+    if isinstance(estimators, (str, Mapping)) or not isinstance(estimators, Sequence):
+        estimators = [estimators]
+    resolved = {}
+    for item in estimators:
+        built = build(item)
+        display = getattr(built, "name", type(built).__name__)
+        if display in resolved:
+            raise ValueError(f"duplicate estimator display name {display!r}")
+        resolved[display] = built
+    return resolved
+
+
+def _resolve_datasets(archive) -> list[TimeSeriesDataset]:
+    """Normalise an archive name / dataset / dataset list into a list."""
+    from repro.data import load_archive
+
+    if isinstance(archive, str):
+        return load_archive(archive)
+    if isinstance(archive, TimeSeriesDataset):
+        return [archive]
+    return list(archive)
+
+
+def _resolve_corpus(pretrain_corpus, corpus_kwargs: dict):
+    from repro.data import load_pretraining_corpus
+
+    if isinstance(pretrain_corpus, str):
+        return load_pretraining_corpus(pretrain_corpus, **corpus_kwargs)
+    return pretrain_corpus
+
+
+# ------------------------------------------------------------------- engine
+def _supports_pretraining(estimator) -> bool:
+    """Whether the estimator's ``pretrain`` does real work.
+
+    Falls back to ``hasattr(estimator, "pretrain")`` for duck-typed objects
+    written against the pre-unification contract, which exposed ``pretrain``
+    only when pre-training was meaningful.
+    """
+    return bool(getattr(estimator, "supports_pretraining", hasattr(estimator, "pretrain")))
+
+
+def _run_comparison(
+    estimators: dict[str, object],
+    datasets: list[TimeSeriesDataset],
+    *,
+    case_by_case: bool,
+    finetune_config: FineTuneConfig | None,
+    label_ratio: float | None,
+    pretrain_kwargs: dict,
+    config_free_when_unpretrainable: bool,
+    verbose: bool,
+    tag: str,
+    already_pretrained: frozenset[str] = frozenset(),
+) -> ComparisonResult:
+    """Shared fine-tune/evaluate loop for every protocol flavour.
+
+    ``case_by_case`` re-pretrains, per dataset, every estimator that supports
+    pre-training and entered the protocol un-pretrained (snapshot taken up
+    front, so a pre-trained AimTS keeps its multi-source weights).
+    ``config_free_when_unpretrainable`` reproduces the legacy behaviour where
+    supervised / closed-form baselines trained with their own built-in
+    hyper-parameters instead of the shared ``finetune_config``.  Duck-typed
+    objects exposing only ``fit_and_evaluate(dataset)`` (the pre-unification
+    baseline contract) are still supported, with their own hyper-parameters.
+    """
+    pretrained_at_start = {
+        name: name in already_pretrained or bool(getattr(est, "is_pretrained", False))
+        for name, est in estimators.items()
+    }
+    accuracies: dict[str, dict[str, float]] = {}
+    for name, estimator in estimators.items():
+        accuracies[name] = {}
+        pretrainable = _supports_pretraining(estimator)
+        for dataset in datasets:
+            if not hasattr(estimator, "fine_tune"):  # legacy duck-typed objects
+                if label_ratio is not None:
+                    raise TypeError(
+                        f"estimator {name!r} only exposes fit_and_evaluate() and "
+                        "cannot honour label_ratio; implement fine_tune() for "
+                        "few-shot protocols"
+                    )
+                accuracy = estimator.fit_and_evaluate(dataset)
+                accuracies[name][dataset.name] = accuracy
+                if verbose:
+                    print(f"[{tag}] {name} on {dataset.name}: {accuracy:.3f}")
+                continue
+            if case_by_case and pretrainable and not pretrained_at_start[name]:
+                estimator.pretrain(dataset.train.X, **pretrain_kwargs)
+            config = finetune_config
+            if config_free_when_unpretrainable and not pretrainable:
+                config = None
+            result = estimator.fine_tune(dataset, config, label_ratio=label_ratio)
+            accuracies[name][dataset.name] = result.accuracy
+            if verbose:
+                print(f"[{tag}] {name} on {dataset.name}: {result.accuracy:.3f}")
+    return ComparisonResult(accuracies)
+
+
+def run_protocol(
+    estimators,
+    archive,
+    *,
+    protocol: str = "case_by_case",
+    pretrain_corpus=None,
+    finetune_config: FineTuneConfig | None = None,
+    label_ratio: float | None = None,
+    ratios: tuple[float, ...] = (0.05, 0.15, 0.20),
+    pretrain_kwargs: dict | None = None,
+    verbose: bool = False,
+):
+    """Evaluate estimators on an archive under one paper protocol.
+
+    Parameters
+    ----------
+    estimators:
+        A registry name (``"rocket"``), a spec dict (``{"name": "ts2vec",
+        "repr_dim": 32}``), an estimator instance, a sequence of any of
+        those, or a ``{display_name: name_or_spec_or_instance}`` mapping.
+    archive:
+        An archive name (``"ucr"``, ``"uea"``), one dataset, or a dataset
+        list.
+    protocol:
+        ``"case_by_case"``, ``"multi_source"`` or ``"few_shot"``.
+    pretrain_corpus:
+        Corpus for the multi-source protocols: a corpus source name
+        (``"monash"``), a dataset list, or a raw pool array.  Estimators that
+        are already pre-trained are left untouched.
+    pretrain_kwargs:
+        Extra keywords for ``estimator.pretrain`` (e.g. ``max_samples``,
+        ``epochs``); ``n_datasets`` / ``seed`` are routed to the corpus
+        loader when ``pretrain_corpus`` is a name.
+    ratios:
+        Label ratios for the few-shot protocol.
+
+    Returns a :class:`ComparisonResult`, or ``{ratio: ComparisonResult}``
+    for the few-shot protocol.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}")
+    if protocol == "few_shot" and label_ratio is not None:
+        raise ValueError(
+            "the few_shot protocol takes its label fractions from `ratios`; "
+            "pass ratios=(...) instead of label_ratio"
+        )
+    if protocol == "case_by_case" and pretrain_corpus is not None:
+        raise ValueError(
+            "pretrain_corpus turns a run into the multi-source paradigm; use "
+            "protocol='multi_source', or pre-train the estimator yourself "
+            "before a case_by_case run"
+        )
+    resolved = _resolve_estimators(estimators)
+    datasets = _resolve_datasets(archive)
+    pretrain_kwargs = dict(pretrain_kwargs or {})
+    corpus_kwargs = {
+        key: pretrain_kwargs.pop(key) for key in ("n_datasets", "seed") if key in pretrain_kwargs
+    }
+    if corpus_kwargs and not isinstance(pretrain_corpus, str):
+        raise ValueError(
+            f"pretrain_kwargs {sorted(corpus_kwargs)} configure the corpus "
+            "loader and only apply when pretrain_corpus is a corpus name"
+        )
+    corpus = _resolve_corpus(pretrain_corpus, corpus_kwargs)
+
+    corpus_pretrained = set()
+    if corpus is not None:
+        for name, estimator in resolved.items():
+            if _supports_pretraining(estimator) and not getattr(
+                estimator, "is_pretrained", False
+            ):
+                if verbose:
+                    print(f"[{protocol}] pre-training {name} on the shared corpus")
+                estimator.pretrain(corpus, **pretrain_kwargs)
+                # recorded explicitly so duck-typed estimators without an
+                # is_pretrained attribute are not re-pretrained per dataset
+                corpus_pretrained.add(name)
+    elif protocol in ("multi_source", "few_shot"):
+        unpretrained = [
+            name
+            for name, estimator in resolved.items()
+            if _supports_pretraining(estimator)
+            and hasattr(estimator, "is_pretrained")
+            and not estimator.is_pretrained
+        ]
+        if unpretrained:
+            warnings.warn(
+                f"{protocol} protocol without pretrain_corpus: {unpretrained} "
+                "are not pre-trained, so their results reflect randomly "
+                "initialised encoders",
+                UserWarning,
+                stacklevel=2,
+            )
+
+    common = dict(
+        finetune_config=finetune_config,
+        pretrain_kwargs=pretrain_kwargs,
+        config_free_when_unpretrainable=False,
+        verbose=verbose,
+        already_pretrained=frozenset(corpus_pretrained),
+    )
+    if protocol == "few_shot":
+        return {
+            ratio: _run_comparison(
+                resolved,
+                datasets,
+                case_by_case=False,
+                label_ratio=ratio,
+                tag=f"few-shot {ratio:g}",
+                **common,
+            )
+            for ratio in ratios
+        }
+    return _run_comparison(
+        resolved,
+        datasets,
+        case_by_case=(protocol == "case_by_case"),
+        label_ratio=label_ratio,
+        tag=protocol.replace("_", "-"),
+        **common,
+    )
+
+
+# ------------------------------------------------------------ legacy facades
 def run_case_by_case_comparison(
     aimts: AimTS,
     baselines: dict[str, object],
@@ -56,31 +309,26 @@ def run_case_by_case_comparison(
     aimts:
         An already pre-trained :class:`AimTS` model (multi-source paradigm).
     baselines:
-        Mapping from display name to baseline object.  Objects exposing
-        ``fit_and_evaluate(dataset)`` are used directly (supervised and
-        Rocket-style baselines); objects additionally exposing ``pretrain``
-        are treated as case-by-case self-supervised learners.
+        Mapping from display name to baseline estimator.  Estimators that
+        support pre-training and enter un-pretrained are pre-trained on each
+        dataset's own training split (ones that are already pre-trained keep
+        their weights, like ``aimts`` itself); supervised / closed-form
+        baselines train with their built-in hyper-parameters, as before the
+        unified API.
     datasets:
         The downstream evaluation suite.
     """
-    accuracies: dict[str, dict[str, float]] = {"AimTS": {}}
-    for dataset in datasets:
-        result = aimts.fine_tune(dataset, finetune_config)
-        accuracies["AimTS"][dataset.name] = result.accuracy
-        if verbose:
-            print(f"[case-by-case] AimTS on {dataset.name}: {result.accuracy:.3f}")
-    for name, baseline in baselines.items():
-        accuracies[name] = {}
-        for dataset in datasets:
-            if hasattr(baseline, "pretrain") and hasattr(baseline, "fine_tune"):
-                baseline.pretrain(dataset.train.X, epochs=baseline_pretrain_epochs)
-                accuracy = baseline.fine_tune(dataset, finetune_config).accuracy
-            else:
-                accuracy = baseline.fit_and_evaluate(dataset)
-            accuracies[name][dataset.name] = accuracy
-            if verbose:
-                print(f"[case-by-case] {name} on {dataset.name}: {accuracy:.3f}")
-    return ComparisonResult(accuracies)
+    return _run_comparison(
+        {"AimTS": aimts, **baselines},
+        datasets,
+        case_by_case=True,
+        finetune_config=finetune_config,
+        label_ratio=None,
+        pretrain_kwargs={"epochs": baseline_pretrain_epochs},
+        config_free_when_unpretrainable=True,
+        verbose=verbose,
+        tag="case-by-case",
+    )
 
 
 def run_multisource_comparison(
@@ -95,23 +343,20 @@ def run_multisource_comparison(
     """Compare multi-source pre-trained models (AimTS vs. foundation baselines).
 
     Every baseline in ``pretrained_baselines`` must already have been
-    pre-trained (e.g. via ``pretrain_multi_source``); this protocol only runs
+    pre-trained (e.g. via ``pretrain(corpus)``); this protocol only runs
     the downstream fine-tuning, optionally with a few-shot ``label_ratio``.
     """
-    accuracies: dict[str, dict[str, float]] = {"AimTS": {}}
-    for dataset in datasets:
-        result = aimts.fine_tune(dataset, finetune_config, label_ratio=label_ratio)
-        accuracies["AimTS"][dataset.name] = result.accuracy
-        if verbose:
-            print(f"[multi-source] AimTS on {dataset.name}: {result.accuracy:.3f}")
-    for name, baseline in pretrained_baselines.items():
-        accuracies[name] = {}
-        for dataset in datasets:
-            accuracy = baseline.fine_tune(dataset, finetune_config, label_ratio=label_ratio).accuracy
-            accuracies[name][dataset.name] = accuracy
-            if verbose:
-                print(f"[multi-source] {name} on {dataset.name}: {accuracy:.3f}")
-    return ComparisonResult(accuracies)
+    return _run_comparison(
+        {"AimTS": aimts, **pretrained_baselines},
+        datasets,
+        case_by_case=False,
+        finetune_config=finetune_config,
+        label_ratio=label_ratio,
+        pretrain_kwargs={},
+        config_free_when_unpretrainable=False,
+        verbose=verbose,
+        tag="multi-source",
+    )
 
 
 def run_fewshot_comparison(

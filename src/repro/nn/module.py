@@ -104,21 +104,30 @@ class Module:
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
-        """Load parameters (and buffers) from a :meth:`state_dict` mapping."""
+        """Load parameters (and buffers) from a :meth:`state_dict` mapping.
+
+        Dtypes are preserved with full fidelity: a float32 state loaded into a
+        float64-initialised module leaves the parameters float32 (no silent
+        upcast), and non-floating state for a floating parameter is rejected.
+        """
         for name, param in self._parameters.items():
             key = f"{prefix}{name}"
             if key not in state:
                 raise KeyError(f"missing parameter {key!r} in state dict")
-            value = np.asarray(state[key], dtype=np.float64)
+            value = np.asarray(state[key])
             if value.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {key!r}: expected {param.shape}, got {value.shape}"
+                )
+            if not np.issubdtype(value.dtype, np.floating):
+                raise TypeError(
+                    f"dtype mismatch for {key!r}: expected a floating dtype, got {value.dtype}"
                 )
             param.data = value.copy()
         for name in self._buffers():
             key = f"{prefix}{name}"
             if key in state:
-                setattr(self, name, np.asarray(state[key], dtype=np.float64).copy())
+                setattr(self, name, np.asarray(state[key]).copy())
         for name, module in self._modules.items():
             module.load_state_dict(state, prefix=f"{prefix}{name}.")
 

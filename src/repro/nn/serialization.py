@@ -12,18 +12,28 @@ from repro.nn.module import Module
 def save_state_dict(module_or_state: Module | dict[str, np.ndarray], path: str | os.PathLike) -> str:
     """Save a module's ``state_dict`` (or a raw state dict) to an ``.npz`` file.
 
-    Returns the path written (with ``.npz`` appended if missing).
+    Returns the path written.  ``.npz`` is appended when missing; the check is
+    case-insensitive so ``"model.NPZ"`` is not double-suffixed.  Array dtypes
+    are preserved exactly (``np.savez`` stores them verbatim).
     """
     state = module_or_state.state_dict() if isinstance(module_or_state, Module) else dict(module_or_state)
     path = str(path)
-    if not path.endswith(".npz"):
+    if not path.lower().endswith(".npz"):
         path = path + ".npz"
-    np.savez(path, **state)
+    # write through a file handle: np.savez would re-append ".npz" to a
+    # string path whose suffix differs in case (e.g. "model.NPZ")
+    with open(path, "wb") as handle:
+        np.savez(handle, **state)
     return path
 
 
 def load_state_dict(path: str | os.PathLike, module: Module | None = None) -> dict[str, np.ndarray]:
-    """Load a state dict from ``path``; optionally apply it to ``module``."""
+    """Load a state dict from ``path``; optionally apply it to ``module``.
+
+    The arrays come back with exactly the dtypes they were saved with;
+    :meth:`Module.load_state_dict` preserves them rather than silently
+    upcasting (a float32 checkpoint stays float32 after the round trip).
+    """
     with np.load(str(path)) as archive:
         state = {key: archive[key] for key in archive.files}
     if module is not None:

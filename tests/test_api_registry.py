@@ -1,0 +1,219 @@
+"""Tests for the component registry, bundle checkpoints and legacy shims."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AUGMENTATIONS,
+    ENCODERS,
+    SCHEMA_VERSION,
+    BundleFormatError,
+    estimator_names,
+    load_bundle,
+    load_estimator,
+    make_estimator,
+    peek_manifest,
+    save_bundle,
+)
+from repro.api.bundle import MANIFEST_KEY
+from repro.baselines import BaselineConfig, TS2Vec
+from repro.core import AimTS, AimTSConfig, FineTuneConfig
+
+
+@pytest.fixture
+def tiny_baseline_config():
+    return BaselineConfig(
+        repr_dim=10, proj_dim=5, hidden_channels=5, depth=1, series_length=32, batch_size=8, epochs=1, seed=0
+    )
+
+
+class TestRegistry:
+    def test_all_expected_estimators_registered(self):
+        expected = {
+            "aimts",
+            "ts2vec",
+            "tstcc",
+            "tloss",
+            "tnc",
+            "simclr",
+            "moment",
+            "units",
+            "supervised_cnn",
+            "linear",
+            "rocket",
+            "minirocket",
+        }
+        assert expected == set(estimator_names())
+
+    def test_unknown_estimator_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            make_estimator("resnet")
+
+    def test_names_are_case_insensitive(self):
+        assert type(make_estimator("Rocket", n_kernels=8)).__name__ == "Rocket"
+
+    def test_config_overrides_routed_to_dataclass(self):
+        estimator = make_estimator("ts2vec", repr_dim=12, tau=0.07)
+        assert estimator.config.repr_dim == 12
+        assert estimator.tau == 0.07
+
+    def test_explicit_config_object_with_overrides(self, tiny_baseline_config):
+        estimator = make_estimator("tloss", config=tiny_baseline_config, repr_dim=14)
+        assert estimator.config.repr_dim == 14
+        assert estimator.config.proj_dim == tiny_baseline_config.proj_dim
+
+    def test_spec_dict_construction(self):
+        estimator = make_estimator({"name": "minirocket", "n_kernels": 9, "seed": 1})
+        assert estimator.n_kernels == 9
+        with pytest.raises(ValueError, match="'name' key"):
+            make_estimator({"n_kernels": 9})
+
+    def test_pre_use_registration_not_clobbered_by_builtins(self, monkeypatch):
+        """A custom factory registered before first registry use survives population."""
+        from repro.api import registry as registry_module
+
+        original = dict(registry_module.ESTIMATORS._factories)
+        try:
+            monkeypatch.setattr(registry_module, "_POPULATED", False)
+            registry_module.ESTIMATORS.register("rocket", lambda **kw: "custom")
+            assert registry_module.ESTIMATORS.create("rocket") == "custom"
+        finally:
+            registry_module.ESTIMATORS._factories.clear()
+            registry_module.ESTIMATORS._factories.update(original)
+
+    def test_encoder_and_augmentation_registries(self):
+        encoder = ENCODERS.create("ts_encoder", hidden_channels=4, repr_dim=8, depth=1, rng=0)
+        assert encoder.repr_dim == 8
+        jitter = AUGMENTATIONS.create("jitter", sigma=0.5, seed=0)
+        assert jitter.sigma == 0.5
+        assert "time_warp" in AUGMENTATIONS
+
+
+class TestBundleFormat:
+    def test_round_trip_preserves_arrays_and_manifest(self, tmp_path):
+        arrays = {"a": np.arange(4, dtype=np.float32), "b": np.eye(2)}
+        path = save_bundle(tmp_path / "bundle", arrays, {"estimator": "demo"})
+        assert path.endswith(".npz")
+        loaded, manifest = load_bundle(path)
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        assert loaded["a"].dtype == np.float32
+        assert manifest["estimator"] == "demo"
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["dtypes"]["a"] == "float32"
+
+    def test_case_insensitive_npz_suffix_not_doubled(self, tmp_path):
+        path = save_bundle(tmp_path / "model.NPZ", {"a": np.zeros(1)}, {})
+        assert path.endswith("model.NPZ")
+
+    def test_load_accepts_the_same_path_string_as_save(self, tmp_path):
+        """save("m") writes "m.npz"; load("m") must find it too."""
+        bare = tmp_path / "suffixless"
+        save_bundle(bare, {"a": np.ones(2)}, {"estimator": "demo"})
+        arrays, manifest = load_bundle(bare)
+        np.testing.assert_array_equal(arrays["a"], np.ones(2))
+        assert peek_manifest(bare)["estimator"] == "demo"
+
+    def test_legacy_archive_rejected_with_clear_error(self, tmp_path):
+        legacy = tmp_path / "legacy.npz"
+        np.savez(legacy, weight=np.zeros(3))
+        with pytest.raises(BundleFormatError, match="no manifest"):
+            load_bundle(legacy)
+        assert peek_manifest(legacy) is None
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        manifest = {"format": "repro-bundle", "schema_version": SCHEMA_VERSION + 1}
+        encoded = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        bad = tmp_path / "future.npz"
+        np.savez(bad, **{MANIFEST_KEY: encoded})
+        with pytest.raises(BundleFormatError, match="schema version"):
+            load_bundle(bad)
+
+    def test_bundle_without_estimator_name_rejected(self, tmp_path):
+        path = save_bundle(tmp_path / "anon", {"a": np.zeros(1)}, {})
+        with pytest.raises(BundleFormatError, match="does not name its estimator"):
+            load_estimator(path)
+
+
+class TestFullBundleContents:
+    def test_aimts_bundle_holds_finetuned_classifier_and_label_map(
+        self, tmp_path, small_dataset, tiny_config, tiny_finetune_config
+    ):
+        model = AimTS(tiny_config)
+        model.pretrain(np.random.default_rng(0).normal(size=(10, 1, 48)))
+        model.fine_tune(small_dataset, tiny_finetune_config)
+        path = model.save(tmp_path / "aimts-full")
+        manifest = peek_manifest(path)
+        assert manifest["estimator"] == "aimts"
+        assert manifest["pretrained"] is True
+        assert manifest["finetune"]["n_classes"] == small_dataset.n_classes
+        assert manifest["config"]["repr_dim"] == tiny_config.repr_dim
+        arrays, _ = load_bundle(path)
+        assert "finetune.label_map" in arrays
+        assert any(key.startswith("finetune.classifier.") for key in arrays)
+
+    def test_aimts_legacy_checkpoint_still_loads(self, tmp_path, tiny_config):
+        """Pre-bundle encoder-only .npz checkpoints load via the fallback path."""
+        from repro.nn.serialization import save_state_dict
+
+        model = AimTS(tiny_config)
+        state = {}
+        for prefix, module in model._pretrain_modules().items():
+            for key, value in module.state_dict().items():
+                state[f"{prefix}.{key}"] = value
+        path = save_state_dict(state, tmp_path / "legacy-aimts")
+        restored = AimTS(tiny_config).load(path)
+        assert restored.is_pretrained
+        # the suffixless path given to save works at load time too
+        AimTS(tiny_config).load(tmp_path / "legacy-aimts")
+        np.testing.assert_array_equal(
+            restored.pretrainer.ts_encoder.state_dict()["input_conv.weight"],
+            model.pretrainer.ts_encoder.state_dict()["input_conv.weight"],
+        )
+
+    def test_baseline_bundle_restores_pretrained_flag(
+        self, tmp_path, tiny_baseline_config, small_dataset
+    ):
+        baseline = TS2Vec(tiny_baseline_config)
+        baseline.pretrain(small_dataset.train.X, epochs=1)
+        path = baseline.save(tmp_path / "ts2vec")
+        clone = load_estimator(path)
+        assert clone.is_pretrained
+        assert clone.config == baseline.config
+        np.testing.assert_array_equal(
+            clone.encoder.state_dict()["input_conv.weight"],
+            baseline.encoder.state_dict()["input_conv.weight"],
+        )
+
+    def test_pretrain_only_bundle_resets_fitted_classifier_on_load(
+        self, tmp_path, tiny_baseline_config, small_dataset
+    ):
+        """Loading a checkpoint without a finetune section disarms predict()."""
+        baseline = TS2Vec(tiny_baseline_config)
+        baseline.pretrain(small_dataset.train.X, epochs=1)
+        path = baseline.save(tmp_path / "pretrain-only")
+        baseline.fine_tune(small_dataset, FineTuneConfig(epochs=1, batch_size=8, seed=0))
+        assert baseline.is_fitted
+        baseline.load(path)
+        assert not baseline.is_fitted
+        with pytest.raises(RuntimeError, match="no fine-tuned classifier"):
+            baseline.predict(small_dataset.test.X)
+
+
+class TestDeprecatedEntryPoints:
+    def test_baseline_fit_and_evaluate_warns(self, tiny_baseline_config, small_dataset):
+        baseline = TS2Vec(tiny_baseline_config)
+        finetune = FineTuneConfig(epochs=1, batch_size=8, classifier_hidden_dim=8, seed=0)
+        with pytest.warns(DeprecationWarning, match="fit_and_evaluate is deprecated"):
+            accuracy = baseline.fit_and_evaluate(small_dataset, finetune, pretrain_epochs=1)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_aimts_evaluate_archive_warns(self, tiny_config, small_dataset):
+        model = AimTS(tiny_config)
+        finetune = FineTuneConfig(epochs=1, batch_size=8, classifier_hidden_dim=8, seed=0)
+        with pytest.warns(DeprecationWarning, match="evaluate_archive is deprecated"):
+            results = model.evaluate_archive([small_dataset], finetune)
+        assert set(results) == {small_dataset.name}

@@ -142,6 +142,22 @@ class TestRocketFamily:
         b = Rocket(n_kernels=40, seed=1).fit_and_evaluate(small_dataset)
         assert a == pytest.approx(b)
 
+    def test_refit_after_fine_tune_clears_stale_label_map(
+        self, small_dataset, small_multivariate_dataset
+    ):
+        """A direct re-fit on a task with more classes must not keep the old map."""
+        rocket = Rocket(n_kernels=16, seed=0)
+        rocket.fine_tune(small_dataset)  # 2 classes
+        rocket.fit(small_multivariate_dataset.train.X, small_multivariate_dataset.train.y)
+        predictions = rocket.predict(small_multivariate_dataset.test.X)  # 3 classes
+        assert predictions.max() < small_multivariate_dataset.n_classes
+
+        linear = LinearClassifier()
+        linear.fine_tune(small_dataset)
+        linear.fit(small_multivariate_dataset.train.X, small_multivariate_dataset.train.y)
+        predictions = linear.predict(small_multivariate_dataset.test.X)
+        assert predictions.max() < small_multivariate_dataset.n_classes
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             Rocket(n_kernels=0)

@@ -12,6 +12,7 @@ from repro.evaluation import (
     run_case_by_case_comparison,
     run_fewshot_comparison,
     run_multisource_comparison,
+    run_protocol,
 )
 
 
@@ -76,3 +77,142 @@ class TestMultiSourceProtocol:
         assert set(results) == {0.25, 0.5}
         for comparison in results.values():
             assert "AimTS" in comparison.accuracies
+
+
+class _FakePretrainedAimTS:
+    """Stand-in for a pre-trained AimTS in wrapper-semantics tests."""
+
+    name = "AimTS"
+    supports_pretraining = True
+    is_pretrained = True
+
+    def fine_tune(self, dataset, config=None, *, label_ratio=None):
+        from repro.core.finetuner import FineTuneResult
+
+        return FineTuneResult(dataset.name, 1.0, 1.0, 1, 0.0)
+
+
+class TestRunProtocol:
+    """The generic registry-driven protocol runner."""
+
+    def test_estimators_resolvable_by_name_and_spec(self, protocol_setup):
+        _, datasets, finetune, _ = protocol_setup
+        comparison = run_protocol(
+            {"Linear": "linear", "Rocket": {"name": "rocket", "n_kernels": 20, "seed": 0}},
+            datasets,
+            finetune_config=finetune,
+        )
+        assert set(comparison.accuracies) == {"Linear", "Rocket"}
+        for per_dataset in comparison.accuracies.values():
+            assert set(per_dataset) == {d.name for d in datasets}
+            assert all(0.0 <= v <= 1.0 for v in per_dataset.values())
+
+    def test_sequence_of_instances_keyed_by_display_name(self, protocol_setup):
+        model, datasets, finetune, baseline_config = protocol_setup
+        # the un-pretrained TS2Vec in a multi-source run without a corpus is
+        # evaluated from random initialisation — run_protocol says so loudly
+        with pytest.warns(UserWarning, match="not pre-trained"):
+            comparison = run_protocol(
+                [model, TS2Vec(baseline_config)],
+                datasets,
+                protocol="multi_source",
+                finetune_config=finetune,
+            )
+        assert set(comparison.accuracies) == {"AimTS", "TS2Vec"}
+
+    def test_case_by_case_pretrains_fresh_estimators_per_dataset(self, protocol_setup):
+        _, datasets, finetune, baseline_config = protocol_setup
+        baseline = TS2Vec(baseline_config)
+        assert not baseline.is_pretrained
+        run_protocol(baseline, datasets, protocol="case_by_case", finetune_config=finetune)
+        assert baseline.is_pretrained
+
+    def test_multi_source_pretrains_on_shared_corpus(self, protocol_setup):
+        _, datasets, finetune, baseline_config = protocol_setup
+        baseline = MomentLike(baseline_config)
+        comparison = run_protocol(
+            baseline,
+            datasets,
+            protocol="multi_source",
+            pretrain_corpus="monash",
+            pretrain_kwargs={"n_datasets": 2, "seed": 0, "max_samples": 10, "epochs": 1},
+            finetune_config=finetune,
+        )
+        assert baseline.is_pretrained
+        assert set(comparison.accuracies) == {"MOMENT"}
+
+    def test_few_shot_returns_one_comparison_per_ratio(self, protocol_setup):
+        model, datasets, finetune, _ = protocol_setup
+        results = run_protocol(
+            model,
+            datasets,
+            protocol="few_shot",
+            ratios=(0.5,),
+            finetune_config=finetune,
+        )
+        assert set(results) == {0.5}
+        assert "AimTS" in results[0.5].accuracies
+
+    def test_unknown_protocol_rejected(self, protocol_setup):
+        model, datasets, _, _ = protocol_setup
+        with pytest.raises(ValueError, match="unknown protocol"):
+            run_protocol(model, datasets, protocol="zero_shot")
+
+    def test_misdirected_arguments_rejected(self, protocol_setup):
+        model, datasets, _, _ = protocol_setup
+        with pytest.raises(ValueError, match="ratios"):
+            run_protocol(model, datasets, protocol="few_shot", label_ratio=0.1)
+        with pytest.raises(ValueError, match="corpus name"):
+            run_protocol(
+                model,
+                datasets,
+                protocol="multi_source",
+                pretrain_corpus=datasets,
+                pretrain_kwargs={"n_datasets": 2},
+            )
+
+    def test_archive_resolvable_by_name(self, protocol_setup):
+        _, _, finetune, _ = protocol_setup
+        comparison = run_protocol("linear", "ucr", finetune_config=finetune)
+        assert len(comparison.accuracies["Linear"]) > 0
+
+    def test_legacy_fit_and_evaluate_only_objects_still_supported(self, protocol_setup):
+        """Duck-typed baselines exposing only fit_and_evaluate(dataset) keep working."""
+        _, datasets, finetune, _ = protocol_setup
+
+        class ConstantBaseline:
+            name = "Constant"
+
+            def fit_and_evaluate(self, dataset):
+                return 0.5
+
+        comparison = run_protocol(ConstantBaseline(), datasets, finetune_config=finetune)
+        assert all(v == 0.5 for v in comparison.accuracies["Constant"].values())
+        # ...but they cannot silently ignore a few-shot label_ratio
+        with pytest.raises(TypeError, match="cannot honour label_ratio"):
+            run_protocol(
+                ConstantBaseline(), datasets, protocol="few_shot", ratios=(0.5,)
+            )
+
+    def test_old_contract_pretrain_duck_types_still_pretrained_case_by_case(
+        self, protocol_setup
+    ):
+        """Objects with pretrain+fine_tune but no supports_pretraining attr count as pretrainable."""
+        _, datasets, finetune, _ = protocol_setup
+        calls = []
+
+        class OldContract:
+            name = "Old"
+
+            def pretrain(self, X, *, epochs=None):
+                calls.append("pretrain")
+
+            def fine_tune(self, dataset, config=None, *, label_ratio=None):
+                from repro.core.finetuner import FineTuneResult
+
+                return FineTuneResult(dataset.name, 0.5, 0.5, 1, 0.0)
+
+        run_case_by_case_comparison(
+            _FakePretrainedAimTS(), {"Old": OldContract()}, datasets, finetune_config=finetune
+        )
+        assert calls == ["pretrain"] * len(datasets)

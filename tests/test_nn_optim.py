@@ -128,3 +128,26 @@ class TestSerialization:
         path = save_state_dict(model, tmp_path / "linear.npz")
         state = load_state_dict(path)
         assert set(state) == {"weight", "bias"}
+
+    def test_npz_suffix_check_is_case_insensitive(self, tmp_path):
+        model = nn.Linear(2, 2, rng=0)
+        path = save_state_dict(model, tmp_path / "upper.NPZ")
+        assert path.endswith("upper.NPZ"), "pre-suffixed paths must not be double-appended"
+        assert set(load_state_dict(path)) == {"weight", "bias"}
+
+    def test_float32_state_round_trips_without_upcast(self, tmp_path):
+        """A float32 checkpoint loaded into a float64 module stays float32."""
+        model = nn.Linear(3, 2, rng=0)
+        state32 = {key: value.astype(np.float32) for key, value in model.state_dict().items()}
+        path = save_state_dict(state32, tmp_path / "half")
+        clone = nn.Linear(3, 2, rng=1)
+        load_state_dict(path, clone)
+        for _, param in clone.named_parameters():
+            assert param.data.dtype == np.float32
+        np.testing.assert_array_equal(clone.state_dict()["weight"], state32["weight"])
+
+    def test_non_floating_state_rejected(self):
+        layer = nn.Linear(2, 2, rng=0)
+        bad = {key: np.zeros_like(value, dtype=np.int64) for key, value in layer.state_dict().items()}
+        with pytest.raises(TypeError, match="dtype mismatch"):
+            layer.load_state_dict(bad)
