@@ -1,0 +1,155 @@
+"""Performance benchmarks for the unified training engine (perf marker).
+
+Not part of any paper table — this module tracks the reproduction's own
+training-throughput trajectory now that every epoch loop runs through
+``repro.engine.Trainer``.  It measures
+
+* pre-training: wall-clock per epoch and samples/s of a 2-epoch
+  ``AimTSPretrainer.fit`` (both contrastive objectives on, render cache on),
+* fine-tuning: wall-clock per epoch and samples/s of a ``FineTuner.fit`` run
+  on a small labelled dataset,
+
+and appends every run to ``BENCH_training.json`` at the repo root so
+successive PRs can compare numbers on the same machine.
+
+Excluded from tier-1 by the ``perf`` marker (see ``pytest.ini``); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_training.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.core.finetuner import FineTuner
+from repro.core.pretrainer import AimTSPretrainer
+from repro.data.archives import make_dataset
+from repro.encoders import TSEncoder
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+#: pre-training pool shape (samples, variables, length)
+POOL_SHAPE = (128, 1, 96)
+PRETRAIN_EPOCHS = 2
+FINETUNE_EPOCHS = 10
+FINETUNE_TRAIN = 64
+
+
+def append_bench_record(record: dict) -> None:
+    """Append one measurement record to ``BENCH_training.json``."""
+    records = []
+    if BENCH_PATH.exists():
+        records = json.loads(BENCH_PATH.read_text())
+    record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **record}
+    records.append(record)
+    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def _machine() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def test_pretrain_epoch_throughput():
+    """2-epoch engine-driven pre-train: record epoch wall-clock + samples/s."""
+    config = AimTSConfig(
+        repr_dim=16,
+        proj_dim=8,
+        hidden_channels=8,
+        depth=1,
+        panel_size=24,
+        series_length=POOL_SHAPE[2],
+        n_variables=POOL_SHAPE[1],
+        batch_size=16,
+        epochs=PRETRAIN_EPOCHS,
+        seed=3407,
+    )
+    pool = np.random.default_rng(3407).normal(size=POOL_SHAPE)
+    pretrainer = AimTSPretrainer(config)
+
+    start = time.perf_counter()
+    history = pretrainer.fit(pool)
+    fit_seconds = time.perf_counter() - start
+
+    epochs_run = len(history.total_loss)
+    assert epochs_run == PRETRAIN_EPOCHS
+    assert all(np.isfinite(v) for v in history.total_loss)
+    samples_per_sec = POOL_SHAPE[0] * epochs_run / fit_seconds
+
+    record = {
+        "benchmark": "engine_pretrain",
+        "pool_shape": list(POOL_SHAPE),
+        "epochs": epochs_run,
+        "fit_seconds": fit_seconds,
+        "epoch_wallclock_seconds": fit_seconds / epochs_run,
+        "samples_per_sec": samples_per_sec,
+        "final_loss": history.total_loss[-1],
+        **_machine(),
+    }
+    append_bench_record(record)
+    print(
+        f"\n[perf] engine pretrain {POOL_SHAPE} x{epochs_run} epochs: "
+        f"{fit_seconds:.2f}s total, {fit_seconds / epochs_run:.2f}s/epoch, "
+        f"{samples_per_sec:.1f} samples/s"
+    )
+
+
+def test_finetune_epoch_throughput():
+    """Engine-driven fine-tune: record epoch wall-clock + samples/s."""
+    dataset = make_dataset(
+        "perf_ecg",
+        "ecg",
+        n_classes=2,
+        n_train=FINETUNE_TRAIN,
+        n_test=16,
+        length=96,
+        n_variables=1,
+        seed=3407,
+    )
+    encoder = TSEncoder(
+        hidden_channels=8, repr_dim=16, depth=1, channel_independent=True, rng=3407
+    )
+    finetuner = FineTuner(
+        encoder,
+        dataset.n_classes,
+        FineTuneConfig(epochs=FINETUNE_EPOCHS, batch_size=8, seed=3407),
+    )
+
+    start = time.perf_counter()
+    curve = finetuner.fit(dataset.train)
+    fit_seconds = time.perf_counter() - start
+
+    epochs_run = len(curve)
+    assert epochs_run == FINETUNE_EPOCHS
+    assert all(np.isfinite(v) for v in curve)
+    samples_per_sec = FINETUNE_TRAIN * epochs_run / fit_seconds
+
+    record = {
+        "benchmark": "engine_finetune",
+        "n_train": FINETUNE_TRAIN,
+        "series_length": 96,
+        "epochs": epochs_run,
+        "fit_seconds": fit_seconds,
+        "epoch_wallclock_seconds": fit_seconds / epochs_run,
+        "samples_per_sec": samples_per_sec,
+        "final_loss": curve[-1],
+        **_machine(),
+    }
+    append_bench_record(record)
+    print(
+        f"\n[perf] engine finetune ({FINETUNE_TRAIN} samples x{epochs_run} epochs): "
+        f"{fit_seconds:.2f}s total, {fit_seconds / epochs_run:.3f}s/epoch, "
+        f"{samples_per_sec:.1f} samples/s"
+    )

@@ -10,7 +10,8 @@ including every substrate the paper depends on: a small autograd/NN framework
 the augmentation bank (:mod:`repro.augmentations`), a line-chart rasteriser
 (:mod:`repro.imaging`), the encoders (:mod:`repro.encoders`), the AimTS
 framework itself (:mod:`repro.core`), the comparison baselines
-(:mod:`repro.baselines`) and the evaluation protocols
+(:mod:`repro.baselines`), the unified training engine behind every loop
+(:mod:`repro.engine`) and the evaluation protocols
 (:mod:`repro.evaluation`).
 
 Quick start

@@ -206,6 +206,13 @@ def load_estimator(path: str | os.PathLike):
     name = manifest.get("estimator")
     if not name:
         raise BundleFormatError(f"bundle {str(path)!r} does not name its estimator")
+    if manifest.get("kind") == "train-state":
+        raise BundleFormatError(
+            f"{str(path)!r} is a training-engine checkpoint, not an estimator "
+            "bundle; rebuild the trainer and continue it with "
+            "repro.engine.Trainer.resume(path) (e.g. "
+            "AimTSPretrainer.fit(..., resume_from=path))"
+        )
     overrides = dict(manifest.get("config") or {})
     overrides.update(manifest.get("init_kwargs") or {})
     estimator = make_estimator(name, **overrides)

@@ -28,6 +28,13 @@ from repro.core.finetuner import FineTuner, FineTuneResult
 from repro.data.dataset import TimeSeriesDataset
 from repro.data.loaders import BatchIterator, build_pretraining_pool, z_normalize
 from repro.encoders import ProjectionHead, TSEncoder
+from repro.engine import (
+    History,
+    LossCurve,
+    ProgressLogger,
+    Trainer,
+    TrainLoop,
+)
 from repro.nn import Adam
 from repro.nn.tensor import Tensor
 from repro.utils.seeding import new_rng
@@ -85,6 +92,8 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         self._pretrained = False
         self._finetuner: FineTuner | None = None
         self._label_map: np.ndarray | None = None
+        #: the engine driver of the most recent / active pretrain() call
+        self.trainer: Trainer | None = None
 
     def _build_encoder(self) -> TSEncoder:
         return TSEncoder(
@@ -127,6 +136,14 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             yield from module.parameters()
 
     # ------------------------------------------------------------ pre-training
+    def _named_rngs(self) -> dict:
+        """RNG streams snapshotted into trainer checkpoints (overridable).
+
+        Subclasses with extra stochastic components (e.g. a masking op)
+        extend this so checkpoint → resume restores every stream.
+        """
+        return {"baseline": self._rng}
+
     def pretrain(
         self,
         corpus_or_X: list[TimeSeriesDataset] | np.ndarray,
@@ -135,13 +152,17 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         max_samples: int | None = None,
         n_variables: int = 1,
         verbose: bool = False,
-    ) -> list[float]:
-        """Self-supervised pre-training.
+        callbacks=(),
+    ) -> LossCurve:
+        """Self-supervised pre-training via the unified training engine.
 
         Accepts either an unlabeled pool ``(N, M, T)`` (case-by-case
         paradigm) or a list of datasets, which are merged into a common-shape
         multi-source pool first (Fig. 8d paradigm).  Returns the per-epoch
-        loss curve.
+        loss curve as a :class:`repro.engine.LossCurve` — still a
+        ``list[float]`` (the seed return shape, kept as a deprecation shim)
+        that additionally exposes the structured history.  ``callbacks``
+        accepts extra :class:`repro.engine.Callback` instances.
         """
         if not isinstance(corpus_or_X, np.ndarray):
             pool = build_pretraining_pool(
@@ -151,7 +172,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 max_samples=max_samples,
                 seed=self._rng,
             )
-            return self.pretrain(pool, epochs=epochs, verbose=verbose)
+            return self.pretrain(pool, epochs=epochs, verbose=verbose, callbacks=callbacks)
 
         X = z_normalize(np.asarray(corpus_or_X, dtype=np.float64))
         if max_samples is not None and X.shape[0] > max_samples:
@@ -160,24 +181,17 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             X = X[np.sort(self._rng.choice(X.shape[0], size=max_samples, replace=False))]
         epochs = epochs or self.config.epochs
         optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
-        iterator = BatchIterator(X, batch_size=self.config.batch_size, shuffle=True, seed=self._rng)
-        curve = []
-        for epoch in range(epochs):
-            total, batches = 0.0, 0
-            for batch, _ in iterator:
-                if batch.shape[0] < 2:
-                    continue
-                optimizer.zero_grad()
-                loss = self.batch_loss(batch)
-                loss.backward()
-                optimizer.step()
-                total += float(loss.item())
-                batches += 1
-            curve.append(total / max(batches, 1))
-            if verbose:
-                print(f"[{self.name}] epoch {epoch + 1}/{epochs} loss={curve[-1]:.4f}")
+        loop = _BaselinePretrainLoop(self, X)
+        history = History()
+        engine_callbacks = list(callbacks)
+        if verbose:
+            engine_callbacks.insert(0, ProgressLogger(self.name))
+        self.trainer = Trainer(
+            loop, optimizer, callbacks=engine_callbacks, history=history, rng=self._rng
+        )
+        self.trainer.fit(epochs)
         self._pretrained = True
-        return curve
+        return LossCurve(history.curve("loss"), history)
 
     def pretrain_multi_source(
         self,
@@ -303,3 +317,31 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 outputs.append(self.encoder(X[start : start + batch_size]).data)
         self.encoder.train()
         return np.concatenate(outputs, axis=0)
+
+
+class _BaselinePretrainLoop(TrainLoop):
+    """Engine adapter for the self-supervised baseline objectives."""
+
+    def __init__(self, baseline: SelfSupervisedBaseline, X: np.ndarray):
+        self.baseline = baseline
+        # shares the baseline's generator so each epoch's shuffle (and any
+        # rng the objective itself consumes, e.g. TS2Vec crop offsets)
+        # follows the exact stream positions the seed loop did
+        self.iterator = BatchIterator(
+            X, batch_size=baseline.config.batch_size, shuffle=True, seed=baseline._rng
+        )
+
+    def named_modules(self) -> dict:
+        return dict(self.baseline._model_modules())
+
+    def named_rngs(self) -> dict:
+        return dict(self.baseline._named_rngs())
+
+    def make_batches(self, rng, epoch):
+        for batch, _ in self.iterator:
+            if batch.shape[0] < 2:
+                continue  # contrastive objectives need at least two samples
+            yield batch
+
+    def batch_loss(self, batch) -> Tensor:
+        return self.baseline.batch_loss(batch)

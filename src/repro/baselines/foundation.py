@@ -60,6 +60,11 @@ class MomentLike(SelfSupervisedBaseline):
     def _named_auxiliary_modules(self) -> dict:
         return {"decoder": self.decoder}
 
+    def _named_rngs(self) -> dict:
+        rngs = super()._named_rngs()
+        rngs["masking"] = self.masking._rng
+        return rngs
+
     def _manifest_init_kwargs(self) -> dict:
         return {"mask_ratio": self.masking.mask_ratio}
 

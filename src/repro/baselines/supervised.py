@@ -225,7 +225,8 @@ class LinearClassifier(RidgePredictorMixin):
             dataset=dataset.name,
             accuracy=float((self.predict(dataset.test.X) == dataset.test.y).mean()),
             train_accuracy=float((self.predict(working.train.X) == working.train.y).mean()),
-            n_epochs=1,
+            # the closed-form ridge fit runs no epoch loop
+            n_epochs=0,
             fit_seconds=elapsed,
             history=[],
         )

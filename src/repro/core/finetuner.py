@@ -17,6 +17,14 @@ from repro.core.config import FineTuneConfig
 from repro.data.dataset import DatasetSplit, TimeSeriesDataset
 from repro.data.loaders import BatchIterator, z_normalize
 from repro.encoders import ClassifierHead, TSEncoder
+from repro.engine import (
+    History,
+    LossCurve,
+    ProgressLogger,
+    Trainer,
+    TrainLoop,
+    dropout_rngs,
+)
 from repro.nn import Adam
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, no_grad
@@ -25,7 +33,12 @@ from repro.utils.seeding import new_rng
 
 @dataclass
 class FineTuneResult:
-    """Outcome of fine-tuning on one downstream dataset."""
+    """Outcome of fine-tuning on one downstream dataset.
+
+    ``n_epochs`` is the number of epochs *actually run* (fewer than the
+    configured budget when early stopping fires; ``0`` for closed-form
+    estimators with no epoch loop).
+    """
 
     dataset: str
     accuracy: float
@@ -60,6 +73,8 @@ class FineTuner:
         self.classifier: ClassifierHead | None = None
         #: number of variables the classifier input was sized for (set at fit time)
         self.n_variables: int | None = None
+        #: the engine driver of the most recent / active fit() call
+        self.trainer: Trainer | None = None
 
     def _ensure_classifier(self, n_variables: int) -> None:
         if self.classifier is not None:
@@ -88,34 +103,36 @@ class FineTuner:
             representations = representations.detach()
         return self.classifier(representations)
 
-    def fit(self, train: DatasetSplit, *, verbose: bool = False) -> list[float]:
-        """Fine-tune on a labelled training split; returns the per-epoch loss curve."""
+    def fit(
+        self, train: DatasetSplit, *, verbose: bool = False, callbacks=()
+    ) -> LossCurve:
+        """Fine-tune on a labelled training split via the unified training engine.
+
+        Returns the per-epoch loss curve as a :class:`repro.engine.LossCurve`
+        — still a ``list[float]`` (the seed return shape, kept as a
+        deprecation shim) that additionally exposes the engine's structured
+        history (``curve.history``, ``curve.last()``).  ``callbacks`` accepts
+        extra :class:`repro.engine.Callback` instances, e.g.
+        :class:`~repro.engine.EarlyStopping`.
+        """
         if train.y is None:
             raise ValueError("fine-tuning requires a labelled training split")
         self._ensure_classifier(train.n_variables)
         X = z_normalize(train.X)
         y = train.y
         optimizer = Adam(list(self._parameters()), lr=self.config.learning_rate)
-        iterator = BatchIterator(
-            X, y, batch_size=self.config.batch_size, shuffle=True, seed=self._rng
-        )
-        curve = []
+        loop = _FineTuneLoop(self, X, y)
+        history = History()
+        engine_callbacks = list(callbacks)
+        if verbose:
+            engine_callbacks.insert(0, ProgressLogger("finetune"))
         self.encoder.train()
         self.classifier.train()
-        for epoch in range(self.config.epochs):
-            epoch_loss, n_batches = 0.0, 0
-            for batch_X, batch_y in iterator:
-                optimizer.zero_grad()
-                logits = self._forward(batch_X)
-                loss = F.cross_entropy(logits, batch_y)
-                loss.backward()
-                optimizer.step()
-                epoch_loss += float(loss.item())
-                n_batches += 1
-            curve.append(epoch_loss / max(n_batches, 1))
-            if verbose:
-                print(f"[finetune] epoch {epoch + 1}/{self.config.epochs} loss={curve[-1]:.4f}")
-        return curve
+        self.trainer = Trainer(
+            loop, optimizer, callbacks=engine_callbacks, history=history, rng=self._rng
+        )
+        self.trainer.fit(self.config.epochs)
+        return LossCurve(history.curve("loss"), history)
 
     def predict_logits(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
         """Evaluation-mode class logits ``(n, n_classes)`` for ``(n, M, T)`` samples."""
@@ -151,7 +168,11 @@ class FineTuner:
         return float((predictions == split.y).mean())
 
     def fit_and_evaluate(self, dataset: TimeSeriesDataset, *, verbose: bool = False) -> FineTuneResult:
-        """Convenience wrapper: fine-tune on ``dataset.train``, score on ``dataset.test``."""
+        """Convenience wrapper: fine-tune on ``dataset.train``, score on ``dataset.test``.
+
+        ``FineTuneResult.n_epochs`` reports the epochs actually run (which can
+        be fewer than ``config.epochs`` under early stopping).
+        """
         start = time.perf_counter()
         curve = self.fit(dataset.train, verbose=verbose)
         elapsed = time.perf_counter() - start
@@ -159,7 +180,38 @@ class FineTuner:
             dataset=dataset.name,
             accuracy=self.score(dataset.test),
             train_accuracy=self.score(dataset.train),
-            n_epochs=self.config.epochs,
+            n_epochs=len(curve),
             fit_seconds=elapsed,
             history=curve,
         )
+
+
+class _FineTuneLoop(TrainLoop):
+    """Engine adapter for supervised fine-tuning (cross-entropy)."""
+
+    def __init__(self, finetuner: FineTuner, X: np.ndarray, y: np.ndarray):
+        self.finetuner = finetuner
+        # shares the fine-tuner's generator so the per-epoch shuffles consume
+        # the exact stream positions the seed loop did
+        self.iterator = BatchIterator(
+            X, y, batch_size=finetuner.config.batch_size, shuffle=True, seed=finetuner._rng
+        )
+
+    def named_modules(self) -> dict:
+        return {
+            "encoder": self.finetuner.encoder,
+            "classifier": self.finetuner.classifier,
+        }
+
+    def named_rngs(self) -> dict:
+        rngs = {"finetuner": self.finetuner._rng}
+        rngs.update(dropout_rngs(self.finetuner.classifier, "classifier.dropout"))
+        return rngs
+
+    def make_batches(self, rng, epoch):
+        yield from self.iterator
+
+    def batch_loss(self, batch) -> Tensor:
+        batch_X, batch_y = batch
+        logits = self.finetuner._forward(batch_X)
+        return F.cross_entropy(logits, batch_y)

@@ -69,15 +69,26 @@ class AimTS(FineTunedPredictorMixin):
         epochs: int | None = None,
         max_samples: int | None = None,
         verbose: bool = False,
+        callbacks=(),
+        resume_from=None,
     ) -> PretrainHistory:
         """Run multi-source self-supervised pre-training (Eq. 1).
 
         ``corpus`` is either a list of datasets (merged into one pool) or an
         already-built ``(N, M, T)`` pool; ``epochs`` overrides the configured
-        epoch count for this call.
+        epoch count for this call.  ``callbacks`` takes extra
+        :class:`repro.engine.Callback` instances (early stopping on a
+        contrastive loss, mid-run :class:`~repro.engine.Checkpointer`, ...)
+        and ``resume_from`` continues a killed pre-train bit-identically from
+        a checkpoint bundle.
         """
         history = self.pretrainer.fit(
-            corpus, epochs=epochs, max_samples=max_samples, verbose=verbose
+            corpus,
+            epochs=epochs,
+            max_samples=max_samples,
+            verbose=verbose,
+            callbacks=callbacks,
+            resume_from=resume_from,
         )
         self._pretrained = True
         return history

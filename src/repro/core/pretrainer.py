@@ -16,8 +16,6 @@ For every mini-batch drawn from the merged multi-source pool the pre-trainer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.augmentations import AugmentationBank, default_bank
@@ -27,30 +25,72 @@ from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pa
 from repro.data.dataset import TimeSeriesDataset
 from repro.data.loaders import BatchIterator, build_pretraining_pool
 from repro.encoders import ImageEncoder, ProjectionHead, TSEncoder
+from repro.engine import (
+    DtypePolicy,
+    History,
+    ProgressLogger,
+    Trainer,
+    TrainLoop,
+)
 from repro.imaging import LineChartRenderer, RenderCache
 from repro.nn import Adam, StepLR, Tensor
 from repro.nn import functional as F
 from repro.utils.seeding import new_rng
 
-@dataclass
-class PretrainHistory:
-    """Per-epoch training curves recorded during pre-training."""
 
-    total_loss: list[float] = field(default_factory=list)
-    prototype_loss: list[float] = field(default_factory=list)
-    series_image_loss: list[float] = field(default_factory=list)
-    learning_rate: list[float] = field(default_factory=list)
+class PretrainHistory:
+    """Per-epoch pre-training curves — a thin view over the engine history.
+
+    Keeps the seed-era attribute shape (``total_loss`` / ``prototype_loss`` /
+    ``series_image_loss`` / ``learning_rate`` lists plus :meth:`last`) while
+    the data lives in one :class:`repro.engine.History` recorded by the
+    trainer's :class:`~repro.engine.LossHistory` callback, available raw via
+    :attr:`engine_history`.
+    """
+
+    #: attribute name → engine metric name
+    _METRICS = {
+        "total_loss": "loss",
+        "prototype_loss": "prototype",
+        "series_image_loss": "series_image",
+        "learning_rate": "learning_rate",
+    }
+
+    def __init__(self, history: History | None = None):
+        self._history = history if history is not None else History()
+
+    @property
+    def engine_history(self) -> History:
+        """The underlying structured :class:`repro.engine.History`."""
+        return self._history
+
+    @property
+    def total_loss(self) -> list[float]:
+        return self._history.curve("loss")
+
+    @property
+    def prototype_loss(self) -> list[float]:
+        return self._history.curve("prototype")
+
+    @property
+    def series_image_loss(self) -> list[float]:
+        return self._history.curve("series_image")
+
+    @property
+    def learning_rate(self) -> list[float]:
+        return self._history.curve("learning_rate")
 
     def last(self) -> dict[str, float]:
         """Summary of the final epoch (empty dict if no epoch has run)."""
         if not self.total_loss:
             return {}
-        return {
-            "total_loss": self.total_loss[-1],
-            "prototype_loss": self.prototype_loss[-1],
-            "series_image_loss": self.series_image_loss[-1],
-            "learning_rate": self.learning_rate[-1],
-        }
+        return {name: getattr(self, name)[-1] for name in self._METRICS}
+
+    def __len__(self) -> int:
+        return len(self.total_loss)
+
+    def __repr__(self) -> str:
+        return f"PretrainHistory(epochs={len(self)})"
 
 
 def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> AugmentationBank:
@@ -88,7 +128,12 @@ class AimTSPretrainer:
         self._rng = new_rng(self.config.seed)
         cfg = self.config
         self.bank = build_augmentation_bank(cfg, self._rng)
-        self.renderer = LineChartRenderer(panel_size=cfg.panel_size, dtype=cfg.image_dtype)
+        #: precision policy shared with the training engine (configured once,
+        #: consumed by the renderer here and carried by the Trainer)
+        self.dtype_policy = DtypePolicy(image_dtype=cfg.image_dtype)
+        self.renderer = LineChartRenderer(
+            panel_size=cfg.panel_size, dtype=self.dtype_policy.image_dtype
+        )
         #: cross-epoch cache of the deterministic pool renders; built by
         #: :meth:`fit` when ``config.cache_images`` is on.
         self.render_cache: RenderCache | None = None
@@ -112,7 +157,10 @@ class AimTSPretrainer:
         self.prototype_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 3)
         self.series_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 4)
         self.image_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 5)
-        self.history = PretrainHistory()
+        self._engine_history = History()
+        self.history = PretrainHistory(self._engine_history)
+        #: the engine driver of the most recent / active fit() call
+        self.trainer: Trainer | None = None
 
     # ------------------------------------------------------------------ parts
     def _trainable_modules(self):
@@ -216,8 +264,10 @@ class AimTSPretrainer:
         epochs: int | None = None,
         max_samples: int | None = None,
         verbose: bool = False,
+        callbacks=(),
+        resume_from=None,
     ) -> PretrainHistory:
-        """Pre-train on a multi-source corpus.
+        """Pre-train on a multi-source corpus via the unified training engine.
 
         Parameters
         ----------
@@ -230,6 +280,16 @@ class AimTSPretrainer:
             Optional cap on the pool size, useful for quick experiments.
         verbose:
             Print one line per epoch.
+        callbacks:
+            Extra :class:`repro.engine.Callback` instances (e.g.
+            :class:`~repro.engine.EarlyStopping` on a contrastive loss, or a
+            :class:`~repro.engine.Checkpointer` for mid-run checkpoints of
+            the long multi-source pre-train).
+        resume_from:
+            Path of a :class:`~repro.engine.Checkpointer` bundle; the run
+            continues from its saved epoch bit-identically (weights,
+            optimizer moments, scheduler step and per-epoch RNG streams all
+            restored).
         """
         cfg = self.config
         n_epochs = epochs if epochs is not None else cfg.epochs
@@ -250,9 +310,6 @@ class AimTSPretrainer:
 
         optimizer = Adam(list(self.parameters()), lr=cfg.learning_rate)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma)
-        iterator = BatchIterator(
-            pool, batch_size=cfg.batch_size, shuffle=True, seed=self._rng, return_indices=True
-        )
 
         # the renders are deterministic per pool sample, so rasterise the pool
         # once up front and serve every shuffled batch of every epoch from the
@@ -268,36 +325,28 @@ class AimTSPretrainer:
         else:
             self.render_cache = None
 
-        for epoch in range(n_epochs):
-            epoch_totals = {"total": 0.0, "prototype": 0.0, "series_image": 0.0}
-            n_batches = 0
-            for batch, _, batch_indices in iterator:
-                if batch.shape[0] < 2:
-                    continue  # contrastive losses need at least two samples
-                images = (
-                    self.render_cache.get_batch(batch, batch_indices) if use_cache else None
-                )
-                optimizer.zero_grad()
-                losses = self.compute_batch_loss(batch, images=images)
-                losses["total"].backward()
-                optimizer.step()
-                for key in epoch_totals:
-                    if key in losses:
-                        epoch_totals[key] += float(losses[key].item())
-                n_batches += 1
-            n_batches = max(n_batches, 1)
-            self.history.total_loss.append(epoch_totals["total"] / n_batches)
-            self.history.prototype_loss.append(epoch_totals["prototype"] / n_batches)
-            self.history.series_image_loss.append(epoch_totals["series_image"] / n_batches)
-            self.history.learning_rate.append(optimizer.lr)
-            scheduler.step()
-            if verbose:
-                print(
-                    f"[pretrain] epoch {epoch + 1}/{n_epochs} "
-                    f"loss={self.history.total_loss[-1]:.4f} "
-                    f"proto={self.history.prototype_loss[-1]:.4f} "
-                    f"si={self.history.series_image_loss[-1]:.4f}"
-                )
+        loop = _PretrainLoop(self, pool, use_cache)
+        engine_callbacks = list(callbacks)
+        if verbose:
+            engine_callbacks.insert(
+                0,
+                ProgressLogger(
+                    "pretrain",
+                    fields={"loss": "loss", "proto": "prototype", "si": "series_image"},
+                ),
+            )
+        self.trainer = Trainer(
+            loop,
+            optimizer,
+            scheduler=scheduler,
+            callbacks=engine_callbacks,
+            history=self._engine_history,
+            rng=self._rng,
+            dtype_policy=self.dtype_policy,
+        )
+        if resume_from is not None:
+            self.trainer.load_checkpoint(resume_from)
+        self.trainer.fit(n_epochs)
         return self.history
 
     # ------------------------------------------------------------------ utils
@@ -313,3 +362,68 @@ class AimTSPretrainer:
                 outputs.append(self.ts_encoder(X[start : start + batch_size]).data)
         self.ts_encoder.train()
         return np.concatenate(outputs, axis=0)
+
+
+class _PretrainLoop(TrainLoop):
+    """Engine adapter for the AimTS pre-training objective.
+
+    Batches are ``(series, images)`` pairs: the shuffled pool mini-batch plus
+    its cached renders (``None`` when the cache is off, in which case
+    :meth:`AimTSPretrainer.compute_batch_loss` rasterises on the fly).
+    """
+
+    def __init__(self, pretrainer: AimTSPretrainer, pool: np.ndarray, use_cache: bool):
+        self.pretrainer = pretrainer
+        self.use_cache = use_cache
+        # the iterator shares the pre-trainer's generator, so each epoch's
+        # shuffle consumes the exact stream position the seed loop did (and
+        # checkpoints can snapshot/restore it through named_rngs)
+        self.iterator = BatchIterator(
+            pool,
+            batch_size=pretrainer.config.batch_size,
+            shuffle=True,
+            seed=pretrainer._rng,
+            return_indices=True,
+        )
+
+    def named_modules(self) -> dict:
+        pretrainer = self.pretrainer
+        return {
+            "ts_encoder": pretrainer.ts_encoder,
+            "image_encoder": pretrainer.image_encoder,
+            "view_projection": pretrainer.view_projection,
+            "prototype_projection": pretrainer.prototype_projection,
+            "series_projection": pretrainer.series_projection,
+            "image_projection": pretrainer.image_projection,
+        }
+
+    def named_rngs(self) -> dict:
+        rngs = {"pretrainer": self.pretrainer._rng}
+        for augmentation in self.pretrainer.bank:
+            rngs[f"augmentation.{augmentation.name}"] = augmentation._rng
+        return rngs
+
+    def metric_names(self) -> tuple[str, ...]:
+        return ("loss", "prototype", "series_image")
+
+    def make_batches(self, rng, epoch):
+        for batch, _, batch_indices in self.iterator:
+            if batch.shape[0] < 2:
+                continue  # contrastive losses need at least two samples
+            images = (
+                self.pretrainer.render_cache.get_batch(batch, batch_indices)
+                if self.use_cache
+                else None
+            )
+            yield batch, images
+
+    def batch_loss(self, batch) -> dict:
+        series, images = batch
+        losses = self.pretrainer.compute_batch_loss(series, images=images)
+        # disabled objectives log 0.0 so the history keeps the seed's fixed
+        # four-curve shape under every ablation switch
+        return {
+            "loss": losses["total"],
+            "prototype": losses.get("prototype", 0.0),
+            "series_image": losses.get("series_image", 0.0),
+        }

@@ -1,0 +1,233 @@
+"""Event-based callbacks for the training engine.
+
+The :class:`~repro.engine.trainer.Trainer` emits a fixed set of events —
+``on_fit_start`` / ``on_epoch_start`` / ``on_batch_end`` /
+``on_backward_end`` / ``on_epoch_end`` / ``on_fit_end`` — and every
+cross-cutting training capability in the repo is a :class:`Callback`
+responding to them.  Stock callbacks cover the needs of the paper's
+protocol: loss-history recording, progress logging, LR scheduling, early
+stopping on the contrastive losses, gradient clipping, gradient
+accumulation, and mid-run checkpointing for the long multi-source pre-train.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.history import History
+from repro.nn.schedulers import LRScheduler
+from repro.utils.validation import check_positive
+
+
+class Callback:
+    """Base class: override any subset of the event hooks.
+
+    Every hook receives the trainer, so callbacks can reach the loop, the
+    optimizer, the scheduler and the mutable
+    :class:`~repro.engine.state.TrainState`.
+    """
+
+    def on_fit_start(self, trainer) -> None:
+        """Called once when :meth:`Trainer.fit` starts."""
+
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        """Called before each epoch's first batch."""
+
+    def on_batch_end(self, trainer, logs: dict) -> None:
+        """Called after each batch; ``logs`` holds the batch's metric floats."""
+
+    def on_backward_end(self, trainer) -> None:
+        """Called when gradients are complete, right before ``optimizer.step()``."""
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        """Called after each epoch; ``logs`` holds the epoch-mean metrics."""
+
+    def on_fit_end(self, trainer) -> None:
+        """Called once when the run finishes (normally or via early stop)."""
+
+
+class LossHistory(Callback):
+    """Records the epoch-end metric logs into a :class:`History`.
+
+    Pass an existing ``history`` to accumulate across several ``fit`` calls
+    (the pre-trainer does this so repeated fits keep appending, exactly like
+    the seed implementation).
+    """
+
+    def __init__(self, history: History | None = None):
+        self.history = history if history is not None else History()
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        self.history.append(logs)
+
+
+class ProgressLogger(Callback):
+    """Prints one line per epoch, reproducing the seed loops' verbose output.
+
+    ``fields`` maps printed labels to metric names, e.g. the pre-trainer uses
+    ``{"loss": "loss", "proto": "prototype", "si": "series_image"}`` to print
+    ``[pretrain] epoch 1/2 loss=… proto=… si=…``.
+    """
+
+    def __init__(self, prefix: str, *, fields: dict[str, str] | None = None, every: int = 1):
+        check_positive("every", every)
+        self.prefix = prefix
+        self.fields = dict(fields) if fields else {"loss": "loss"}
+        self.every = int(every)
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        epoch = trainer.state.epoch
+        if epoch % self.every and epoch != trainer.target_epochs:
+            return
+        rendered = " ".join(
+            f"{label}={logs[metric]:.4f}"
+            for label, metric in self.fields.items()
+            if metric in logs
+        )
+        print(f"[{self.prefix}] epoch {epoch}/{trainer.target_epochs} {rendered}")
+
+
+class LRSchedulerCallback(Callback):
+    """Steps a :mod:`repro.nn.schedulers` schedule once per epoch.
+
+    The epoch logs are assembled (learning rate included) *before* callbacks
+    fire, so the recorded ``learning_rate`` is the rate the epoch actually
+    trained with, matching the seed loops.
+    """
+
+    def __init__(self, scheduler: LRScheduler):
+        self.scheduler = scheduler
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        self.scheduler.step()
+
+
+class EarlyStopping(Callback):
+    """Stops the run when a monitored metric plateaus.
+
+    Parameters
+    ----------
+    monitor:
+        Metric name in the epoch logs (``"loss"`` for the single-objective
+        loops; the pre-trainer also logs ``"prototype"`` and
+        ``"series_image"``, so either contrastive loss can be monitored).
+    patience:
+        Number of consecutive non-improving epochs tolerated before stopping.
+    min_delta:
+        Minimum improvement (in ``mode`` direction) that resets the counter.
+    mode:
+        ``"min"`` (losses) or ``"max"`` (accuracies).
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        *,
+        patience: int = 3,
+        min_delta: float = 0.0,
+        mode: str = "min",
+    ):
+        check_positive("patience", patience)
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: float | None = None
+        self.wait = 0
+
+    def on_fit_start(self, trainer) -> None:
+        self.best = None
+        self.wait = 0
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        value = logs.get(self.monitor)
+        if value is None:
+            return
+        if self._improved(float(value)):
+            self.best = float(value)
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            trainer.state.stop_training = True
+            trainer.state.stop_reason = (
+                f"early stopping: {self.monitor} did not improve for "
+                f"{self.patience} epochs (best {self.best:.6f})"
+            )
+
+
+class GradClip(Callback):
+    """Clips the global gradient norm right before every optimizer step."""
+
+    def __init__(self, max_norm: float):
+        check_positive("max_norm", max_norm)
+        self.max_norm = float(max_norm)
+        #: gradient norm observed at the most recent step (for logging/tests)
+        self.last_norm: float | None = None
+
+    def on_backward_end(self, trainer) -> None:
+        grads = [p.grad for p in trainer.optimizer.parameters if p.grad is not None]
+        if not grads:
+            return
+        norm = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+        self.last_norm = norm
+        if norm > self.max_norm:
+            scale = self.max_norm / (norm + 1e-12)
+            for grad in grads:
+                grad *= scale
+
+
+class GradAccumulation(Callback):
+    """Declares gradient accumulation over ``steps`` micro-batches.
+
+    The trainer reads ``steps`` at ``fit`` time: gradients are cleared every
+    ``steps`` batches, unscaled micro-batch gradients are summed, and at each
+    window boundary they are averaged over the *actual* window size before
+    the optimizer steps — so a window of equally-sized micro-batches is
+    equivalent to one full batch over the same samples, including a leftover
+    partial window at the end of an epoch.  ``steps=1`` is exactly the
+    unaccumulated loop.
+    """
+
+    def __init__(self, steps: int):
+        check_positive("steps", steps)
+        self.steps = int(steps)
+
+
+class Checkpointer(Callback):
+    """Saves a resumable trainer checkpoint every ``every`` epochs.
+
+    The checkpoint is a full bundle (see :mod:`repro.api.bundle`) holding the
+    loop's module weights, the optimizer moments, the scheduler step, every
+    named RNG stream and the history — everything
+    :meth:`~repro.engine.trainer.Trainer.resume` needs to continue a killed
+    run bit-identically.  The file at ``path`` is overwritten in place so it
+    always holds the latest completed epoch.
+    """
+
+    def __init__(self, path, *, every: int = 1, save_on_fit_end: bool = True):
+        check_positive("every", every)
+        self.path = path
+        self.every = int(every)
+        self.save_on_fit_end = bool(save_on_fit_end)
+        #: path written by the most recent save (None until one happens)
+        self.last_path: str | None = None
+
+    def on_epoch_end(self, trainer, logs: dict) -> None:
+        if trainer.state.epoch % self.every == 0:
+            self.last_path = trainer.save_checkpoint(self.path)
+
+    def on_fit_end(self, trainer) -> None:
+        if self.save_on_fit_end and trainer.state.epoch % self.every != 0:
+            self.last_path = trainer.save_checkpoint(self.path)

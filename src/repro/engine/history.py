@@ -1,0 +1,85 @@
+"""Structured per-epoch training history shared by every loop in the repo.
+
+One :class:`History` instance records the engine's epoch-end metric logs as
+named curves.  The legacy return shapes of the migrated loops are kept alive
+as thin views over it: :class:`~repro.core.pretrainer.PretrainHistory`
+(attribute access) and :class:`LossCurve` (a ``list[float]`` subclass), so
+code written against the seed API keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class History:
+    """Named per-epoch metric curves with a structured summary.
+
+    Metrics are appended one epoch at a time from the trainer's epoch logs;
+    every value is stored as a plain Python float so histories serialize
+    losslessly through the JSON checkpoint manifest (``repr`` round-trip).
+    """
+
+    def __init__(self, metrics: dict[str, list[float]] | None = None):
+        self.metrics: dict[str, list[float]] = {
+            key: [float(v) for v in values] for key, values in (metrics or {}).items()
+        }
+
+    def append(self, logs: dict[str, float]) -> None:
+        """Record one epoch of metric values."""
+        for key, value in logs.items():
+            self.metrics.setdefault(key, []).append(float(value))
+
+    def curve(self, name: str) -> list[float]:
+        """The per-epoch values of one metric (empty list if never logged)."""
+        return self.metrics.setdefault(name, [])
+
+    def last(self) -> dict[str, float]:
+        """Final-epoch value of every metric (empty dict if no epoch ran)."""
+        return {key: values[-1] for key, values in self.metrics.items() if values}
+
+    def clear(self) -> None:
+        """Drop every recorded epoch (used when a checkpoint is restored)."""
+        self.metrics.clear()
+
+    def load(self, metrics: dict[str, list[float]]) -> "History":
+        """Replace the recorded curves (checkpoint restore path)."""
+        self.metrics.clear()
+        for key, values in metrics.items():
+            self.metrics[key] = [float(v) for v in values]
+        return self
+
+    def __len__(self) -> int:
+        """Number of recorded epochs (longest curve)."""
+        return max((len(values) for values in self.metrics.values()), default=0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.metrics
+
+    def __getitem__(self, name: str) -> list[float]:
+        return self.metrics[name]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}[{len(values)}]" for key, values in self.metrics.items())
+        return f"History({inner})"
+
+
+class LossCurve(list):
+    """A ``list[float]`` of per-epoch losses that also carries the full history.
+
+    Deprecation shim: ``FineTuner.fit`` and ``SelfSupervisedBaseline.pretrain``
+    historically returned a bare ``list[float]``; they now return this class,
+    which *is* that list (indexing, ``len``, equality all unchanged) while also
+    exposing the engine's structured :attr:`history` and :meth:`last` like
+    ``AimTSPretrainer.fit`` does.  Prefer the structured accessors — the bare
+    list shape is kept only for backward compatibility.
+    """
+
+    def __init__(self, values, history: History, metric: str = "loss"):
+        super().__init__(float(v) for v in values)
+        #: the full engine history this curve is one metric of
+        self.history = history
+        #: the metric name this list holds
+        self.metric = metric
+
+    def last(self) -> dict[str, float]:
+        """Final-epoch value of every recorded metric."""
+        return self.history.last()

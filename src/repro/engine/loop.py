@@ -1,0 +1,88 @@
+"""The :class:`TrainLoop` contract every migrated loop implements.
+
+A loop owns *what* is trained (modules, batches, the loss); the
+:class:`~repro.engine.trainer.Trainer` owns *how* (epochs, optimizer steps,
+gradient accumulation, callbacks, checkpoints).  A loop implements two
+methods — ``make_batches(rng, epoch)`` and ``batch_loss(batch)`` — plus the
+introspection hooks the trainer needs for checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TrainLoop:
+    """Base class / contract for one trainable objective.
+
+    Subclasses implement:
+
+    ``make_batches(rng, epoch)``
+        Yield the epoch's mini-batches in order.  Any shuffling must draw
+        from ``rng`` (or from a generator that *shares* it), so the trainer
+        can snapshot and restore the stream for bit-identical resume.
+    ``batch_loss(batch)``
+        Return the scalar loss :class:`~repro.nn.tensor.Tensor` for one
+        batch, or a dict whose ``"loss"`` entry is that tensor; extra dict
+        entries (tensors or floats) are logged as additional metrics.
+
+    and the checkpointing hooks:
+
+    ``named_modules()``
+        Stable name → :class:`~repro.nn.module.Module` mapping of everything
+        the optimizer trains (names become checkpoint key prefixes).
+    ``named_rngs()``
+        Stable name → :class:`numpy.random.Generator` mapping of every RNG
+        stream the loop consumes (batch shuffling, augmentations, mixup,
+        dropout); all are snapshotted into checkpoints and restored by
+        :meth:`~repro.engine.trainer.Trainer.resume`.
+    """
+
+    def named_modules(self) -> dict[str, Module]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Every trainable parameter, in stable :meth:`named_modules` order."""
+        for module in self.named_modules().values():
+            yield from module.parameters()
+
+    def make_batches(self, rng: np.random.Generator, epoch: int) -> Iterable:  # pragma: no cover
+        raise NotImplementedError
+
+    def batch_loss(self, batch) -> Tensor | dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def named_rngs(self) -> dict[str, np.random.Generator]:
+        """RNG streams to snapshot in checkpoints (none by default)."""
+        return {}
+
+    def metric_names(self) -> tuple[str, ...]:
+        """Metrics every epoch must record, even with zero usable batches.
+
+        An epoch whose batches were all filtered out (e.g. a pool too small
+        for the contrastive two-sample minimum) logs ``0.0`` for each of
+        these, keeping curve lengths equal across metrics.
+        """
+        return ("loss",)
+
+
+def dropout_rngs(module: Module, prefix: str = "dropout") -> dict[str, np.random.Generator]:
+    """Collect the RNGs of every :class:`~repro.nn.layers.Dropout` in ``module``.
+
+    Keys are ``{prefix}.{i}`` in module-traversal order, which is stable for a
+    fixed architecture — good enough for checkpoint round-trips.
+    """
+    from repro.nn.layers import Dropout
+
+    rngs: dict[str, np.random.Generator] = {}
+    index = 0
+    for child in module.modules():
+        if isinstance(child, Dropout):
+            rngs[f"{prefix}.{index}"] = child._rng
+            index += 1
+    return rngs

@@ -1,0 +1,310 @@
+"""The :class:`Trainer` — the one training driver behind every loop.
+
+Every epoch loop in the repo (AimTS pre-training, downstream fine-tuning and
+all self-supervised baseline pre-training) runs through this class: the loop
+supplies batches and a loss (:class:`~repro.engine.loop.TrainLoop`), the
+trainer supplies the epoch/step mechanics — optimizer stepping, gradient
+accumulation, callback events, and resumable checkpoints through the same
+bundle format estimators persist with (:mod:`repro.api.bundle`).
+
+Bit-exact guarantees: with no accumulation/clipping callbacks the batch
+schedule is ``zero_grad → batch_loss → backward → step`` per batch, exactly
+the seed loops' order, and the loop's RNG streams are only consumed by the
+loop itself — so migrated loops reproduce their seed loss curves to the last
+bit, and :meth:`Trainer.resume` continues a killed run as if it had never
+stopped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.callbacks import (
+    Callback,
+    GradAccumulation,
+    LossHistory,
+    LRSchedulerCallback,
+)
+from repro.engine.history import History
+from repro.engine.loop import TrainLoop
+from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+from repro.nn.tensor import Tensor
+
+#: manifest ``estimator`` tag marking a trainer checkpoint bundle
+CHECKPOINT_TAG = "trainer-checkpoint"
+
+#: manifest ``kind`` tag for trainer checkpoints
+CHECKPOINT_KIND = "train-state"
+
+
+class Trainer:
+    """Drives a :class:`~repro.engine.loop.TrainLoop` for a number of epochs.
+
+    Parameters
+    ----------
+    loop:
+        The objective: batches, loss, modules and RNG streams.
+    optimizer:
+        Optimizer over ``loop.parameters()`` (already constructed, so the
+        caller controls parameter ordering).
+    scheduler:
+        Optional LR schedule; stepped once per epoch via an auto-appended
+        :class:`~repro.engine.callbacks.LRSchedulerCallback` unless one is
+        already in ``callbacks``.
+    callbacks:
+        Event subscribers, run in order.  A
+        :class:`~repro.engine.callbacks.LossHistory` is inserted at the front
+        when none is supplied.
+    history:
+        Existing :class:`~repro.engine.history.History` for the auto-inserted
+        ``LossHistory`` to append into — pass the same instance across
+        several ``fit`` calls to accumulate one continuous history.
+        Mutually exclusive with supplying your own ``LossHistory`` callback.
+    rng:
+        Generator handed to ``loop.make_batches``; defaults to a fresh
+        unseeded generator when omitted (loops that own their stream ignore
+        it).
+    dtype_policy:
+        The precision policy (see :class:`~repro.engine.state.DtypePolicy`),
+        configured once here instead of per loop.
+    """
+
+    def __init__(
+        self,
+        loop: TrainLoop,
+        optimizer: Optimizer,
+        *,
+        scheduler: LRScheduler | None = None,
+        callbacks: list[Callback] | tuple = (),
+        history: History | None = None,
+        rng: np.random.Generator | None = None,
+        dtype_policy: DtypePolicy | None = None,
+        state: TrainState | None = None,
+    ):
+        self.loop = loop
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.callbacks: list[Callback] = list(callbacks)
+        self.rng = rng
+        self.dtype_policy = dtype_policy or DtypePolicy()
+        self.state = state or TrainState()
+        self._loss_history = next(
+            (cb for cb in self.callbacks if isinstance(cb, LossHistory)), None
+        )
+        if self._loss_history is None:
+            self._loss_history = LossHistory(
+                history if history is not None else self.state.history
+            )
+            self.callbacks.insert(0, self._loss_history)
+        elif history is not None and self._loss_history.history is not history:
+            raise ValueError(
+                "pass either history= or a LossHistory callback, not both"
+            )
+        self.state.history = self._loss_history.history
+        if scheduler is not None and not any(
+            isinstance(cb, LRSchedulerCallback) for cb in self.callbacks
+        ):
+            # insert right after the LossHistory so the schedule steps before
+            # user callbacks run — a Checkpointer then snapshots the post-step
+            # learning rate the next epoch resumes with
+            position = self.callbacks.index(self._loss_history) + 1
+            self.callbacks.insert(position, LRSchedulerCallback(scheduler))
+        #: total epoch target of the active ``fit`` call (for progress display)
+        self.target_epochs: int = 0
+
+    # ------------------------------------------------------------------ events
+    @property
+    def history(self) -> History:
+        """The structured per-epoch metric history."""
+        return self._loss_history.history
+
+    def _emit(self, event: str, *args) -> None:
+        for callback in self.callbacks:
+            getattr(callback, event)(self, *args)
+
+    @staticmethod
+    def _normalize_losses(result) -> dict:
+        if isinstance(result, Tensor):
+            return {"loss": result}
+        if isinstance(result, dict):
+            if "loss" not in result:
+                raise KeyError(
+                    "batch_loss returned a dict without the required 'loss' entry"
+                )
+            return result
+        raise TypeError(
+            f"batch_loss must return a Tensor or a dict with a 'loss' entry, "
+            f"got {type(result).__name__}"
+        )
+
+    # --------------------------------------------------------------------- fit
+    def _finish_step(self, accumulation: int, window: int) -> None:
+        """Average the window's gradients, clip (callbacks) and step."""
+        if accumulation > 1:
+            # unscaled micro-batch gradients were summed; averaging over the
+            # *actual* window size keeps partial end-of-epoch windows
+            # equivalent to one full batch over the same samples
+            for param in self.optimizer.parameters:
+                if param.grad is not None:
+                    param.grad /= window
+        self._emit("on_backward_end")
+        self.optimizer.step()
+        self.state.step += 1
+
+    def fit(self, epochs: int) -> History:
+        """Train until ``epochs`` total epochs are complete.
+
+        ``epochs`` is the *total* target: a trainer restored at epoch ``k``
+        (via :meth:`resume`) runs only the remaining ``epochs - k``.
+        Returns the structured history.
+
+        Stopping: a callback setting ``state.stop_training`` from
+        ``on_epoch_end`` ends the run after that epoch; setting it from
+        ``on_batch_end`` aborts the epoch immediately — pending accumulated
+        gradients are discarded and the partial epoch is *not* recorded in
+        the history (so a ``Checkpointer`` never snapshots it).
+        """
+        if epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+        accumulation = next(
+            (cb.steps for cb in self.callbacks if isinstance(cb, GradAccumulation)), 1
+        )
+        self.target_epochs = int(epochs)
+        self.state.stop_training = False
+        self.state.stop_reason = None
+        self._emit("on_fit_start")
+        for epoch in range(self.state.epoch, int(epochs)):
+            self._emit("on_epoch_start", epoch)
+            totals: dict[str, float] = {}
+            n_batches = 0
+            micro = 0
+            aborted = False
+            for batch in self.loop.make_batches(self.rng, epoch):
+                if micro == 0:
+                    self.optimizer.zero_grad()
+                losses = self._normalize_losses(self.loop.batch_loss(batch))
+                losses["loss"].backward()
+                micro += 1
+                self.state.batch += 1
+                if micro >= accumulation:
+                    self._finish_step(accumulation, micro)
+                    micro = 0
+                logs = {
+                    key: float(value.item()) if isinstance(value, Tensor) else float(value)
+                    for key, value in losses.items()
+                }
+                for key, value in logs.items():
+                    totals[key] = totals.get(key, 0.0) + value
+                n_batches += 1
+                self._emit("on_batch_end", logs)
+                if self.state.stop_training:
+                    aborted = True
+                    break
+            if aborted:
+                break
+            if micro > 0:  # leftover partial accumulation window still steps
+                self._finish_step(accumulation, micro)
+            epoch_logs = {
+                key: value / max(n_batches, 1) for key, value in totals.items()
+            }
+            epoch_logs["learning_rate"] = self.optimizer.lr
+            for name in self.loop.metric_names():
+                # an epoch with zero usable batches still records every
+                # declared metric (as 0.0), keeping the seed loops' fixed
+                # curve shape
+                epoch_logs.setdefault(name, 0.0)
+            self.state.epoch = epoch + 1
+            self._emit("on_epoch_end", epoch_logs)
+            if self.state.stop_training:
+                break
+        self._emit("on_fit_end")
+        return self.history
+
+    # ------------------------------------------------------------- checkpoints
+    def save_checkpoint(self, path) -> str:
+        """Write a resumable checkpoint bundle; returns the path written.
+
+        The bundle holds the loop's module weights (``model.*``), the
+        optimizer's moment arrays (``optimizer.*``) and, in the manifest, the
+        progress counters, the scheduler state, the history and a snapshot of
+        every RNG stream the loop consumes — restoring all of them via
+        :meth:`resume` continues the run bit-identically.
+        """
+        from repro.api.bundle import save_bundle
+
+        arrays: dict[str, np.ndarray] = {}
+        for name, module in self.loop.named_modules().items():
+            for key, value in module.state_dict().items():
+                arrays[f"model.{name}.{key}"] = value
+        optimizer_meta: dict = {}
+        for key, value in self.optimizer.state_dict().items():
+            if isinstance(value, list):
+                optimizer_meta[key] = {"__arrays__": len(value)}
+                for index, array in enumerate(value):
+                    arrays[f"optimizer.{key}.{index}"] = array
+            else:
+                optimizer_meta[key] = value
+        manifest = {
+            "estimator": CHECKPOINT_TAG,
+            "kind": CHECKPOINT_KIND,
+            "train_state": self.state.progress(),
+            "history": self.history.metrics,
+            "optimizer": optimizer_meta,
+            "scheduler": None if self.scheduler is None else self.scheduler.state_dict(),
+            "rngs": {
+                name: get_rng_state(generator)
+                for name, generator in self.loop.named_rngs().items()
+            },
+        }
+        return save_bundle(path, arrays, manifest)
+
+    def load_checkpoint(self, path) -> TrainState:
+        """Restore trainer + loop state from a checkpoint written by
+        :meth:`save_checkpoint` (without continuing training)."""
+        from repro.api.bundle import BundleFormatError, load_bundle, sub_state
+
+        arrays, manifest = load_bundle(path)
+        if manifest.get("kind") != CHECKPOINT_KIND:
+            raise BundleFormatError(
+                f"{str(path)!r} is not a trainer checkpoint "
+                f"(kind={manifest.get('kind')!r}); estimator bundles load via "
+                "repro.api.load_estimator"
+            )
+        for name, module in self.loop.named_modules().items():
+            module.load_state_dict(sub_state(arrays, f"model.{name}"))
+        optimizer_state: dict = {}
+        for key, value in manifest.get("optimizer", {}).items():
+            if isinstance(value, dict) and "__arrays__" in value:
+                optimizer_state[key] = [
+                    arrays[f"optimizer.{key}.{index}"]
+                    for index in range(int(value["__arrays__"]))
+                ]
+            else:
+                optimizer_state[key] = value
+        self.optimizer.load_state_dict(optimizer_state)
+        scheduler_state = manifest.get("scheduler")
+        if self.scheduler is not None and scheduler_state is not None:
+            self.scheduler.load_state_dict(scheduler_state)
+        rngs = self.loop.named_rngs()
+        for name, stored in (manifest.get("rngs") or {}).items():
+            if name in rngs:
+                set_rng_state(rngs[name], stored)
+        self.history.load(manifest.get("history") or {})
+        self.state.restore_progress(manifest["train_state"])
+        return self.state
+
+    def resume(self, path, *, epochs: int | None = None) -> History:
+        """Restore a checkpoint and, when ``epochs`` is given, continue to it.
+
+        ``epochs`` is the total epoch target (as in :meth:`fit`); omit it to
+        just restore state and call :meth:`fit` separately.  Optimizer
+        moments, scheduler step and every per-epoch RNG stream come back
+        exactly as saved, so the continued run is bit-identical to one that
+        was never interrupted.
+        """
+        self.load_checkpoint(path)
+        if epochs is not None:
+            return self.fit(epochs)
+        return self.history

@@ -28,6 +28,38 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ state
+    def state_dict(self) -> dict:
+        """Serializable optimizer state: scalars plus per-parameter arrays.
+
+        Subclasses extend the dict with their moment buffers (as lists of
+        arrays aligned with the parameter order).  Checkpointing code splits
+        list-valued entries into bundle arrays and keeps scalars in the
+        manifest (see :meth:`repro.engine.Trainer.save_checkpoint`).
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def _load_slots(self, state: dict, key: str, slots: list) -> None:
+        """Copy a list-of-arrays entry into ``slots`` with shape checks."""
+        values = state[key]
+        if len(values) != len(slots):
+            raise ValueError(
+                f"optimizer state {key!r} has {len(values)} entries for "
+                f"{len(slots)} parameters"
+            )
+        for index, (slot, value) in enumerate(zip(slots, values)):
+            value = np.asarray(value)
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"shape mismatch for optimizer state {key}[{index}]: "
+                    f"expected {slot.shape}, got {value.shape}"
+                )
+            slots[index] = value.astype(slot.dtype, copy=True)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -43,6 +75,15 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_slots(state, "velocity", self._velocity)
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -76,6 +117,19 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step"] = self._step
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._load_slots(state, "m", self._m)
+        self._load_slots(state, "v", self._v)
 
     def step(self) -> None:
         self._step += 1

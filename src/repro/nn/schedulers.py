@@ -29,6 +29,22 @@ class LRScheduler:
         self.optimizer.lr = new_lr
         return new_lr
 
+    def state_dict(self) -> dict:
+        """Serializable schedule progress (constructor args are not included:
+        a restored schedule is rebuilt with the same hyper-parameters and
+        only its position is state)."""
+        return {"last_epoch": self.last_epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore progress saved by :meth:`state_dict`.
+
+        The optimizer's current learning rate is restored separately (via
+        :meth:`repro.nn.optim.Optimizer.load_state_dict`), so this does not
+        re-apply ``get_lr``.
+        """
+        self.last_epoch = int(state["last_epoch"])
+        self.base_lr = float(state["base_lr"])
+
 
 class StepLR(LRScheduler):
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
