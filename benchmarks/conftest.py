@@ -123,6 +123,33 @@ def starlight_dataset():
     return load_dataset("StarLightCurves", seed=3407)
 
 
+def append_bench_record(path, record: dict) -> None:
+    """Append one timestamped measurement record to a ``BENCH_*.json`` file.
+
+    Shared by the perf modules (imaging / training / inference) so the
+    trajectory-file format lives in one place.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    path = Path(path)
+    records = json.loads(path.read_text()) if path.exists() else []
+    records.append({"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **record})
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def machine_info() -> dict:
+    """Platform fields stamped into every perf record."""
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
 def print_table(title: str, columns, rows) -> None:
     """Print one paper-style result table to stdout (captured with ``-s``)."""
     from repro.utils.tables import ResultTable

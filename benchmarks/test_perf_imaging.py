@@ -20,14 +20,14 @@ Excluded from tier-1 by the ``perf`` marker (see ``pytest.ini``); run with::
 
 from __future__ import annotations
 
-import json
-import platform
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchmarks.conftest import append_bench_record as _append
+from benchmarks.conftest import machine_info as _machine
 from repro.core.config import AimTSConfig
 from repro.core.pretrainer import AimTSPretrainer
 from repro.imaging import LineChartRenderer
@@ -42,20 +42,7 @@ BATCH_SHAPE = (64, 3, 96)
 
 def append_bench_record(record: dict) -> None:
     """Append one measurement record to ``BENCH_imaging.json``."""
-    records = []
-    if BENCH_PATH.exists():
-        records = json.loads(BENCH_PATH.read_text())
-    record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **record}
-    records.append(record)
-    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
-
-
-def _machine() -> dict:
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-    }
+    _append(BENCH_PATH, record)
 
 
 def test_render_batch_vectorized_speedup():

@@ -1,0 +1,164 @@
+"""Performance benchmarks for the fused no-grad inference path (perf marker).
+
+Not part of any paper table — this module tracks the serving-side trajectory
+introduced in PR 4: ``encode`` / ``predict`` streaming micro-batches through
+the fused raw-array kernels (BN folding, reusable im2col workspace, float32
+compute) versus the unfused float64 eval-mode autograd forward.
+
+Every run appends to ``BENCH_inference.json`` at the repo root.  Excluded
+from tier-1 by the ``perf`` marker (see ``pytest.ini``); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_inference.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import append_bench_record as _append
+from benchmarks.conftest import machine_info
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.core.finetuner import FineTuner
+from repro.core.pretrainer import AimTSPretrainer
+from repro.data.archives import make_dataset
+from repro.encoders import TSEncoder
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+#: serving batch shape (samples, variables, length)
+BATCH_SHAPE = (256, 3, 96)
+REPEATS = 5
+
+#: acceptance gate for the fused float32 encode speedup; relaxed on shared CI
+#: runners, whose BLAS/thread configuration shifts relative gains by more
+#: than the local headroom
+SPEEDUP_GATE = 1.5 if os.environ.get("CI") else 2.0
+
+
+def append_bench_record(record: dict) -> None:
+    """Append one measurement record to ``BENCH_inference.json``."""
+    _append(BENCH_PATH, record)
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    """Best wall-clock of ``repeats`` runs after one warm-up call."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _make_pretrainer(**overrides) -> AimTSPretrainer:
+    config = AimTSConfig(
+        repr_dim=32,
+        proj_dim=16,
+        hidden_channels=16,
+        depth=2,
+        panel_size=24,
+        series_length=BATCH_SHAPE[2],
+        n_variables=BATCH_SHAPE[1],
+        batch_size=16,
+        seed=3407,
+        **overrides,
+    )
+    return AimTSPretrainer(config)
+
+
+def test_encode_fused_throughput():
+    """Fused no-grad ``encode`` vs the unfused float64 baseline on one batch.
+
+    Acceptance gate of PR 4: the fused path (float32, BN-fold-ready raw-array
+    kernels, reusable workspace) must be at least 2x the unfused float64
+    eval-mode autograd forward on a ``(256, 3, 96)`` batch.
+    """
+    X = np.random.default_rng(3407).normal(size=BATCH_SHAPE)
+    batch = BATCH_SHAPE[0]
+    reference = _make_pretrainer()
+    fast = _make_pretrainer(compute_dtype="float32")
+
+    t_unfused64 = best_of(lambda: reference.encode(X, batch_size=batch, fused=False))
+    t_fused64 = best_of(lambda: reference.encode(X, batch_size=batch))
+    t_fused32 = best_of(lambda: fast.encode(X, batch_size=batch))
+    speedup = t_unfused64 / t_fused32
+
+    # the two paths agree (bit-identical in float64; float32 to round-off)
+    assert np.array_equal(
+        reference.encode(X, batch_size=batch), reference.encode(X, batch_size=batch, fused=False)
+    )
+
+    record = {
+        "benchmark": "encode_fused",
+        "batch_shape": list(BATCH_SHAPE),
+        "unfused_float64_seconds": t_unfused64,
+        "fused_float64_seconds": t_fused64,
+        "fused_float32_seconds": t_fused32,
+        "unfused_float64_samples_per_sec": batch / t_unfused64,
+        "fused_float64_samples_per_sec": batch / t_fused64,
+        "fused_float32_samples_per_sec": batch / t_fused32,
+        "fused_float32_speedup": speedup,
+        "workspace_bytes": fast._workspace.nbytes(),
+        **machine_info(),
+    }
+    append_bench_record(record)  # record first, so a failed gate still leaves a data point
+    print(
+        f"\n[perf] encode {BATCH_SHAPE}: unfused f64 {t_unfused64 * 1000:.1f}ms, "
+        f"fused f64 {t_fused64 * 1000:.1f}ms, fused f32 {t_fused32 * 1000:.1f}ms "
+        f"({speedup:.2f}x, workspace {fast._workspace.nbytes() / 1e6:.1f}MB)"
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"fused float32 encode only {speedup:.2f}x the unfused float64 path"
+    )
+
+
+def test_predict_serving_throughput():
+    """Fused ``predict`` serving vs the unfused eval forward (recorded, no gate)."""
+    dataset = make_dataset(
+        "perf_serving",
+        "ecg",
+        n_classes=2,
+        n_train=64,
+        n_test=BATCH_SHAPE[0],
+        length=BATCH_SHAPE[2],
+        n_variables=BATCH_SHAPE[1],
+        seed=3407,
+    )
+    encoder = TSEncoder(hidden_channels=16, repr_dim=32, depth=2, rng=3407)
+    finetuner = FineTuner(
+        encoder, dataset.n_classes, FineTuneConfig(epochs=2, batch_size=8, seed=3407)
+    )
+    finetuner.fit(dataset.train)
+    X = dataset.test.X
+
+    t_fused = best_of(lambda: finetuner.predict_logits(X, batch_size=64))
+    t_unfused = best_of(lambda: finetuner.predict_logits(X, batch_size=64, fused=False))
+    assert np.array_equal(
+        finetuner.predict_logits(X, batch_size=64),
+        finetuner.predict_logits(X, batch_size=64, fused=False),
+    )
+
+    record = {
+        "benchmark": "predict_fused",
+        "batch_shape": list(X.shape),
+        "serving_batch_size": 64,
+        "unfused_seconds": t_unfused,
+        "fused_seconds": t_fused,
+        "fused_samples_per_sec": X.shape[0] / t_fused,
+        "unfused_samples_per_sec": X.shape[0] / t_unfused,
+        "fused_speedup": t_unfused / t_fused,
+        **machine_info(),
+    }
+    append_bench_record(record)
+    print(
+        f"\n[perf] predict {X.shape}: unfused {t_unfused * 1000:.1f}ms, "
+        f"fused {t_fused * 1000:.1f}ms ({t_unfused / t_fused:.2f}x)"
+    )

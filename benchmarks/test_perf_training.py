@@ -19,14 +19,14 @@ Excluded from tier-1 by the ``perf`` marker (see ``pytest.ini``); run with::
 
 from __future__ import annotations
 
-import json
-import platform
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchmarks.conftest import append_bench_record as _append
+from benchmarks.conftest import machine_info as _machine
 from repro.core.config import AimTSConfig, FineTuneConfig
 from repro.core.finetuner import FineTuner
 from repro.core.pretrainer import AimTSPretrainer
@@ -46,24 +46,11 @@ FINETUNE_TRAIN = 64
 
 def append_bench_record(record: dict) -> None:
     """Append one measurement record to ``BENCH_training.json``."""
-    records = []
-    if BENCH_PATH.exists():
-        records = json.loads(BENCH_PATH.read_text())
-    record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **record}
-    records.append(record)
-    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
+    _append(BENCH_PATH, record)
 
 
-def _machine() -> dict:
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-    }
-
-
-def test_pretrain_epoch_throughput():
-    """2-epoch engine-driven pre-train: record epoch wall-clock + samples/s."""
+def _run_pretrain_benchmark(benchmark_name: str, **config_overrides) -> None:
+    """Fit a fresh pre-trainer on the shared pool and append one record."""
     config = AimTSConfig(
         repr_dim=16,
         proj_dim=8,
@@ -75,6 +62,7 @@ def test_pretrain_epoch_throughput():
         batch_size=16,
         epochs=PRETRAIN_EPOCHS,
         seed=3407,
+        **config_overrides,
     )
     pool = np.random.default_rng(3407).normal(size=POOL_SHAPE)
     pretrainer = AimTSPretrainer(config)
@@ -89,8 +77,9 @@ def test_pretrain_epoch_throughput():
     samples_per_sec = POOL_SHAPE[0] * epochs_run / fit_seconds
 
     record = {
-        "benchmark": "engine_pretrain",
+        "benchmark": benchmark_name,
         "pool_shape": list(POOL_SHAPE),
+        "compute_dtype": config.compute_dtype,
         "epochs": epochs_run,
         "fit_seconds": fit_seconds,
         "epoch_wallclock_seconds": fit_seconds / epochs_run,
@@ -100,9 +89,21 @@ def test_pretrain_epoch_throughput():
     }
     append_bench_record(record)
     print(
-        f"\n[perf] engine pretrain {POOL_SHAPE} x{epochs_run} epochs: "
-        f"{fit_seconds:.2f}s total, {fit_seconds / epochs_run:.2f}s/epoch, "
-        f"{samples_per_sec:.1f} samples/s"
+        f"\n[perf] {benchmark_name} {POOL_SHAPE} x{epochs_run} epochs "
+        f"({config.compute_dtype}): {fit_seconds:.2f}s total, "
+        f"{fit_seconds / epochs_run:.2f}s/epoch, {samples_per_sec:.1f} samples/s"
+    )
+
+
+def test_pretrain_epoch_throughput():
+    """2-epoch engine-driven pre-train: record epoch wall-clock + samples/s."""
+    _run_pretrain_benchmark("engine_pretrain")
+
+
+def test_pretrain_epoch_throughput_float32():
+    """The same pre-train with the float32 compute core (PR 4 fast path)."""
+    _run_pretrain_benchmark(
+        "engine_pretrain_float32", compute_dtype="float32", image_dtype="float32"
     )
 
 

@@ -91,6 +91,10 @@ class RidgePredictorMixin:
         return softmax(self._decision_scores(X))
 
 
+#: serving micro-batch size used when an estimator's config does not set one
+DEFAULT_SERVING_BATCH_SIZE = 64
+
+
 class FineTunedPredictorMixin:
     """``predict`` / ``predict_proba`` on top of a fitted ``FineTuner``.
 
@@ -98,7 +102,9 @@ class FineTunedPredictorMixin:
     FineTuner` (AimTS, every neural baseline) mix this in and set
     ``self._finetuner`` and ``self._label_map`` inside :meth:`fine_tune`;
     the mixin then exposes batch-sized inference on the facade so callers
-    never reach into ``FineTuner`` internals.
+    never reach into ``FineTuner`` internals.  Serving streams micro-batches
+    through the fine-tuner's fused no-grad path; the batch size defaults to
+    the estimator config's ``encode_batch_size`` when it defines one.
 
     ``self._label_map`` records the class labels the classifier was trained
     against (contiguous ``0..n_classes-1`` today); it is persisted in bundles
@@ -121,15 +127,24 @@ class FineTunedPredictorMixin:
                 "call fine_tune() (or load a fine-tuned bundle) before predict()"
             )
 
-    def predict(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+    def _serving_batch_size(self) -> int:
+        """The configured serving micro-batch size (``config.encode_batch_size``)."""
+        configured = getattr(getattr(self, "config", None), "encode_batch_size", None)
+        return int(configured) if configured else DEFAULT_SERVING_BATCH_SIZE
+
+    def predict(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """Predict class labels for ``(n, M, T)`` samples."""
         self._require_fitted()
-        return self._finetuner.predict(X, batch_size=batch_size)
+        return self._finetuner.predict(
+            X, batch_size=batch_size or self._serving_batch_size()
+        )
 
-    def predict_proba(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """Class probabilities ``(n, n_classes)`` for ``(n, M, T)`` samples."""
         self._require_fitted()
-        return self._finetuner.predict_proba(X, batch_size=batch_size)
+        return self._finetuner.predict_proba(
+            X, batch_size=batch_size or self._serving_batch_size()
+        )
 
     # --------------------------------------------------- bundle (de)serialization
     def _pack_finetuner(self, arrays: dict, manifest: dict) -> None:

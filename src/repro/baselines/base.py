@@ -29,16 +29,17 @@ from repro.data.dataset import TimeSeriesDataset
 from repro.data.loaders import BatchIterator, build_pretraining_pool, z_normalize
 from repro.encoders import ProjectionHead, TSEncoder
 from repro.engine import (
+    DtypePolicy,
     History,
     LossCurve,
     ProgressLogger,
     Trainer,
     TrainLoop,
 )
-from repro.nn import Adam
-from repro.nn.tensor import Tensor
+from repro.nn import Adam, Workspace
+from repro.nn.tensor import Tensor, default_dtype
 from repro.utils.seeding import new_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_in_options, check_positive
 
 
 @dataclass
@@ -58,11 +59,17 @@ class BaselineConfig:
     #: downstream aggregation of per-variable representations ("concat"/"mean"),
     #: mirroring AimTSConfig so comparisons stay architecture-fair.
     channel_aggregation: str = "concat"
+    #: compute-core precision ("float64" reference / "float32" fast path) and
+    #: serving micro-batch size, mirroring AimTSConfig.
+    compute_dtype: str = "float64"
+    encode_batch_size: int = 64
 
     def __post_init__(self) -> None:
         for name in ("repr_dim", "proj_dim", "hidden_channels", "depth", "batch_size", "epochs"):
             check_positive(name, getattr(self, name))
         check_positive("learning_rate", self.learning_rate)
+        check_positive("encode_batch_size", self.encode_batch_size)
+        check_in_options("compute_dtype", self.compute_dtype, ("float32", "float64"))
         if self.channel_aggregation not in ("concat", "mean"):
             raise ValueError(
                 f"channel_aggregation must be 'concat' or 'mean', got {self.channel_aggregation!r}"
@@ -85,10 +92,14 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
     def __init__(self, config: BaselineConfig | None = None):
         self.config = config or BaselineConfig()
         self._rng = new_rng(self.config.seed)
-        self.encoder = self._build_encoder()
-        self.projection = ProjectionHead(
-            self.config.repr_dim, self.config.proj_dim, rng=int(self._rng.integers(0, 2**31))
-        )
+        self.dtype_policy = DtypePolicy(compute_dtype=self.config.compute_dtype)
+        with default_dtype(self.dtype_policy.np_compute_dtype):
+            self.encoder = self._build_encoder()
+            self.projection = ProjectionHead(
+                self.config.repr_dim, self.config.proj_dim, rng=int(self._rng.integers(0, 2**31))
+            )
+        #: reusable buffer arena of the fused :meth:`encode` serving path
+        self._workspace = Workspace()
         self._pretrained = False
         self._finetuner: FineTuner | None = None
         self._label_map: np.ndarray | None = None
@@ -174,7 +185,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             )
             return self.pretrain(pool, epochs=epochs, verbose=verbose, callbacks=callbacks)
 
-        X = z_normalize(np.asarray(corpus_or_X, dtype=np.float64))
+        X = z_normalize(np.asarray(corpus_or_X, dtype=self.dtype_policy.np_compute_dtype))
         if max_samples is not None and X.shape[0] > max_samples:
             # seeded subsample rather than head-truncation: raw pools are often
             # class-sorted, matching build_pretraining_pool's semantics
@@ -187,7 +198,12 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         if verbose:
             engine_callbacks.insert(0, ProgressLogger(self.name))
         self.trainer = Trainer(
-            loop, optimizer, callbacks=engine_callbacks, history=history, rng=self._rng
+            loop,
+            optimizer,
+            callbacks=engine_callbacks,
+            history=history,
+            rng=self._rng,
+            dtype_policy=self.dtype_policy,
         )
         self.trainer.fit(epochs)
         self._pretrained = True
@@ -305,18 +321,25 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         return self
 
     # ------------------------------------------------------------------ utils
-    def encode(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
-        """Representations from the (pre-trained) encoder, without gradients."""
-        from repro.nn.tensor import no_grad
+    def encode(
+        self, X: np.ndarray, *, batch_size: int | None = None, fused: bool = True
+    ) -> np.ndarray:
+        """Representations from the (pre-trained) encoder, without gradients.
 
-        X = z_normalize(np.asarray(X, dtype=np.float64))
-        outputs = []
-        self.encoder.eval()
-        with no_grad():
-            for start in range(0, X.shape[0], batch_size):
-                outputs.append(self.encoder(X[start : start + batch_size]).data)
-        self.encoder.train()
-        return np.concatenate(outputs, axis=0)
+        Micro-batches of ``batch_size`` (default ``config.encode_batch_size``)
+        stream through the fused no-grad inference path in the configured
+        compute dtype; ``fused=False`` runs the plain eval-mode autograd
+        forward instead.
+        """
+        from repro.nn.inference import batched_infer
+
+        return batched_infer(
+            self.encoder,
+            z_normalize(np.asarray(X, dtype=self.dtype_policy.np_compute_dtype)),
+            batch_size=batch_size or self.config.encode_batch_size,
+            workspace=self._workspace,
+            fused=fused,
+        )
 
 
 class _BaselinePretrainLoop(TrainLoop):

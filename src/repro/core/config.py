@@ -18,6 +18,7 @@ MIXUP_MODES = ("geodesic", "linear", "none")
 PROTOTYPE_REDUCTIONS = ("mean", "median")
 CHANNEL_AGGREGATIONS = ("concat", "mean")
 IMAGE_DTYPES = ("float32", "float64")
+COMPUTE_DTYPES = ("float32", "float64")
 
 
 @dataclass
@@ -40,6 +41,16 @@ class AimTSConfig:
         and the byte budget for that cache (default 256 MiB ≈ 10k cached
         panel-32 univariate images; pool samples beyond the budget render on
         demand each epoch; None = unbounded).
+    compute_dtype:
+        Precision of the neural compute core: "float64" (default) is the
+        bit-exact reference path, "float32" runs parameters, activations,
+        gradients and optimizer moments in single precision for roughly
+        double the throughput at contrastive-learning-irrelevant accuracy
+        cost (see the float32/float64 parity suite).
+    encode_batch_size:
+        Micro-batch size of the serving surfaces (``encode`` / ``predict`` /
+        ``predict_proba``), which stream batches through the fused no-grad
+        inference path.
     series_length, n_variables:
         Common shape every pre-training sample is resampled to.
     alpha:
@@ -70,6 +81,9 @@ class AimTSConfig:
     image_dtype: str = "float64"
     cache_images: bool = True
     cache_max_bytes: int | None = 256 * 1024 * 1024
+    # compute core precision + serving batch size
+    compute_dtype: str = "float64"
+    encode_batch_size: int = 64
     # data shape
     series_length: int = 96
     n_variables: int = 1
@@ -123,6 +137,8 @@ class AimTSConfig:
         check_positive("tau0", self.tau0)
         check_positive("tau", self.tau)
         check_in_options("image_dtype", self.image_dtype, IMAGE_DTYPES)
+        check_in_options("compute_dtype", self.compute_dtype, COMPUTE_DTYPES)
+        check_positive("encode_batch_size", self.encode_batch_size)
         if self.cache_max_bytes is not None:
             check_positive("cache_max_bytes", self.cache_max_bytes)
         check_in_options("temperature_mode", self.temperature_mode, TEMPERATURE_MODES)

@@ -18,6 +18,7 @@ from repro.data.dataset import DatasetSplit, TimeSeriesDataset
 from repro.data.loaders import BatchIterator, z_normalize
 from repro.encoders import ClassifierHead, TSEncoder
 from repro.engine import (
+    DtypePolicy,
     History,
     LossCurve,
     ProgressLogger,
@@ -25,9 +26,9 @@ from repro.engine import (
     TrainLoop,
     dropout_rngs,
 )
-from repro.nn import Adam
+from repro.nn import Adam, Workspace
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, default_dtype
 from repro.utils.seeding import new_rng
 
 
@@ -75,6 +76,16 @@ class FineTuner:
         self.n_variables: int | None = None
         #: the engine driver of the most recent / active fit() call
         self.trainer: Trainer | None = None
+        #: reusable buffer arena of the fused prediction path
+        self._workspace = Workspace()
+
+    def _compute_dtype(self) -> np.dtype:
+        """The precision this fine-tuner runs under — the encoder's parameter
+        dtype, so a float32 pre-trained encoder fine-tunes (and serves) in
+        float32 without any extra configuration."""
+        for param in self.encoder.parameters():
+            return param.data.dtype
+        return np.dtype(np.float64)  # pragma: no cover - parameterless encoders
 
     def _ensure_classifier(self, n_variables: int) -> None:
         if self.classifier is not None:
@@ -84,13 +95,14 @@ class FineTuner:
             in_dim = self.encoder.output_dim(n_variables)
         else:  # pragma: no cover - non-standard encoders
             in_dim = self.encoder.repr_dim
-        self.classifier = ClassifierHead(
-            in_dim,
-            self.n_classes,
-            hidden_dim=self.config.classifier_hidden_dim,
-            dropout=self.config.dropout,
-            rng=int(self._rng.integers(0, 2**31)),
-        )
+        with default_dtype(self._compute_dtype()):
+            self.classifier = ClassifierHead(
+                in_dim,
+                self.n_classes,
+                hidden_dim=self.config.classifier_hidden_dim,
+                dropout=self.config.dropout,
+                rng=int(self._rng.integers(0, 2**31)),
+            )
 
     def _parameters(self):
         if not self.config.freeze_encoder:
@@ -118,7 +130,8 @@ class FineTuner:
         if train.y is None:
             raise ValueError("fine-tuning requires a labelled training split")
         self._ensure_classifier(train.n_variables)
-        X = z_normalize(train.X)
+        compute_dtype = self._compute_dtype()
+        X = z_normalize(train.X).astype(compute_dtype, copy=False)
         y = train.y
         optimizer = Adam(list(self._parameters()), lr=self.config.learning_rate)
         loop = _FineTuneLoop(self, X, y)
@@ -129,26 +142,38 @@ class FineTuner:
         self.encoder.train()
         self.classifier.train()
         self.trainer = Trainer(
-            loop, optimizer, callbacks=engine_callbacks, history=history, rng=self._rng
+            loop,
+            optimizer,
+            callbacks=engine_callbacks,
+            history=history,
+            rng=self._rng,
+            dtype_policy=DtypePolicy(compute_dtype=compute_dtype.name),
         )
         self.trainer.fit(self.config.epochs)
         return LossCurve(history.curve("loss"), history)
 
-    def predict_logits(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
-        """Evaluation-mode class logits ``(n, n_classes)`` for ``(n, M, T)`` samples."""
+    def predict_logits(
+        self, X: np.ndarray, *, batch_size: int = 64, fused: bool = True
+    ) -> np.ndarray:
+        """Evaluation-mode class logits ``(n, n_classes)`` for ``(n, M, T)`` samples.
+
+        Micro-batches stream through the fused no-grad inference path
+        (raw-array kernels, reusable workspace, dropout skipped) when the
+        encoder supports it; ``fused=False`` — or an encoder without an
+        ``infer`` method — runs the plain eval-mode autograd forward.
+        """
+        from repro.nn.inference import batched_infer
+
         if self.classifier is None:
             raise RuntimeError("call fit() before predict()")
-        X = z_normalize(np.asarray(X, dtype=np.float64))
-        self.encoder.eval()
-        self.classifier.eval()
-        outputs = []
-        with no_grad():
-            for start in range(0, X.shape[0], batch_size):
-                logits = self.classifier(self.encoder(X[start : start + batch_size]))
-                outputs.append(logits.data)
-        self.encoder.train()
-        self.classifier.train()
-        return np.concatenate(outputs, axis=0)
+        return batched_infer(
+            self.encoder,
+            z_normalize(np.asarray(X, dtype=self._compute_dtype())),
+            batch_size=batch_size,
+            workspace=self._workspace,
+            fused=fused,
+            head=self.classifier,
+        )
 
     def predict(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
         """Predict integer class labels for ``(n, M, T)`` samples."""

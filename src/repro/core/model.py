@@ -93,9 +93,14 @@ class AimTS(FineTunedPredictorMixin):
         self._pretrained = True
         return history
 
-    def encode(self, X: np.ndarray) -> np.ndarray:
-        """Representations of ``(n, M, T)`` samples from the (pre-trained) TS encoder."""
-        return self.pretrainer.encode(X)
+    def encode(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
+        """Representations of ``(n, M, T)`` samples from the (pre-trained) TS encoder.
+
+        Streams micro-batches of ``batch_size`` (default
+        ``config.encode_batch_size``) through the fused no-grad inference
+        path in the configured ``compute_dtype``.
+        """
+        return self.pretrainer.encode(X, batch_size=batch_size)
 
     # ------------------------------------------------------------- fine-tuning
     def make_finetuner(

@@ -33,8 +33,9 @@ from repro.engine import (
     TrainLoop,
 )
 from repro.imaging import LineChartRenderer, RenderCache
-from repro.nn import Adam, StepLR, Tensor
+from repro.nn import Adam, StepLR, Tensor, Workspace
 from repro.nn import functional as F
+from repro.nn.tensor import default_dtype
 from repro.utils.seeding import new_rng
 
 
@@ -130,33 +131,38 @@ class AimTSPretrainer:
         self.bank = build_augmentation_bank(cfg, self._rng)
         #: precision policy shared with the training engine (configured once,
         #: consumed by the renderer here and carried by the Trainer)
-        self.dtype_policy = DtypePolicy(image_dtype=cfg.image_dtype)
+        self.dtype_policy = DtypePolicy(
+            compute_dtype=cfg.compute_dtype, image_dtype=cfg.image_dtype
+        )
         self.renderer = LineChartRenderer(
             panel_size=cfg.panel_size, dtype=self.dtype_policy.image_dtype
         )
         #: cross-epoch cache of the deterministic pool renders; built by
         #: :meth:`fit` when ``config.cache_images`` is on.
         self.render_cache: RenderCache | None = None
+        #: reusable buffer arena of the fused :meth:`encode` serving path
+        self._workspace = Workspace()
         seed = int(self._rng.integers(0, 2**31))
-        self.ts_encoder = TSEncoder(
-            in_channels=cfg.n_variables,
-            hidden_channels=cfg.hidden_channels,
-            repr_dim=cfg.repr_dim,
-            depth=cfg.depth,
-            kernel_size=cfg.kernel_size,
-            channel_independent=cfg.channel_independent,
-            rng=seed,
-        )
-        self.image_encoder = ImageEncoder(
-            repr_dim=cfg.repr_dim,
-            base_channels=cfg.image_channels,
-            depth=cfg.image_depth,
-            rng=seed + 1,
-        )
-        self.view_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 2)
-        self.prototype_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 3)
-        self.series_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 4)
-        self.image_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 5)
+        with default_dtype(self.dtype_policy.np_compute_dtype):
+            self.ts_encoder = TSEncoder(
+                in_channels=cfg.n_variables,
+                hidden_channels=cfg.hidden_channels,
+                repr_dim=cfg.repr_dim,
+                depth=cfg.depth,
+                kernel_size=cfg.kernel_size,
+                channel_independent=cfg.channel_independent,
+                rng=seed,
+            )
+            self.image_encoder = ImageEncoder(
+                repr_dim=cfg.repr_dim,
+                base_channels=cfg.image_channels,
+                depth=cfg.image_depth,
+                rng=seed + 1,
+            )
+            self.view_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 2)
+            self.prototype_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 3)
+            self.series_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 4)
+            self.image_projection = ProjectionHead(cfg.repr_dim, cfg.proj_dim, rng=seed + 5)
         self._engine_history = History()
         self.history = PretrainHistory(self._engine_history)
         #: the engine driver of the most recent / active fit() call
@@ -293,8 +299,9 @@ class AimTSPretrainer:
         """
         cfg = self.config
         n_epochs = epochs if epochs is not None else cfg.epochs
+        compute_dtype = self.dtype_policy.np_compute_dtype
         if isinstance(corpus, np.ndarray):
-            pool = np.asarray(corpus, dtype=np.float64)
+            pool = np.asarray(corpus, dtype=compute_dtype)
         else:
             pool = build_pretraining_pool(
                 corpus,
@@ -302,7 +309,7 @@ class AimTSPretrainer:
                 n_variables=cfg.n_variables,
                 max_samples=max_samples,
                 seed=self._rng,
-            )
+            ).astype(compute_dtype, copy=False)
         if max_samples is not None and pool.shape[0] > max_samples:
             # seeded subsample rather than head-truncation: raw pools are often
             # class-sorted, matching build_pretraining_pool's semantics
@@ -350,18 +357,26 @@ class AimTSPretrainer:
         return self.history
 
     # ------------------------------------------------------------------ utils
-    def encode(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
-        """Encode samples with the pre-trained TS encoder (no gradients)."""
-        from repro.nn.tensor import no_grad
+    def encode(
+        self, X: np.ndarray, *, batch_size: int | None = None, fused: bool = True
+    ) -> np.ndarray:
+        """Encode samples with the pre-trained TS encoder (no gradients).
 
-        X = np.asarray(X, dtype=np.float64)
-        outputs = []
-        self.ts_encoder.eval()
-        with no_grad():
-            for start in range(0, X.shape[0], batch_size):
-                outputs.append(self.ts_encoder(X[start : start + batch_size]).data)
-        self.ts_encoder.train()
-        return np.concatenate(outputs, axis=0)
+        Micro-batches of ``batch_size`` (default ``config.encode_batch_size``)
+        stream through the fused no-grad inference path: raw-array kernels,
+        reusable im2col workspace buffers, and the configured compute dtype.
+        ``fused=False`` runs the plain eval-mode autograd forward instead —
+        the reference the fused path is verified (and benchmarked) against.
+        """
+        from repro.nn.inference import batched_infer
+
+        return batched_infer(
+            self.ts_encoder,
+            np.asarray(X, dtype=self.dtype_policy.np_compute_dtype),
+            batch_size=batch_size or self.config.encode_batch_size,
+            workspace=self._workspace,
+            fused=fused,
+        )
 
 
 class _PretrainLoop(TrainLoop):

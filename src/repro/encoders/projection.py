@@ -54,7 +54,7 @@ class ProjectionHead(nn.Module):
 
     def forward(self, x: Tensor | np.ndarray) -> Tensor:
         if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x, dtype=np.float64))
+            x = Tensor(x)
         out = self.fc2(self.fc1(x).relu())
         if self.normalize:
             out = F.l2_normalize(out, axis=-1)

@@ -30,7 +30,7 @@ from repro.engine.loop import TrainLoop
 from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
 from repro.nn.optim import Optimizer
 from repro.nn.schedulers import LRScheduler
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, default_dtype
 
 #: manifest ``estimator`` tag marking a trainer checkpoint bundle
 CHECKPOINT_TAG = "trainer-checkpoint"
@@ -165,9 +165,18 @@ class Trainer:
         ``on_batch_end`` aborts the epoch immediately — pending accumulated
         gradients are discarded and the partial epoch is *not* recorded in
         the history (so a ``Checkpointer`` never snapshots it).
+
+        The whole run executes under the trainer's
+        :class:`~repro.engine.state.DtypePolicy` compute dtype, so every
+        tensor the loop creates (inputs, masks, losses) and every gradient
+        follows the configured precision.
         """
         if epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {epochs}")
+        with default_dtype(self.dtype_policy.np_compute_dtype):
+            return self._fit(int(epochs))
+
+    def _fit(self, epochs: int) -> History:
         accumulation = next(
             (cb.steps for cb in self.callbacks if isinstance(cb, GradAccumulation)), 1
         )

@@ -10,6 +10,9 @@ substrate the framework needs:
   loss primitives used by the contrastive objectives.
 * :mod:`~repro.nn.layers` — ``Module`` based layers (Linear, Conv1d, Conv2d,
   BatchNorm, Dropout, activations, containers).
+* :mod:`~repro.nn.inference` — fused no-grad serving kernels: the
+  :class:`~repro.nn.inference.Workspace` buffer arena, raw-array layer
+  kernels and eval-time Conv→BatchNorm folding.
 * :mod:`~repro.nn.optim` — SGD, Adam and AdamW optimizers.
 * :mod:`~repro.nn.schedulers` — StepLR and cosine learning-rate schedules.
 * :mod:`~repro.nn.serialization` — ``state_dict`` save/load as ``.npz``.
@@ -18,7 +21,8 @@ The API deliberately mirrors (a small subset of) PyTorch so that the AimTS
 model code reads like the original.
 """
 
-from repro.nn import functional, init
+from repro.nn import functional, inference, init
+from repro.nn.inference import Workspace
 from repro.nn.layers import (
     GELU,
     MLP,
@@ -43,15 +47,26 @@ from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
 from repro.nn.schedulers import CosineAnnealingLR, LRScheduler, StepLR
 from repro.nn.serialization import load_state_dict, save_state_dict
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "Module",
     "Parameter",
     "functional",
+    "inference",
     "init",
+    "Workspace",
     "Linear",
     "Conv1d",
     "Conv2d",

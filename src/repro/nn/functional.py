@@ -83,7 +83,7 @@ def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
 def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     """Mean squared error."""
     if not isinstance(target, Tensor):
-        target = Tensor(np.asarray(target, dtype=np.float64))
+        target = Tensor(target)
     diff = prediction - target
     return (diff * diff).mean()
 
@@ -102,6 +102,43 @@ def _im2col_1d(x: np.ndarray, kernel: int, stride: int, dilation: int) -> np.nda
     return np.ascontiguousarray(cols)
 
 
+def _col2im_1d_reference(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    dilation: int,
+) -> np.ndarray:
+    """Bit-exact scalar reference for :func:`_col2im_1d` (loop over taps)."""
+    batch, channels, length = x_shape
+    span = (kernel - 1) * dilation + 1
+    out_t = (length - span) // stride + 1
+    grad_x = np.zeros(x_shape, dtype=cols.dtype)
+    cols = cols.reshape(batch, out_t, channels, kernel)
+    for k in range(kernel):
+        offset = k * dilation
+        positions = np.arange(out_t) * stride + offset
+        np.add.at(grad_x, (slice(None), slice(None), positions), cols[:, :, :, k].transpose(0, 2, 1))
+    return grad_x
+
+
+#: memoized flat scatter indices for the vectorized col2im kernels — shapes
+#: repeat every batch, so the index arithmetic is paid once per shape
+_COL2IM_INDEX_CACHE: dict[tuple, np.ndarray] = {}
+_COL2IM_INDEX_CACHE_MAX = 32
+
+
+def _cached_scatter_index(key: tuple, build) -> np.ndarray:
+    index = _COL2IM_INDEX_CACHE.get(key)
+    if index is None:
+        while len(_COL2IM_INDEX_CACHE) >= _COL2IM_INDEX_CACHE_MAX:
+            # evict the oldest entry only (insertion order), so a working set
+            # spanning many conv shapes never drops its hot entries wholesale
+            _COL2IM_INDEX_CACHE.pop(next(iter(_COL2IM_INDEX_CACHE)))
+        index = _COL2IM_INDEX_CACHE[key] = build()
+    return index
+
+
 def _col2im_1d(
     cols: np.ndarray,
     x_shape: tuple[int, int, int],
@@ -109,17 +146,30 @@ def _col2im_1d(
     stride: int,
     dilation: int,
 ) -> np.ndarray:
-    """Scatter ``(B, out_t, C*kernel)`` gradients back to ``(B, C, T_padded)``."""
+    """Scatter ``(B, out_t, C*kernel)`` gradients back to ``(B, C, T_padded)``.
+
+    One ``np.bincount`` scatter over all kernel taps at once replaces the
+    per-tap ``np.add.at`` loop of :func:`_col2im_1d_reference`.  The flatten
+    order is tap-major, so overlapping contributions accumulate in exactly
+    the reference order and the float64 result is bit-identical to it.
+    """
     batch, channels, length = x_shape
     span = (kernel - 1) * dilation + 1
     out_t = (length - span) // stride + 1
-    grad_x = np.zeros(x_shape, dtype=np.float64)
-    cols = cols.reshape(batch, out_t, channels, kernel)
-    for k in range(kernel):
-        offset = k * dilation
-        positions = np.arange(out_t) * stride + offset
-        np.add.at(grad_x, (slice(None), slice(None), positions), cols[:, :, :, k].transpose(0, 2, 1))
-    return grad_x
+
+    def build() -> np.ndarray:
+        positions = (
+            np.arange(kernel)[:, None] * dilation + np.arange(out_t)[None, :] * stride
+        ).reshape(-1)
+        rows = np.arange(batch * channels)[:, None] * length
+        return (rows + positions[None, :]).ravel()
+
+    index = _cached_scatter_index(("1d", *x_shape, kernel, stride, dilation), build)
+    taps = cols.reshape(batch, out_t, channels, kernel)
+    values = taps.transpose(0, 2, 3, 1).reshape(-1)
+    flat = np.bincount(index, weights=values, minlength=batch * channels * length)
+    # bincount accumulates in float64; cast back for float32 pipelines
+    return flat.reshape(x_shape).astype(cols.dtype, copy=False)
 
 
 def conv1d(
@@ -162,7 +212,13 @@ def conv1d(
     def backward(grad):
         grad_out = grad.transpose(0, 2, 1)  # (B, out_t, C_out)
         if weight.requires_grad:
-            grad_w = np.einsum("bto,btk->ok", grad_out, cols).reshape(weight.shape)
+            if grad_out.dtype == np.float32 and cols.dtype == np.float32:
+                # BLAS sgemm beats c_einsum on the float32 fast path; the
+                # float64 reference keeps einsum's bit-exact accumulation
+                flat_grad = grad_out.reshape(-1, out_channels)
+                grad_w = (flat_grad.T @ cols.reshape(flat_grad.shape[0], -1)).reshape(weight.shape)
+            else:
+                grad_w = np.einsum("bto,btk->ok", grad_out, cols).reshape(weight.shape)
             weight._accumulate(grad_w)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_out.sum(axis=(0, 1)))
@@ -190,19 +246,19 @@ def _im2col_2d(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int]) 
     return np.ascontiguousarray(cols)
 
 
-def _col2im_2d(
+def _col2im_2d_reference(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
     kernel: tuple[int, int],
     stride: tuple[int, int],
 ) -> np.ndarray:
-    """Scatter patch gradients back onto the padded input image."""
+    """Bit-exact scalar reference for :func:`_col2im_2d` (loop over taps)."""
     batch, channels, height, width = x_shape
     kh, kw = kernel
     sh, sw = stride
     out_h = (height - kh) // sh + 1
     out_w = (width - kw) // sw + 1
-    grad_x = np.zeros(x_shape, dtype=np.float64)
+    grad_x = np.zeros(x_shape, dtype=cols.dtype)
     cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
     for i in range(kh):
         for j in range(kw):
@@ -212,6 +268,41 @@ def _col2im_2d(
                 0, 3, 1, 2
             )
     return grad_x
+
+
+def _col2im_2d(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+) -> np.ndarray:
+    """Scatter patch gradients back onto the padded input image.
+
+    Single ``np.bincount`` scatter over all ``kh*kw`` taps, replacing the
+    nested per-tap Python loops of :func:`_col2im_2d_reference`; tap-major
+    flatten order keeps the float64 result bit-identical to the reference.
+    """
+    batch, channels, height, width = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+
+    def build() -> np.ndarray:
+        positions = (
+            (np.arange(kh)[:, None, None, None] + np.arange(out_h)[None, None, :, None] * sh)
+            * width
+            + np.arange(kw)[None, :, None, None]
+            + np.arange(out_w)[None, None, None, :] * sw
+        ).reshape(-1)
+        rows = np.arange(batch * channels)[:, None] * (height * width)
+        return (rows + positions[None, :]).ravel()
+
+    index = _cached_scatter_index(("2d", *x_shape, kh, kw, sh, sw), build)
+    taps = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    values = taps.transpose(0, 3, 4, 5, 1, 2).reshape(-1)
+    flat = np.bincount(index, weights=values, minlength=batch * channels * height * width)
+    return flat.reshape(x_shape).astype(cols.dtype, copy=False)
 
 
 def conv2d(
@@ -248,7 +339,11 @@ def conv2d(
     def backward(grad):
         grad_out = grad.transpose(0, 2, 3, 1)  # (B, oh, ow, C_out)
         if weight.requires_grad:
-            grad_w = np.einsum("bhwo,bhwk->ok", grad_out, cols).reshape(weight.shape)
+            if grad_out.dtype == np.float32 and cols.dtype == np.float32:
+                flat_grad = grad_out.reshape(-1, out_channels)
+                grad_w = (flat_grad.T @ cols.reshape(flat_grad.shape[0], -1)).reshape(weight.shape)
+            else:
+                grad_w = np.einsum("bhwo,bhwk->ok", grad_out, cols).reshape(weight.shape)
             weight._accumulate(grad_w)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_out.sum(axis=(0, 1, 2)))
@@ -293,31 +388,84 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
     return Tensor._make(out_data, (x,), backward)
 
 
+def _avg_pool1d_data(data: np.ndarray, output_size: int) -> np.ndarray:
+    """Adaptive 1-D average pooling on a raw ``(B, C, T)`` array."""
+    batch, channels, length = data.shape
+    if output_size == 1:
+        return data.sum(axis=2, keepdims=True) * (1.0 / length)
+    edges = np.linspace(0, length, output_size + 1).astype(int)
+    if length % output_size == 0:
+        step = length // output_size
+        return data.reshape(batch, channels, output_size, step).sum(axis=3) * (1.0 / step)
+    out = np.empty((batch, channels, output_size), dtype=data.dtype)
+    for index, (start, stop) in enumerate(zip(edges[:-1], edges[1:])):
+        out[:, :, index] = data[:, :, start:stop].sum(axis=2) * (1.0 / (stop - start))
+    return out
+
+
+def _avg_pool2d_data(data: np.ndarray, output_size: int) -> np.ndarray:
+    """Adaptive 2-D average pooling on a raw ``(B, C, H, W)`` array."""
+    batch, channels, height, width = data.shape
+    if output_size == 1:
+        return data.sum(axis=(2, 3), keepdims=True) * (1.0 / (height * width))
+    h_edges = np.linspace(0, height, output_size + 1).astype(int)
+    w_edges = np.linspace(0, width, output_size + 1).astype(int)
+    if height % output_size == 0 and width % output_size == 0:
+        sh, sw = height // output_size, width // output_size
+        # summing the in-bin row axis first, then the in-bin column axis,
+        # reproduces the slice path's sum(axis=(2, 3)) accumulation order
+        binned = data.reshape(batch, channels, output_size, sh, output_size, sw)
+        return binned.sum(axis=3).sum(axis=4) * (1.0 / (sh * sw))
+    out = np.empty((batch, channels, output_size, output_size), dtype=data.dtype)
+    for i, (h0, h1) in enumerate(zip(h_edges[:-1], h_edges[1:])):
+        for j, (w0, w1) in enumerate(zip(w_edges[:-1], w_edges[1:])):
+            out[:, :, i, j] = data[:, :, h0:h1, w0:w1].sum(axis=(2, 3)) * (
+                1.0 / ((h1 - h0) * (w1 - w0))
+            )
+    return out
+
+
 def adaptive_avg_pool1d(x: Tensor, output_size: int = 1) -> Tensor:
-    """Average pool a ``(B, C, T)`` tensor down to ``(B, C, output_size)``."""
+    """Average pool a ``(B, C, T)`` tensor down to ``(B, C, output_size)``.
+
+    A single autograd node instead of the former per-bin slice/concat graph:
+    equal bins reduce via one reshape-sum (bit-identical to the slice path),
+    unequal bins fall back to per-bin NumPy sums (same arithmetic, still no
+    per-bin graph nodes), and the backward is one uniform scatter.
+    """
     if output_size == 1:
         return x.mean(axis=2, keepdims=True)
-    batch, channels, length = x.shape
-    edges = np.linspace(0, length, output_size + 1).astype(int)
-    pieces = [x[:, :, start:stop].mean(axis=2, keepdims=True) for start, stop in zip(edges[:-1], edges[1:])]
-    return Tensor.concat(pieces, axis=2)
+    counts = np.diff(np.linspace(0, x.shape[2], output_size + 1).astype(int))
+    out_data = _avg_pool1d_data(x.data, output_size)
+
+    def backward(grad):
+        if x.requires_grad:
+            scale = (1.0 / counts).astype(grad.dtype, copy=False)
+            x._accumulate(np.repeat(grad * scale, counts, axis=2))
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
-    """Average pool a ``(B, C, H, W)`` tensor down to ``(B, C, s, s)``."""
+    """Average pool a ``(B, C, H, W)`` tensor down to ``(B, C, s, s)``.
+
+    Vectorized like :func:`adaptive_avg_pool1d`: one autograd node, equal
+    bins via a reshape-sum (bit-identical to the former nested h/w slice
+    loops), unequal bins via per-bin NumPy sums.
+    """
     if output_size == 1:
         return x.mean(axis=(2, 3), keepdims=True)
-    batch, channels, height, width = x.shape
-    h_edges = np.linspace(0, height, output_size + 1).astype(int)
-    w_edges = np.linspace(0, width, output_size + 1).astype(int)
-    rows = []
-    for h0, h1 in zip(h_edges[:-1], h_edges[1:]):
-        cells = [
-            x[:, :, h0:h1, w0:w1].mean(axis=(2, 3), keepdims=True)
-            for w0, w1 in zip(w_edges[:-1], w_edges[1:])
-        ]
-        rows.append(Tensor.concat(cells, axis=3))
-    return Tensor.concat(rows, axis=2)
+    h_counts = np.diff(np.linspace(0, x.shape[2], output_size + 1).astype(int))
+    w_counts = np.diff(np.linspace(0, x.shape[3], output_size + 1).astype(int))
+    out_data = _avg_pool2d_data(x.data, output_size)
+
+    def backward(grad):
+        if x.requires_grad:
+            scale = (1.0 / (h_counts[:, None] * w_counts[None, :])).astype(grad.dtype, copy=False)
+            spread = np.repeat(grad * scale, h_counts, axis=2)
+            x._accumulate(np.repeat(spread, w_counts, axis=3))
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
@@ -326,5 +474,5 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)

@@ -1,0 +1,378 @@
+"""Fused no-grad inference kernels for the NumPy substrate.
+
+Training runs through :class:`repro.nn.tensor.Tensor` autograd; serving does
+not need any of that bookkeeping.  This module provides the fused eval-time
+path the estimators' ``encode`` / ``predict`` surfaces stream micro-batches
+through:
+
+* :class:`Workspace` — a reusable buffer arena keyed by call-site tag, so
+  repeated ``encode`` calls stop reallocating im2col patch matrices, padded
+  inputs and convolution outputs.
+* :func:`conv1d_forward` / :func:`conv2d_forward` / :func:`linear_forward` —
+  raw-``ndarray`` layer kernels (no Tensor wrappers, no backward closures)
+  that compute exactly the same arithmetic as the autograd forward, so the
+  fused path is bit-identical to an eval-mode Tensor forward in float64.
+* :func:`fold_conv_bn` — batch-norm folding: at eval time a BN layer is an
+  affine transform per channel, which folds into the preceding convolution's
+  weights (``w' = w * gamma/sqrt(var+eps)``), removing the BN pass entirely.
+* :func:`module_forward` — a small eval-only interpreter over the layer
+  vocabulary (with automatic Conv→BN folding inside ``Sequential``), used by
+  the encoders' ``infer`` methods and falling back to a ``no_grad`` Tensor
+  forward for unknown modules.
+
+Returned arrays may alias workspace buffers mid-network; every public
+``infer`` entry point ends on an op that allocates a fresh output, so callers
+can hold results across micro-batches safely.  A :class:`Workspace` is not
+thread-safe; use one per serving thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import layers as L
+from repro.nn.functional import _avg_pool1d_data, _avg_pool2d_data
+from repro.nn.tensor import Tensor, default_dtype, no_grad
+
+
+class Workspace:
+    """A reusable buffer arena for the fused inference path.
+
+    Buffers are keyed by ``(tag, shape, dtype)``, so a serving loop whose
+    last micro-batch is smaller than the rest (``n % batch_size != 0``) keeps
+    one buffer per shape instead of reallocating on every size flip.
+    :attr:`hits` / :attr:`misses` count reuses and allocations, which the
+    perf suite uses to assert that steady-state serving allocates nothing.
+    """
+
+    __slots__ = ("_buffers", "hits", "misses")
+
+    def __init__(self):
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def buffer(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Return an uninitialised buffer of ``shape``/``dtype`` for ``tag``."""
+        key = (tag, tuple(shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. after a one-off oversized batch)."""
+        self._buffers.clear()
+
+
+def _buffer(workspace: Workspace | None, tag: str, shape, dtype) -> np.ndarray:
+    return np.empty(shape, dtype=dtype) if workspace is None else workspace.buffer(tag, shape, dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Layer kernels
+# --------------------------------------------------------------------------- #
+def linear_forward(x: np.ndarray, layer: L.Linear) -> np.ndarray:
+    """``x W^T + b`` on raw arrays; always allocates a fresh output."""
+    out = x @ layer.weight.data.T
+    if layer.bias is not None:
+        out += layer.bias.data
+    return out
+
+
+def conv1d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+    workspace: Workspace | None = None,
+    tag: str = "conv1d",
+) -> np.ndarray:
+    """1-D convolution on raw arrays (same im2col arithmetic as autograd).
+
+    The padded input, the contiguous patch matrix and the matmul output all
+    come from ``workspace``, so steady-state calls allocate nothing.  The
+    returned ``(B, C_out, out_t)`` array is a transposed view of a workspace
+    buffer — consume it (or copy) before the same tag runs again.
+    """
+    out_channels, in_channels, kernel = weight.shape
+    batch, channels, length = x.shape
+    if padding:
+        padded = _buffer(workspace, f"{tag}.pad", (batch, channels, length + 2 * padding), x.dtype)
+        padded[:, :, :padding] = 0.0
+        padded[:, :, length + padding :] = 0.0
+        padded[:, :, padding : length + padding] = x
+    else:
+        padded = x
+    span = (kernel - 1) * dilation + 1
+    out_t = (padded.shape[2] - span) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(padded, span, axis=2)
+    windows = windows[:, :, ::stride, ::dilation]  # (B, C, out_t, K)
+    cols = _buffer(workspace, f"{tag}.cols", (batch, out_t, channels, kernel), x.dtype)
+    np.copyto(cols, windows.transpose(0, 2, 1, 3))
+    out = _buffer(workspace, f"{tag}.out", (batch, out_t, out_channels), x.dtype)
+    np.matmul(cols.reshape(batch, out_t, channels * kernel), weight.reshape(out_channels, -1).T, out=out)
+    if bias is not None:
+        out += bias
+    return out.transpose(0, 2, 1)
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    *,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+    workspace: Workspace | None = None,
+    tag: str = "conv2d",
+) -> np.ndarray:
+    """2-D convolution on raw arrays; see :func:`conv1d_forward`."""
+    stride = (stride, stride) if isinstance(stride, int) else tuple(stride)
+    padding = (padding, padding) if isinstance(padding, int) else tuple(padding)
+    out_channels, in_channels, kh, kw = weight.shape
+    batch, channels, height, width = x.shape
+    ph, pw = padding
+    if ph or pw:
+        padded = _buffer(
+            workspace, f"{tag}.pad", (batch, channels, height + 2 * ph, width + 2 * pw), x.dtype
+        )
+        padded[:] = 0.0
+        padded[:, :, ph : height + ph, pw : width + pw] = x
+    else:
+        padded = x
+    sh, sw = stride
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw]  # (B, C, oh, ow, kh, kw)
+    out_h, out_w = windows.shape[2], windows.shape[3]
+    cols = _buffer(workspace, f"{tag}.cols", (batch, out_h, out_w, channels, kh, kw), x.dtype)
+    np.copyto(cols, windows.transpose(0, 2, 3, 1, 4, 5))
+    out = _buffer(workspace, f"{tag}.out", (batch, out_h, out_w, out_channels), x.dtype)
+    np.matmul(
+        cols.reshape(batch, out_h * out_w, channels * kh * kw),
+        weight.reshape(out_channels, -1).T,
+        out=out.reshape(batch, out_h * out_w, out_channels),
+    )
+    if bias is not None:
+        out += bias
+    return out.transpose(0, 3, 1, 2)
+
+
+def relu_(x: np.ndarray) -> np.ndarray:
+    """In-place ReLU (safe on workspace-owned activations)."""
+    return np.maximum(x, 0.0, out=x)
+
+
+def fold_conv_bn(conv: L.Conv1d | L.Conv2d, bn: L.BatchNorm1d | L.BatchNorm2d):
+    """Fold an eval-mode batch norm into the preceding convolution.
+
+    Returns ``(weight, bias)`` arrays such that ``conv(x; weight, bias)``
+    equals ``bn(conv(x))`` with the BN in eval mode (running statistics).
+    Recomputed per call — folding is O(parameters), negligible next to the
+    convolution itself, and this way weight updates are always reflected.
+    """
+    scale = bn.weight.data / (bn.running_var + bn.eps) ** 0.5
+    shape = (-1,) + (1,) * (conv.weight.data.ndim - 1)
+    weight = conv.weight.data * scale.reshape(shape)
+    bias = conv.bias.data if conv.bias is not None else 0.0
+    bias = (bias - bn.running_mean) * scale + bn.bias.data
+    dtype = conv.weight.data.dtype
+    return weight.astype(dtype, copy=False), bias.astype(dtype, copy=False)
+
+
+def _batchnorm_eval(x: np.ndarray, bn: L.BatchNorm1d | L.BatchNorm2d) -> np.ndarray:
+    """Eval-mode batch norm on raw arrays (for BN layers with no conv to fold into)."""
+    shape = (1, bn.num_features) + (1,) * (x.ndim - 2)
+    normalised = (x - bn.running_mean.reshape(shape)) / (
+        (bn.running_var.reshape(shape) + bn.eps) ** 0.5
+    )
+    return normalised * bn.weight.data.reshape(shape) + bn.bias.data.reshape(shape)
+
+
+def _max_pool2d(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel_size, kernel_size), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    return windows.max(axis=(4, 5))
+
+
+# --------------------------------------------------------------------------- #
+# Module interpreter
+# --------------------------------------------------------------------------- #
+def module_forward(
+    module: L.Module,
+    x: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+    tag: str = "",
+    owned: bool = False,
+) -> np.ndarray:
+    """Eval-only fused forward through ``module`` on a raw array.
+
+    ``owned`` marks ``x`` as an intermediate this interpreter may mutate in
+    place (activations); caller-supplied inputs must pass ``owned=False``.
+    Unknown module types fall back to a ``no_grad`` Tensor forward, so any
+    composition stays correct — just without the fused fast path.
+    """
+    if isinstance(module, L.Sequential):
+        return _sequential_forward(module, x, workspace=workspace, tag=tag, owned=owned)
+    if isinstance(module, L.MLP):
+        return _sequential_forward(module.network, x, workspace=workspace, tag=tag, owned=owned)
+    if isinstance(module, L.Linear):
+        return linear_forward(x, module)
+    if isinstance(module, L.Conv1d):
+        return conv1d_forward(
+            x,
+            module.weight.data,
+            None if module.bias is None else module.bias.data,
+            stride=module.stride,
+            padding=module.padding,
+            dilation=module.dilation,
+            workspace=workspace,
+            tag=tag,
+        )
+    if isinstance(module, L.Conv2d):
+        return conv2d_forward(
+            x,
+            module.weight.data,
+            None if module.bias is None else module.bias.data,
+            stride=module.stride,
+            padding=module.padding,
+            workspace=workspace,
+            tag=tag,
+        )
+    if isinstance(module, (L.BatchNorm1d, L.BatchNorm2d)):
+        return _batchnorm_eval(x, module)
+    if isinstance(module, L.ReLU):
+        return relu_(x) if owned else np.maximum(x, 0.0)
+    if isinstance(module, L.Tanh):
+        return np.tanh(x, out=x) if owned else np.tanh(x)
+    if isinstance(module, L.Sigmoid):
+        return 1.0 / (1.0 + np.exp(-x))
+    if isinstance(module, L.GELU):
+        c = np.sqrt(2.0 / np.pi)
+        return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+    if isinstance(module, (L.Dropout, L.Identity)):
+        return x  # eval-mode no-ops
+    if isinstance(module, L.Flatten):
+        return x.reshape(x.shape[0], -1)
+    if isinstance(module, L.MaxPool2d):
+        return _max_pool2d(x, module.kernel_size, module.stride)
+    if isinstance(module, L.AdaptiveAvgPool1d):
+        return _avg_pool1d_data(x, module.output_size)
+    if isinstance(module, L.AdaptiveAvgPool2d):
+        return _avg_pool2d_data(x, module.output_size)
+    # unknown module: correctness first, speed second; the default_dtype
+    # scope keeps the activation in the model's dtype (no float64 upcast)
+    was_training = module.training
+    module.eval()
+    try:
+        with no_grad(), default_dtype(x.dtype):
+            return module(Tensor(np.ascontiguousarray(x))).data
+    finally:
+        module.train(was_training)
+
+
+def batched_infer(
+    encoder,
+    X: np.ndarray,
+    *,
+    batch_size: int,
+    workspace: Workspace | None = None,
+    fused: bool = True,
+    head=None,
+) -> np.ndarray:
+    """Stream micro-batches of ``X`` through the fused no-grad path.
+
+    The one serving loop behind every ``encode`` / ``predict_logits``
+    surface: ``encoder`` (and the optional ``head``, e.g. a classifier) runs
+    fused via its ``infer`` method when available and ``fused`` is set;
+    otherwise each micro-batch takes the plain eval-mode autograd forward
+    under ``no_grad`` in the input's dtype.  Always returns a fresh array.
+    """
+    outputs = []
+    if fused and hasattr(encoder, "infer"):
+        for start in range(0, X.shape[0], batch_size):
+            out = encoder.infer(X[start : start + batch_size], workspace=workspace)
+            if head is not None:
+                out = head.infer(out, workspace=workspace)
+            outputs.append(out)
+        return np.concatenate(outputs, axis=0)
+    modules = [encoder] if head is None else [encoder, head]
+    for module in modules:
+        module.eval()
+    try:
+        with no_grad(), default_dtype(X.dtype):
+            for start in range(0, X.shape[0], batch_size):
+                out = encoder(X[start : start + batch_size])
+                if head is not None:
+                    out = head(out)
+                outputs.append(out.data)
+    finally:
+        for module in modules:
+            module.train()
+    return np.concatenate(outputs, axis=0)
+
+
+def _sequential_forward(
+    seq: L.Sequential,
+    x: np.ndarray,
+    *,
+    workspace: Workspace | None,
+    tag: str,
+    owned: bool,
+) -> np.ndarray:
+    """Run a :class:`Sequential` fused, folding Conv→BatchNorm pairs."""
+    children = list(seq)
+    index = 0
+    while index < len(children):
+        layer = children[index]
+        successor = children[index + 1] if index + 1 < len(children) else None
+        layer_tag = f"{tag}.{index}" if tag else str(index)
+        if isinstance(layer, L.Conv1d) and isinstance(successor, L.BatchNorm1d):
+            weight, bias = fold_conv_bn(layer, successor)
+            x = conv1d_forward(
+                x,
+                weight,
+                bias,
+                stride=layer.stride,
+                padding=layer.padding,
+                dilation=layer.dilation,
+                workspace=workspace,
+                tag=layer_tag,
+            )
+            index += 2
+            owned = True
+            continue
+        if isinstance(layer, L.Conv2d) and isinstance(successor, L.BatchNorm2d):
+            weight, bias = fold_conv_bn(layer, successor)
+            x = conv2d_forward(
+                x,
+                weight,
+                bias,
+                stride=layer.stride,
+                padding=layer.padding,
+                workspace=workspace,
+                tag=layer_tag,
+            )
+            index += 2
+            owned = True
+            continue
+        out = module_forward(layer, x, workspace=workspace, tag=layer_tag, owned=owned)
+        if not owned:
+            # pass-through layers (Dropout, Identity) and views (Flatten)
+            # still alias the caller's input; only a fresh array is ours
+            owned = not np.may_share_memory(out, x)
+        x = out
+        index += 1
+    return x

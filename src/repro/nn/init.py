@@ -1,10 +1,21 @@
-"""Weight initialisation schemes."""
+"""Weight initialisation schemes.
+
+Every scheme takes an optional ``dtype``; when omitted, draws are cast to the
+ambient default tensor dtype (see :func:`repro.nn.tensor.default_dtype`), so
+modules constructed under a float32 ``DtypePolicy`` get float32 parameters
+holding exactly the float64 draws rounded once.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.tensor import get_default_dtype
 from repro.utils.seeding import new_rng
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    return get_default_dtype() if dtype is None else np.dtype(dtype)
 
 
 def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -16,33 +27,42 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
     return fan_in, fan_out
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None, dtype=None
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     rng = new_rng(rng)
     fan_in, fan_out = _fan_in_out(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator | int | None = None, dtype=None
+) -> np.ndarray:
     """He/Kaiming uniform initialisation (for ReLU fan-in)."""
     rng = new_rng(rng)
     fan_in, _ = _fan_in_out(shape)
     limit = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | int | None = None) -> np.ndarray:
+def normal(
+    shape: tuple[int, ...],
+    std: float = 0.02,
+    rng: np.random.Generator | int | None = None,
+    dtype=None,
+) -> np.ndarray:
     """Zero-mean Gaussian initialisation."""
     rng = new_rng(rng)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zero initialisation (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=_resolve_dtype(dtype))
 
 
-def ones(shape: tuple[int, ...]) -> np.ndarray:
+def ones(shape: tuple[int, ...], dtype=None) -> np.ndarray:
     """All-one initialisation (normalisation scales)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=_resolve_dtype(dtype))

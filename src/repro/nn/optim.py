@@ -1,4 +1,11 @@
-"""First-order optimizers for the NumPy substrate."""
+"""First-order optimizers for the NumPy substrate.
+
+Moment buffers are allocated with ``np.zeros_like`` on the parameters and all
+update arithmetic uses Python scalars, so under a float32 ``DtypePolicy`` the
+optimizer state (SGD velocity, Adam first/second moments) stays float32 end
+to end — no silent float64 upcasts on the hot path — and checkpoint restores
+cast back to each slot's dtype (:meth:`Optimizer._load_slots`).
+"""
 
 from __future__ import annotations
 

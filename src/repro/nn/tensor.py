@@ -20,6 +20,11 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
+#: dtypes the compute core supports (see ``repro.engine.DtypePolicy``)
+SUPPORTED_COMPUTE_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -36,6 +41,42 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for autograd."""
     return _GRAD_ENABLED
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (float64 unless configured)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the tensor-creation dtype; returns the previous default.
+
+    Only float32 and float64 are supported.  Prefer the scoped
+    :func:`default_dtype` context manager (which estimators and the training
+    engine use to apply their ``DtypePolicy``) over calling this directly.
+    """
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in SUPPORTED_COMPUTE_DTYPES:
+        raise ValueError(f"compute dtype must be float32 or float64, got {dtype}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = dtype
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Scope within which new tensors are created with ``dtype``.
+
+    This is how a ``DtypePolicy`` reaches the compute core: parameters
+    initialised, inputs wrapped and gradients accumulated inside the scope
+    all use ``dtype``, while arrays that already exist keep theirs.
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -55,7 +96,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 def _as_array(value) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected a raw value, got a Tensor")
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -64,7 +105,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; converted to the ambient default dtype (float64
+        unless a :func:`default_dtype` scope or ``DtypePolicy`` says
+        otherwise).
     requires_grad:
         Whether gradients should be accumulated in :attr:`grad` during
         :meth:`backward`.
@@ -76,7 +119,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward = None
@@ -138,7 +181,9 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            # gradients live in the tensor's own dtype, so float32 parameters
+            # keep float32 optimizer state end to end
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -157,7 +202,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological ordering of the graph reachable from self.
         topo: list[Tensor] = []
@@ -381,7 +426,7 @@ class Tensor:
                 g = np.asarray(grad)
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64))
+                self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -403,7 +448,7 @@ class Tensor:
         def backward(grad):
             if self.requires_grad:
                 expanded = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded).astype(np.float64)
+                mask = (self.data == expanded).astype(self.data.dtype)
                 mask = mask / mask.sum(axis=axis, keepdims=True)
                 g = np.asarray(grad)
                 if axis is not None and not keepdims:
@@ -471,11 +516,11 @@ class Tensor:
     # ----------------------------------------------------------- constructors
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
