@@ -41,6 +41,16 @@ REPEATS = 5
 #: than the local headroom
 SPEEDUP_GATE = 1.5 if os.environ.get("CI") else 2.0
 
+#: acceptance gate for the fused ``predict`` path at the PR 5 serving batch
+#: default (256).  Profiling showed the classifier head is negligible
+#: (~0.1 ms vs ~80 ms encoder on the benchmark shape), so the fused-vs-
+#: unfused gap is all encoder: fused throughput is flat in the micro-batch
+#: size (workspace buffers are reused either way) while the unfused autograd
+#: forward degrades as batches grow — measured ~1.4-1.6x at the 256 default
+#: vs the 1.09x recorded at 64 in the PR 4 era.  The gate leaves headroom
+#: for runner noise.
+PREDICT_GATE = 1.05 if os.environ.get("CI") else 1.2
+
 
 def append_bench_record(record: dict) -> None:
     """Append one measurement record to ``BENCH_inference.json``."""
@@ -121,7 +131,16 @@ def test_encode_fused_throughput():
 
 
 def test_predict_serving_throughput():
-    """Fused ``predict`` serving vs the unfused eval forward (recorded, no gate)."""
+    """Fused ``predict`` at the 256 serving default vs the unfused forward.
+
+    PR 5 gate: the old ``batch_size=64`` default under-filled the workspace
+    (fused speedup ~1.09x); the raised default must recover >= ``PREDICT_GATE``
+    against the unfused eval forward at the same batch size.  The legacy
+    64-batch fused timing is recorded alongside so the trajectory shows the
+    default change itself.
+    """
+    from repro.api.estimator import DEFAULT_SERVING_BATCH_SIZE
+
     dataset = make_dataset(
         "perf_serving",
         "ecg",
@@ -139,26 +158,34 @@ def test_predict_serving_throughput():
     finetuner.fit(dataset.train)
     X = dataset.test.X
 
-    t_fused = best_of(lambda: finetuner.predict_logits(X, batch_size=64))
-    t_unfused = best_of(lambda: finetuner.predict_logits(X, batch_size=64, fused=False))
+    t_fused = best_of(lambda: finetuner.predict_logits(X))  # default batch size
+    t_fused_64 = best_of(lambda: finetuner.predict_logits(X, batch_size=64))
+    t_unfused = best_of(lambda: finetuner.predict_logits(X, fused=False))
+    speedup = t_unfused / t_fused
     assert np.array_equal(
-        finetuner.predict_logits(X, batch_size=64),
-        finetuner.predict_logits(X, batch_size=64, fused=False),
+        finetuner.predict_logits(X),
+        finetuner.predict_logits(X, fused=False),
     )
 
     record = {
         "benchmark": "predict_fused",
         "batch_shape": list(X.shape),
-        "serving_batch_size": 64,
+        "serving_batch_size": DEFAULT_SERVING_BATCH_SIZE,
         "unfused_seconds": t_unfused,
         "fused_seconds": t_fused,
+        "fused_seconds_batch64": t_fused_64,
         "fused_samples_per_sec": X.shape[0] / t_fused,
         "unfused_samples_per_sec": X.shape[0] / t_unfused,
-        "fused_speedup": t_unfused / t_fused,
+        "fused_speedup": speedup,
         **machine_info(),
     }
-    append_bench_record(record)
+    append_bench_record(record)  # record first, so a failed gate still leaves a data point
     print(
         f"\n[perf] predict {X.shape}: unfused {t_unfused * 1000:.1f}ms, "
-        f"fused {t_fused * 1000:.1f}ms ({t_unfused / t_fused:.2f}x)"
+        f"fused@{DEFAULT_SERVING_BATCH_SIZE} {t_fused * 1000:.1f}ms "
+        f"({speedup:.2f}x), fused@64 {t_fused_64 * 1000:.1f}ms"
+    )
+    assert speedup >= PREDICT_GATE, (
+        f"fused predict only {speedup:.2f}x the unfused path at the "
+        f"{DEFAULT_SERVING_BATCH_SIZE} serving default"
     )

@@ -31,6 +31,8 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.nn.inference import DEFAULT_SERVING_BATCH_SIZE  # noqa: F401  (re-export)
+
 
 @runtime_checkable
 class Estimator(Protocol):
@@ -91,8 +93,10 @@ class RidgePredictorMixin:
         return softmax(self._decision_scores(X))
 
 
-#: serving micro-batch size used when an estimator's config does not set one
-DEFAULT_SERVING_BATCH_SIZE = 64
+#: ``DEFAULT_SERVING_BATCH_SIZE`` (re-exported above) is the serving
+#: micro-batch size used when an estimator's config does not set one; the
+#: single authoritative constant lives in ``repro.nn.inference`` so the
+#: config dataclasses share it without import cycles.
 
 
 class FineTunedPredictorMixin:

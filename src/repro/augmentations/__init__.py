@@ -9,10 +9,16 @@ Every augmentation is a callable object operating on a single sample of shape
 ``(M, T)`` or a batch ``(B, M, T)`` and always returns an array of the same
 shape — slicing/warping re-interpolate back to the original length, following
 Le Guennec et al. (2016) as cited by the paper.
+
+Batches run through vectorized ``_transform_batch`` kernels that are
+bit-identical (values *and* RNG stream) to the per-sample reference loops;
+set ``Augmentation.batched = False`` (or the ``augment_batched`` config knob)
+to force the reference path.
 """
 
 from repro.augmentations.bank import DEFAULT_BANK, AugmentationBank, default_bank
 from repro.augmentations.base import Augmentation, Compose, Identity
+from repro.augmentations.kernels import interp_batch
 from repro.augmentations.ops import (
     Jitter,
     Masking,
@@ -37,4 +43,5 @@ __all__ = [
     "AugmentationBank",
     "default_bank",
     "DEFAULT_BANK",
+    "interp_batch",
 ]

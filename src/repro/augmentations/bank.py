@@ -44,13 +44,25 @@ class AugmentationBank:
         """Augmentation identifiers, in bank order."""
         return [a.name for a in self.augmentations]
 
+    def set_batched(self, batched: bool) -> "AugmentationBank":
+        """Route every op through its vectorized batch kernel (or not).
+
+        The two settings are bit-identical under the same RNG streams (see
+        ``Augmentation.batched``); ``False`` forces the per-sample reference
+        loops, which the ``augment_batched`` config knob exposes for
+        debugging and equivalence testing.
+        """
+        for augmentation in self.augmentations:
+            augmentation.batched = bool(batched)
+        return self
+
     def augment_batch(self, X: np.ndarray) -> np.ndarray:
         """Apply every augmentation once to a batch.
 
         Returns an array of shape ``(G, B, M, T)`` with one augmented view of
-        every sample per augmentation.
+        every sample per augmentation, in the batch's (floating) dtype.
         """
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X)
         return np.stack([augmentation(X) for augmentation in self.augmentations], axis=0)
 
     def two_views(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -11,13 +11,34 @@ class Augmentation:
     """Base class for time-series augmentations.
 
     Subclasses implement :meth:`_transform_sample` on a single ``(M, T)``
-    sample; the base class handles batching and RNG management so that every
-    call produces a *different* random view (Definition 3 in the paper: the
-    same augmentation applied twice yields two distinct augmented views).
+    sample and, for the hot batched path, :meth:`_transform_batch` on a whole
+    ``(B, M, T)`` batch; the base class handles routing, dtype preservation
+    and RNG management so that every call produces a *different* random view
+    (Definition 3 in the paper: the same augmentation applied twice yields two
+    distinct augmented views).
+
+    Contract of the batched kernels: starting from the same RNG state,
+    ``_transform_batch(X, rng)`` must return exactly ``stack([_transform_sample
+    (x, rng) for x in X])`` — bit-identical values *and* the same final RNG
+    state — so switching :attr:`batched` on or off never changes a training
+    run.  ``tests/test_augmentations_batched.py`` asserts this for every
+    registered op.  Ops whose per-sample randomness is data-dependent (e.g.
+    :class:`Compose`) simply inherit the reference loop.
+
+    Dtypes are preserved: a float32 batch comes back float32 (the internal
+    random draws still happen in float64, exactly as the per-sample reference
+    path, with one cast on the way out), and non-floating inputs are promoted
+    to the active compute dtype (``repro.nn.tensor.get_default_dtype()``, i.e.
+    whatever ``DtypePolicy`` scope is in force) instead of hard-coded float64.
     """
 
     #: short identifier used in logs, prototypes and parameter studies
     name = "augmentation"
+
+    #: route ``(B, M, T)`` inputs through the vectorized ``_transform_batch``
+    #: kernel; ``False`` forces the per-sample reference loop (the
+    #: ``augment_batched`` config knob lands here)
+    batched = True
 
     def __init__(self, seed: int | np.random.Generator | None = None):
         self._rng = new_rng(seed)
@@ -25,19 +46,36 @@ class Augmentation:
     def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
 
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized batch kernel; the default is the per-sample reference."""
+        return self._reference_batch(X, rng)
+
+    def _reference_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """The per-sample reference the batched kernels are verified against."""
+        return np.stack([self._transform_sample(sample, rng) for sample in X], axis=0)
+
     def __call__(self, X: np.ndarray) -> np.ndarray:
         """Augment a single sample ``(M, T)`` or a batch ``(B, M, T)``."""
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X)
+        if not np.issubdtype(X.dtype, np.floating):
+            from repro.nn.tensor import get_default_dtype
+
+            X = X.astype(get_default_dtype())
         if X.ndim == 2:
             out = self._transform_sample(X, self._rng)
-            if out.shape != X.shape:
-                raise RuntimeError(
-                    f"{type(self).__name__} changed the sample shape from {X.shape} to {out.shape}"
-                )
-            return out
-        if X.ndim == 3:
-            return np.stack([self(x) for x in X], axis=0)
-        raise ValueError(f"expected (M, T) or (B, M, T) input, got shape {X.shape}")
+        elif X.ndim == 3:
+            if self.batched:
+                out = self._transform_batch(X, self._rng)
+            else:
+                out = self._reference_batch(X, self._rng)
+        else:
+            raise ValueError(f"expected (M, T) or (B, M, T) input, got shape {X.shape}")
+        out = np.asarray(out)
+        if out.shape != X.shape:
+            raise RuntimeError(
+                f"{type(self).__name__} changed the sample shape from {X.shape} to {out.shape}"
+            )
+        return out.astype(X.dtype, copy=False)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -51,9 +89,18 @@ class Identity(Augmentation):
     def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return sample.copy()
 
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return X.copy()
+
 
 class Compose(Augmentation):
-    """Apply several augmentations in sequence."""
+    """Apply several augmentations in sequence.
+
+    Batching note: the per-sample reference interleaves the children's RNG
+    draws sample by sample (``child1(s0), child2(s0), child1(s1), ...``), an
+    order no batched kernel can reproduce, so ``Compose`` always runs the
+    reference loop — its children's own batched kernels are unused here.
+    """
 
     name = "compose"
 

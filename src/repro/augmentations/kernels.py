@@ -1,0 +1,161 @@
+"""Vectorized kernels shared by the batched augmentation fast paths.
+
+The batched augmentation substrate (PR 5) must be **bit-identical** to the
+per-sample reference implementations under the same RNG stream, because the
+engine's golden loss curves are asserted with ``==`` on floats.  The per-sample
+paths lean on :func:`numpy.interp`, so this module provides
+:func:`interp_batch` — a broadcasting re-implementation of ``np.interp`` that
+performs *exactly* the same scalar arithmetic (same slope formula, same
+exact-hit and NaN fallback branches as numpy's ``compiled_interp``) and is
+fuzz-tested for bit-identity against ``np.interp`` in
+``tests/test_augmentations_batched.py``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+def interp_batch(x: np.ndarray, xp: np.ndarray, fp: np.ndarray) -> np.ndarray:
+    """Batched linear interpolation, bit-identical to per-row ``np.interp``.
+
+    Parameters
+    ----------
+    x:
+        Query positions ``(..., N)``; leading axes broadcast against ``fp``.
+    xp:
+        1-D strictly increasing sample positions ``(K,)`` (shared by every
+        row, like every augmentation resampling grid).
+    fp:
+        Sample values ``(..., K)``.
+
+    Returns
+    -------
+    ``(..., N)`` float64 array equal (bit-for-bit, NaNs included) to running
+    ``np.interp(x[i], xp, fp[i])`` over every row ``i`` of the broadcast
+    leading shape.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    xp = np.asarray(xp, dtype=np.float64)
+    fp = np.asarray(fp, dtype=np.float64)
+    if xp.ndim != 1 or xp.shape[0] < 2:
+        raise ValueError(f"xp must be 1-D with at least two points, got shape {xp.shape}")
+
+    # interval index per query: j such that xp[j] <= x < xp[j+1]
+    j = np.searchsorted(xp, x, side="right") - 1
+    below = j < 0  # x < xp[0]  -> left fill value fp[..., 0]
+    above = j >= xp.shape[0] - 1  # x >= xp[-1] -> right fill value fp[..., -1]
+    jc = np.clip(j, 0, xp.shape[0] - 2)
+
+    x_lo = xp[jc]
+    x_hi = xp[jc + 1]
+    lead = np.broadcast_shapes(x.shape[:-1], fp.shape[:-1])
+    fp_b = np.broadcast_to(fp, lead + fp.shape[-1:])
+    jc_b = np.broadcast_to(jc, lead + jc.shape[-1:])
+    y_lo = np.take_along_axis(fp_b, jc_b, axis=-1)
+    y_hi = np.take_along_axis(fp_b, jc_b + 1, axis=-1)
+
+    # np.interp's arithmetic, operation for operation: slope first, then
+    # slope * (x - x_lo) + y_lo, with the NaN fallback recomputed from the
+    # right-hand knot and the exact-hit branch returning y_lo untouched.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        slope = (y_hi - y_lo) / (x_hi - x_lo)
+        result = slope * (x - x_lo) + y_lo
+        nan_mask = np.isnan(result)
+        if nan_mask.any():
+            fallback = slope * (x - x_hi) + y_hi
+            fallback = np.where(np.isnan(fallback) & (y_lo == y_hi), y_lo, fallback)
+            result = np.where(nan_mask, fallback, result)
+    result = np.where(x == x_lo, y_lo, result)
+    result = np.where(above, fp_b[..., -1:], result)
+    result = np.where(below, fp_b[..., :1], result)
+    return result
+
+
+@lru_cache(maxsize=512)
+def _uniform_plan(n_out: int, n_in: int):
+    """Precomputed interpolation plan between two ``linspace(0, 1, n)`` grids.
+
+    Every fixed-grid resample in the augmentation bank interpolates from
+    ``linspace(0, 1, n_in)`` onto ``linspace(0, 1, n_out)``, so the interval
+    indices, the ``x - x_lo`` terms, the interval widths and the exact-hit
+    mask only depend on the two lengths — precomputing them cuts the hot
+    per-call work to two gathers and four arithmetic ops while keeping the
+    scalar formulas (and hence bit-identity with ``np.interp``) untouched.
+    """
+    x = np.linspace(0.0, 1.0, n_out)
+    xp = np.linspace(0.0, 1.0, n_in)
+    j = np.searchsorted(xp, x, side="right") - 1
+    above = j >= n_in - 1  # x >= xp[-1] (only the right endpoint here)
+    jc = np.clip(j, 0, n_in - 2)
+    x_lo, x_hi = xp[jc], xp[jc + 1]
+    plan = {
+        "jc": jc,
+        "width": x_hi - x_lo,
+        "dx": x - x_lo,
+        "dx_hi": x - x_hi,
+        "exact": x == x_lo,
+        "above": above,
+    }
+    for value in plan.values():
+        value.setflags(write=False)
+    return plan
+
+
+def interp_uniform_batch(fp: np.ndarray, n_out: int) -> np.ndarray:
+    """Resample ``(..., n_in)`` onto ``n_out`` points over uniform grids.
+
+    Equivalent (bit-for-bit) to :func:`interp_batch` with
+    ``x = linspace(0, 1, n_out)`` and ``xp = linspace(0, 1, n_in)`` — i.e. to
+    row-wise ``np.interp`` — but with all grid-dependent terms served from
+    the memoized :func:`_uniform_plan`.
+    """
+    fp = np.asarray(fp, dtype=np.float64)
+    plan = _uniform_plan(int(n_out), fp.shape[-1])
+    y_lo = fp[..., plan["jc"]]
+    y_hi = fp[..., plan["jc"] + 1]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        slope = (y_hi - y_lo) / plan["width"]
+        result = slope * plan["dx"] + y_lo
+        nan_mask = np.isnan(result)
+        if nan_mask.any():
+            fallback = slope * plan["dx_hi"] + y_hi
+            fallback = np.where(np.isnan(fallback) & (y_lo == y_hi), y_lo, fallback)
+            result = np.where(nan_mask, fallback, result)
+    result = np.where(plan["exact"], y_lo, result)
+    if plan["above"].any():
+        result = np.where(plan["above"], fp[..., -1:], result)
+    return result
+
+
+def batch_gather_windows(X: np.ndarray, starts: np.ndarray, window: int) -> np.ndarray:
+    """Gather per-sample windows ``X[b, :, starts[b]:starts[b]+window]``.
+
+    One fancy-index gather over the whole ``(B, M, T)`` batch, returning
+    ``(B, M, window)`` — the batched counterpart of the per-sample crops in
+    ``Slicing`` / ``WindowWarp``.
+    """
+    B, M, _ = X.shape
+    cols = np.asarray(starts, dtype=np.intp)[:, None] + np.arange(window, dtype=np.intp)
+    return X[
+        np.arange(B, dtype=np.intp)[:, None, None],
+        np.arange(M, dtype=np.intp)[None, :, None],
+        cols[:, None, :],
+    ]
+
+
+def batch_time_gather(X: np.ndarray, index: np.ndarray) -> np.ndarray:
+    """Per-sample time reindexing ``out[b, m, t] = X[b, m, index[b, t]]``.
+
+    ``index`` is ``(B, T_out)``; the gather broadcasts over the variable axis,
+    replacing the per-sample ``sample[:, index]`` loops of ``Permutation``.
+    """
+    B, M, _ = X.shape
+    index = np.asarray(index, dtype=np.intp)
+    return X[
+        np.arange(B, dtype=np.intp)[:, None, None],
+        np.arange(M, dtype=np.intp)[None, :, None],
+        index[:, None, :],
+    ]

@@ -2,6 +2,18 @@
 
 These follow the definitions surveyed by Iwana & Uchida (2021) and Wen et al.
 (2020), the references the paper cites for its augmentation bank.
+
+Every op ships two implementations: ``_transform_sample`` — the per-sample
+reference — and ``_transform_batch`` — a vectorized kernel over a whole
+``(B, M, T)`` batch that draws its randomness as *batched* draws (NumPy
+``Generator`` fills output arrays element-sequentially, so a single
+``rng.normal(size=(B, ...))`` consumes the exact stream of ``B`` per-sample
+draws) and resamples via batched index gathers + :func:`~repro.augmentations.
+kernels.interp_batch`.  The two paths are bit-identical under the same RNG
+stream; ops whose per-sample draw *count* is data-dependent (``WindowWarp``'s
+interleaved start/scale pair, ``Permutation``'s variable segment count) keep
+a scalar draw loop — preserving the stream by construction — and vectorize
+only the array math.
 """
 
 from __future__ import annotations
@@ -9,6 +21,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.augmentations.base import Augmentation
+from repro.augmentations.kernels import (
+    batch_gather_windows,
+    batch_time_gather,
+    interp_batch,
+    interp_uniform_batch,
+)
 from repro.utils.validation import check_positive, check_probability
 
 
@@ -19,6 +37,13 @@ def _resample_to_length(series: np.ndarray, length: int) -> np.ndarray:
     old_grid = np.linspace(0.0, 1.0, series.shape[0])
     new_grid = np.linspace(0.0, 1.0, length)
     return np.interp(new_grid, old_grid, series)
+
+
+def _resample_batch(windows: np.ndarray, length: int) -> np.ndarray:
+    """Batched ``_resample_to_length`` over the last axis of ``(..., W)``."""
+    if windows.shape[-1] == length:
+        return windows
+    return interp_uniform_batch(windows, length)
 
 
 class Jitter(Augmentation):
@@ -33,6 +58,9 @@ class Jitter(Augmentation):
     def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return sample + rng.normal(0.0, self.sigma, size=sample.shape)
 
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return X + rng.normal(0.0, self.sigma, size=X.shape)
+
 
 class Scaling(Augmentation):
     """Multiplicative amplitude scaling with a per-variable random factor."""
@@ -46,6 +74,10 @@ class Scaling(Augmentation):
     def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         factors = rng.normal(1.0, self.sigma, size=(sample.shape[0], 1))
         return sample * factors
+
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        factors = rng.normal(1.0, self.sigma, size=(X.shape[0], X.shape[1], 1))
+        return X * factors
 
 
 class TimeWarp(Augmentation):
@@ -71,6 +103,16 @@ class TimeWarp(Augmentation):
         for variable in range(sample.shape[0]):
             out[variable] = np.interp(warped_grid, original_grid, sample[variable])
         return out
+
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        B, M, T = X.shape
+        knot_offsets = np.zeros((B, self.n_knots + 2))
+        knot_offsets[:, 1:-1] = rng.normal(0, self.strength, size=(B, self.n_knots))
+        grid = np.linspace(0, 1, T)
+        offsets = interp_uniform_batch(knot_offsets, T)  # (B, T)
+        warped_grid = np.clip(grid + offsets, 0, 1)
+        warped_grid = np.maximum.accumulate(warped_grid, axis=-1)
+        return interp_batch(warped_grid[:, None, :], grid, X)
 
 
 class Slicing(Augmentation):
@@ -99,6 +141,15 @@ class Slicing(Augmentation):
             out[variable] = _resample_to_length(sample[variable, start : start + window], length)
         return out
 
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        B, M, T = X.shape
+        window = max(2, int(round(self.crop_ratio * T)))
+        starts = rng.integers(0, T - window + 1, size=B)
+        if window == T:  # degenerate crop: the reference copies each sample
+            return X.copy()
+        windows = batch_gather_windows(X, starts, window)
+        return _resample_batch(windows, T)
+
 
 class WindowWarp(Augmentation):
     """Window warping: speed up or slow down one random window by ``scales``."""
@@ -125,6 +176,41 @@ class WindowWarp(Augmentation):
             out[variable] = _resample_to_length(stitched, length)
         return out
 
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        B, M, T = X.shape
+        window = max(2, int(round(self.window_ratio * T)))
+        # the reference interleaves the two draws per sample (start, scale,
+        # start, scale, ...), so the draws stay a scalar loop — only the
+        # resample/stitch math below is batched
+        starts = np.empty(B, dtype=np.intp)
+        scales = np.empty(B)
+        for b in range(B):
+            starts[b] = int(rng.integers(0, T - window + 1))
+            scales[b] = float(rng.choice(self.scales))
+        out = np.empty((B, M, T))
+        for scale in np.unique(scales):
+            group = np.flatnonzero(scales == scale)
+            warped_length = max(2, int(round(window * scale)))
+            stitched_length = T - window + warped_length
+            X_g, starts_g = X[group], starts[group]
+            warped = _resample_batch(batch_gather_windows(X_g, starts_g, window), warped_length)
+            # build the stitched series with one gather + where: positions
+            # before the window come from X, inside from the warped window,
+            # after from X shifted by the length change
+            position = np.arange(stitched_length, dtype=np.intp)[None, :]
+            st = starts_g[:, None]
+            in_window = (position >= st) & (position < st + warped_length)
+            from_x = np.where(position < st, position, position - warped_length + window)
+            from_x = np.clip(from_x, 0, T - 1)
+            from_w = np.clip(position - st, 0, warped_length - 1)
+            stitched = np.where(
+                in_window[:, None, :],
+                batch_time_gather(warped, from_w),
+                batch_time_gather(X_g, from_x),
+            )
+            out[group] = _resample_batch(stitched, T)
+        return out
+
 
 class Permutation(Augmentation):
     """Split the series into segments and permute them (a "strong" view)."""
@@ -136,13 +222,23 @@ class Permutation(Augmentation):
         self.max_segments = int(check_positive("max_segments", max_segments))
 
     def _transform_sample(self, sample: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        length = sample.shape[1]
+        return sample[:, self._permutation_index(sample.shape[1], rng)]
+
+    def _permutation_index(self, length: int, rng: np.random.Generator) -> np.ndarray:
         n_segments = int(rng.integers(2, self.max_segments + 1))
         boundaries = np.sort(rng.choice(np.arange(1, length), size=n_segments - 1, replace=False))
         segments = np.split(np.arange(length), boundaries)
         order = rng.permutation(len(segments))
-        index = np.concatenate([segments[i] for i in order])
-        return sample[:, index]
+        return np.concatenate([segments[i] for i in order])
+
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        B, M, T = X.shape
+        # draw counts are data-dependent (variable segment number), so the
+        # index construction stays per sample; the reindexing is one gather
+        index = np.empty((B, T), dtype=np.intp)
+        for b in range(B):
+            index[b] = self._permutation_index(T, rng)
+        return batch_time_gather(X, index)
 
 
 class Masking(Augmentation):
@@ -161,4 +257,14 @@ class Masking(Augmentation):
         start = int(rng.integers(0, length - window + 1))
         out = sample.copy()
         out[:, start : start + window] = 0.0
+        return out
+
+    def _transform_batch(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        B, M, T = X.shape
+        window = max(1, int(round(self.mask_ratio * T)))
+        starts = rng.integers(0, T - window + 1, size=B)
+        position = np.arange(T, dtype=np.intp)[None, :]
+        masked = (position >= starts[:, None]) & (position < starts[:, None] + window)
+        out = X.copy()
+        out[np.broadcast_to(masked[:, None, :], out.shape)] = 0.0
         return out

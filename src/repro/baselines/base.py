@@ -37,6 +37,7 @@ from repro.engine import (
     TrainLoop,
 )
 from repro.nn import Adam, Workspace
+from repro.nn.inference import DEFAULT_SERVING_BATCH_SIZE
 from repro.nn.tensor import Tensor, default_dtype
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_in_options, check_positive
@@ -62,13 +63,19 @@ class BaselineConfig:
     #: compute-core precision ("float64" reference / "float32" fast path) and
     #: serving micro-batch size, mirroring AimTSConfig.
     compute_dtype: str = "float64"
-    encode_batch_size: int = 64
+    encode_batch_size: int = DEFAULT_SERVING_BATCH_SIZE
+    #: sharded data-parallel pre-training (>= 2 spawns a gradient worker
+    #: pool; 1 is the bit-exact sequential path) and the batched-augmentation
+    #: toggle, mirroring AimTSConfig.
+    n_workers: int = 1
+    augment_batched: bool = True
 
     def __post_init__(self) -> None:
         for name in ("repr_dim", "proj_dim", "hidden_channels", "depth", "batch_size", "epochs"):
             check_positive(name, getattr(self, name))
         check_positive("learning_rate", self.learning_rate)
         check_positive("encode_batch_size", self.encode_batch_size)
+        check_positive("n_workers", self.n_workers)
         check_in_options("compute_dtype", self.compute_dtype, ("float32", "float64"))
         if self.channel_aggregation not in ("concat", "mean"):
             raise ValueError(
@@ -105,6 +112,9 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         self._label_map: np.ndarray | None = None
         #: the engine driver of the most recent / active pretrain() call
         self.trainer: Trainer | None = None
+        #: persistent gradient worker pool (config.n_workers >= 2), spawned
+        #: lazily on the first pretrain() — see :meth:`shutdown_workers`
+        self._worker_pool = None
 
     def _build_encoder(self) -> TSEncoder:
         return TSEncoder(
@@ -155,6 +165,34 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         """
         return {"baseline": self._rng}
 
+    def _augmentations(self) -> list:
+        """Every augmentation op this baseline holds (attribute scan)."""
+        from repro.augmentations import Augmentation
+
+        return [value for value in vars(self).values() if isinstance(value, Augmentation)]
+
+    def _apply_augment_mode(self) -> None:
+        """Propagate ``config.augment_batched`` to the held augmentation ops."""
+        batched = getattr(self.config, "augment_batched", True)
+        for augmentation in self._augmentations():
+            augmentation.batched = batched
+
+    def _reseed_for_worker(self, worker_index: int, n_workers: int) -> None:
+        """Install the deterministic per-shard RNG streams in a worker replica.
+
+        The objective stream and each held augmentation op get independent
+        children of ``SeedSequence([seed, worker_index, n_workers])``; module
+        weights are untouched (workers receive the parent's parameters over
+        shared memory every step).
+        """
+        from repro.engine.parallel import derive_worker_seed
+
+        root = derive_worker_seed(self.config.seed, worker_index, n_workers)
+        children = root.spawn(1 + len(self._augmentations()))
+        self._rng = np.random.default_rng(children[0])
+        for augmentation, child in zip(self._augmentations(), children[1:]):
+            augmentation._rng = np.random.default_rng(child)
+
     def pretrain(
         self,
         corpus_or_X: list[TimeSeriesDataset] | np.ndarray,
@@ -191,8 +229,19 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             # class-sorted, matching build_pretraining_pool's semantics
             X = X[np.sort(self._rng.choice(X.shape[0], size=max_samples, replace=False))]
         epochs = epochs or self.config.epochs
+        self._apply_augment_mode()
         optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
         loop = _BaselinePretrainLoop(self, X)
+        if self.config.n_workers > 1 and self._worker_pool is None:
+            from repro.engine.parallel import GradientWorkerPool
+
+            # persistent pool: spawned once, reused by every subsequent fit
+            self._worker_pool = GradientWorkerPool(
+                loop.worker_factory(),
+                list(self.parameters()),
+                n_workers=self.config.n_workers,
+                compute_dtype=self.dtype_policy.compute_dtype,
+            )
         history = History()
         engine_callbacks = list(callbacks)
         if verbose:
@@ -204,10 +253,18 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             history=history,
             rng=self._rng,
             dtype_policy=self.dtype_policy,
+            n_workers=self.config.n_workers,
+            worker_pool=self._worker_pool,
         )
         self.trainer.fit(epochs)
         self._pretrained = True
         return LossCurve(history.curve("loss"), history)
+
+    def shutdown_workers(self) -> None:
+        """Stop the persistent gradient worker pool (no-op when sequential)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
 
     def pretrain_multi_source(
         self,
@@ -342,16 +399,39 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         )
 
 
+def _baseline_worker_replica(
+    baseline_cls, config: BaselineConfig, init_kwargs: dict, worker_index: int, n_workers: int
+):
+    """Build one gradient-worker replica of a baseline objective.
+
+    Module-level so spawn workers can unpickle it; weights are overwritten by
+    the parent's shared-memory broadcast each step, while the stochastic
+    streams come from the deterministic per-shard derivation.
+    """
+    baseline = baseline_cls(config, **init_kwargs)
+    baseline._apply_augment_mode()
+    baseline._reseed_for_worker(worker_index, n_workers)
+    return _BaselinePretrainLoop(baseline, None)
+
+
 class _BaselinePretrainLoop(TrainLoop):
     """Engine adapter for the self-supervised baseline objectives."""
 
-    def __init__(self, baseline: SelfSupervisedBaseline, X: np.ndarray):
+    #: contrastive objectives need at least a pair of samples per shard
+    shard_min_samples = 2
+
+    def __init__(self, baseline: SelfSupervisedBaseline, X: np.ndarray | None):
         self.baseline = baseline
         # shares the baseline's generator so each epoch's shuffle (and any
         # rng the objective itself consumes, e.g. TS2Vec crop offsets)
-        # follows the exact stream positions the seed loop did
-        self.iterator = BatchIterator(
-            X, batch_size=baseline.config.batch_size, shuffle=True, seed=baseline._rng
+        # follows the exact stream positions the seed loop did; worker
+        # replicas (X=None) only serve batch_loss
+        self.iterator = (
+            None
+            if X is None
+            else BatchIterator(
+                X, batch_size=baseline.config.batch_size, shuffle=True, seed=baseline._rng
+            )
         )
 
     def named_modules(self) -> dict:
@@ -360,7 +440,19 @@ class _BaselinePretrainLoop(TrainLoop):
     def named_rngs(self) -> dict:
         return dict(self.baseline._named_rngs())
 
+    def worker_factory(self):
+        import functools
+
+        return functools.partial(
+            _baseline_worker_replica,
+            type(self.baseline),
+            self.baseline.config,
+            self.baseline._manifest_init_kwargs(),
+        )
+
     def make_batches(self, rng, epoch):
+        if self.iterator is None:
+            raise RuntimeError("worker-replica loops only provide batch_loss()")
         for batch, _ in self.iterator:
             if batch.shape[0] < 2:
                 continue  # contrastive objectives need at least two samples

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.nn.inference import DEFAULT_SERVING_BATCH_SIZE
 from repro.utils.validation import check_in_options, check_positive, check_probability
 
 #: allowed settings for the ablation hooks
@@ -50,7 +51,19 @@ class AimTSConfig:
     encode_batch_size:
         Micro-batch size of the serving surfaces (``encode`` / ``predict`` /
         ``predict_proba``), which stream batches through the fused no-grad
-        inference path.
+        inference path.  256 (up from 64) quarters the per-micro-batch
+        dispatch overhead and hands threaded BLAS wider matmuls; the fused
+        workspace reuses its buffers either way.
+    n_workers:
+        Sharded data-parallel pre-training: with ``n_workers >= 2`` every
+        mini-batch is split across a persistent pool of spawn-safe gradient
+        worker processes (shared-memory parameter broadcast / fixed-order
+        gradient reduction, see :mod:`repro.engine.parallel`).  ``1`` (the
+        default) is the sequential path, bit-identical to earlier releases.
+    augment_batched:
+        Route the augmentation bank through the vectorized batch kernels
+        (bit-identical to the per-sample reference loops under the same RNG
+        streams; ``False`` forces the reference paths for debugging).
     series_length, n_variables:
         Common shape every pre-training sample is resampled to.
     alpha:
@@ -83,7 +96,10 @@ class AimTSConfig:
     cache_max_bytes: int | None = 256 * 1024 * 1024
     # compute core precision + serving batch size
     compute_dtype: str = "float64"
-    encode_batch_size: int = 64
+    encode_batch_size: int = DEFAULT_SERVING_BATCH_SIZE
+    # pre-training parallelism (see repro.engine.parallel)
+    n_workers: int = 1
+    augment_batched: bool = True
     # data shape
     series_length: int = 96
     n_variables: int = 1
@@ -139,6 +155,7 @@ class AimTSConfig:
         check_in_options("image_dtype", self.image_dtype, IMAGE_DTYPES)
         check_in_options("compute_dtype", self.compute_dtype, COMPUTE_DTYPES)
         check_positive("encode_batch_size", self.encode_batch_size)
+        check_positive("n_workers", self.n_workers)
         if self.cache_max_bytes is not None:
             check_positive("cache_max_bytes", self.cache_max_bytes)
         check_in_options("temperature_mode", self.temperature_mode, TEMPERATURE_MODES)

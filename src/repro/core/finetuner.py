@@ -153,7 +153,7 @@ class FineTuner:
         return LossCurve(history.curve("loss"), history)
 
     def predict_logits(
-        self, X: np.ndarray, *, batch_size: int = 64, fused: bool = True
+        self, X: np.ndarray, *, batch_size: int | None = None, fused: bool = True
     ) -> np.ndarray:
         """Evaluation-mode class logits ``(n, n_classes)`` for ``(n, M, T)`` samples.
 
@@ -161,25 +161,27 @@ class FineTuner:
         (raw-array kernels, reusable workspace, dropout skipped) when the
         encoder supports it; ``fused=False`` — or an encoder without an
         ``infer`` method — runs the plain eval-mode autograd forward.
+        ``batch_size`` defaults to ``repro.nn.inference.
+        DEFAULT_SERVING_BATCH_SIZE`` (256).
         """
-        from repro.nn.inference import batched_infer
+        from repro.nn.inference import DEFAULT_SERVING_BATCH_SIZE, batched_infer
 
         if self.classifier is None:
             raise RuntimeError("call fit() before predict()")
         return batched_infer(
             self.encoder,
             z_normalize(np.asarray(X, dtype=self._compute_dtype())),
-            batch_size=batch_size,
+            batch_size=batch_size or DEFAULT_SERVING_BATCH_SIZE,
             workspace=self._workspace,
             fused=fused,
             head=self.classifier,
         )
 
-    def predict(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """Predict integer class labels for ``(n, M, T)`` samples."""
         return self.predict_logits(X, batch_size=batch_size).argmax(axis=-1)
 
-    def predict_proba(self, X: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """Softmax class probabilities ``(n, n_classes)`` for ``(n, M, T)`` samples."""
         from repro.api.estimator import softmax
 

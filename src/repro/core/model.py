@@ -102,6 +102,10 @@ class AimTS(FineTunedPredictorMixin):
         """
         return self.pretrainer.encode(X, batch_size=batch_size)
 
+    def shutdown_workers(self) -> None:
+        """Stop the persistent gradient worker pool (``config.n_workers``)."""
+        self.pretrainer.shutdown_workers()
+
     # ------------------------------------------------------------- fine-tuning
     def make_finetuner(
         self, n_classes: int, config: FineTuneConfig | None = None, *, copy_encoder: bool = True

@@ -98,7 +98,10 @@ def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> Au
     """Instantiate the augmentation bank named in ``config.augmentation_names``.
 
     Names resolve through :data:`repro.api.registry.AUGMENTATIONS`, so banks
-    are constructible from plain config the same way estimators are.
+    are constructible from plain config the same way estimators are.  The
+    ``config.augment_batched`` knob selects the vectorized batch kernels
+    (default) or the per-sample reference loops — the two are bit-identical
+    under the same RNG streams.
     """
     from repro.api.registry import AUGMENTATIONS
 
@@ -111,7 +114,25 @@ def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> Au
         augmentations.append(
             AUGMENTATIONS.create(name, seed=new_rng(int(rng.integers(0, 2**31))))
         )
-    return AugmentationBank(augmentations)
+    return AugmentationBank(augmentations).set_batched(
+        getattr(config, "augment_batched", True)
+    )
+
+
+def _pretrain_worker_replica(config: AimTSConfig, worker_index: int, n_workers: int):
+    """Build one gradient-worker replica of the pre-training objective.
+
+    Runs inside a spawn worker (module-level so it pickles by reference).
+    The replica's weights are irrelevant — every step begins by copying the
+    parent's parameters from shared memory — but its stochastic components
+    (augmentation bank, mixup stream) are reseeded with the deterministic
+    per-shard stream ``SeedSequence([seed, worker_index, n_workers])``.
+    """
+    from repro.engine.parallel import derive_worker_seed
+
+    pretrainer = AimTSPretrainer(config)
+    pretrainer.reseed(derive_worker_seed(config.seed, worker_index, n_workers))
+    return _PretrainLoop(pretrainer, pool=None, use_cache=False)
 
 
 class AimTSPretrainer:
@@ -167,6 +188,10 @@ class AimTSPretrainer:
         self.history = PretrainHistory(self._engine_history)
         #: the engine driver of the most recent / active fit() call
         self.trainer: Trainer | None = None
+        #: persistent gradient worker pool (config.n_workers >= 2), spawned
+        #: lazily on the first fit() and reused across fits — see
+        #: :meth:`shutdown_workers`
+        self._worker_pool = None
 
     # ------------------------------------------------------------------ parts
     def _trainable_modules(self):
@@ -183,6 +208,15 @@ class AimTSPretrainer:
         """All trainable parameters of the pre-training stage."""
         for module in self._trainable_modules():
             yield from module.parameters()
+
+    def reseed(self, seed: int | np.random.SeedSequence | np.random.Generator) -> None:
+        """Re-derive every stochastic stream (mixup + augmentation bank).
+
+        Used by the gradient workers to install their deterministic per-shard
+        streams; module weights are untouched.
+        """
+        self._rng = np.random.default_rng(seed)
+        self.bank = build_augmentation_bank(self.config, self._rng)
 
     def _encode_views(self, views: np.ndarray) -> tuple[Tensor, Tensor]:
         """Encode ``(G, B, M, T)`` views → per-view projections and raw representations.
@@ -333,6 +367,16 @@ class AimTSPretrainer:
             self.render_cache = None
 
         loop = _PretrainLoop(self, pool, use_cache)
+        if cfg.n_workers > 1 and self._worker_pool is None:
+            from repro.engine.parallel import GradientWorkerPool
+
+            # persistent pool: spawned once, reused by every subsequent fit
+            self._worker_pool = GradientWorkerPool(
+                loop.worker_factory(),
+                list(self.parameters()),
+                n_workers=cfg.n_workers,
+                compute_dtype=self.dtype_policy.compute_dtype,
+            )
         engine_callbacks = list(callbacks)
         if verbose:
             engine_callbacks.insert(
@@ -350,11 +394,19 @@ class AimTSPretrainer:
             history=self._engine_history,
             rng=self._rng,
             dtype_policy=self.dtype_policy,
+            n_workers=cfg.n_workers,
+            worker_pool=self._worker_pool,
         )
         if resume_from is not None:
             self.trainer.load_checkpoint(resume_from)
         self.trainer.fit(n_epochs)
         return self.history
+
+    def shutdown_workers(self) -> None:
+        """Stop the persistent gradient worker pool (no-op when sequential)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
 
     # ------------------------------------------------------------------ utils
     def encode(
@@ -385,21 +437,39 @@ class _PretrainLoop(TrainLoop):
     Batches are ``(series, images)`` pairs: the shuffled pool mini-batch plus
     its cached renders (``None`` when the cache is off, in which case
     :meth:`AimTSPretrainer.compute_batch_loss` rasterises on the fly).
+    Under sharded training the pair is split along the batch axis, so cached
+    images travel to the workers through the pool's shared-memory input
+    arena instead of being re-rendered (or pickled) per shard.
     """
 
-    def __init__(self, pretrainer: AimTSPretrainer, pool: np.ndarray, use_cache: bool):
+    #: contrastive prototype construction needs at least a pair per shard
+    shard_min_samples = 2
+
+    def __init__(
+        self, pretrainer: AimTSPretrainer, pool: np.ndarray | None, use_cache: bool
+    ):
         self.pretrainer = pretrainer
         self.use_cache = use_cache
         # the iterator shares the pre-trainer's generator, so each epoch's
         # shuffle consumes the exact stream position the seed loop did (and
-        # checkpoints can snapshot/restore it through named_rngs)
-        self.iterator = BatchIterator(
-            pool,
-            batch_size=pretrainer.config.batch_size,
-            shuffle=True,
-            seed=pretrainer._rng,
-            return_indices=True,
+        # checkpoints can snapshot/restore it through named_rngs); worker
+        # replicas are built without a pool and only serve batch_loss
+        self.iterator = (
+            None
+            if pool is None
+            else BatchIterator(
+                pool,
+                batch_size=pretrainer.config.batch_size,
+                shuffle=True,
+                seed=pretrainer._rng,
+                return_indices=True,
+            )
         )
+
+    def worker_factory(self):
+        import functools
+
+        return functools.partial(_pretrain_worker_replica, self.pretrainer.config)
 
     def named_modules(self) -> dict:
         pretrainer = self.pretrainer
@@ -422,6 +492,8 @@ class _PretrainLoop(TrainLoop):
         return ("loss", "prototype", "series_image")
 
     def make_batches(self, rng, epoch):
+        if self.iterator is None:
+            raise RuntimeError("worker-replica loops only provide batch_loss()")
         for batch, _, batch_indices in self.iterator:
             if batch.shape[0] < 2:
                 continue  # contrastive losses need at least two samples

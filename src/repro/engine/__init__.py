@@ -17,6 +17,11 @@ capabilities are implemented exactly once as callbacks:
   resumable full-bundle checkpoints (``Trainer.resume(path)`` continues a
   killed run bit-identically: optimizer moments, scheduler step and every
   per-epoch RNG stream restored).
+* :mod:`repro.engine.parallel` — sharded data-parallel gradient workers:
+  ``Trainer(..., n_workers=N)`` splits every batch across a persistent
+  spawn-safe :class:`GradientWorkerPool` with shared-memory parameter
+  broadcast and fixed-order gradient reduction (``n_workers=1`` stays the
+  bit-exact sequential path).
 
 A custom training capability is one small class::
 
@@ -42,13 +47,18 @@ from repro.engine.callbacks import (
     ProgressLogger,
 )
 from repro.engine.history import History, LossCurve
-from repro.engine.loop import TrainLoop, dropout_rngs
+from repro.engine.loop import TrainLoop, dropout_rngs, shard_arrays
+from repro.engine.parallel import GradientWorkerPool, WorkerError, derive_worker_seed
 from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
 from repro.engine.trainer import CHECKPOINT_KIND, CHECKPOINT_TAG, Trainer
 
 __all__ = [
     "Trainer",
     "TrainLoop",
+    "GradientWorkerPool",
+    "WorkerError",
+    "derive_worker_seed",
+    "shard_arrays",
     "TrainState",
     "DtypePolicy",
     "History",

@@ -41,7 +41,17 @@ class TrainLoop:
         stream the loop consumes (batch shuffling, augmentations, mixup,
         dropout); all are snapshotted into checkpoints and restored by
         :meth:`~repro.engine.trainer.Trainer.resume`.
+
+    Loops that support sharded data-parallel training (``Trainer(...,
+    n_workers=N)``) additionally provide ``worker_factory`` — a picklable
+    ``factory(worker_index, n_workers)`` that rebuilds a replica with
+    ``parameters()`` / ``batch_loss()`` / ``named_modules()`` inside a spawn
+    worker — and may tune :attr:`shard_min_samples` / :meth:`shard_batch`.
     """
+
+    #: smallest shard :meth:`shard_batch` will produce (contrastive
+    #: objectives need at least a pair of samples per shard)
+    shard_min_samples = 1
 
     def named_modules(self) -> dict[str, Module]:  # pragma: no cover - interface
         raise NotImplementedError
@@ -69,6 +79,55 @@ class TrainLoop:
         these, keeping curve lengths equal across metrics.
         """
         return ("loss",)
+
+    # ------------------------------------------------------------------ sharding
+    def worker_factory(self):
+        """Picklable ``factory(worker_index, n_workers)`` building a replica.
+
+        Returns ``None`` (the default) when the loop does not support
+        sharded training; the trainer then rejects ``n_workers > 1``.
+        """
+        return None
+
+    def shard_batch(self, batch, n_shards: int) -> list[tuple]:
+        """Split one batch into ``[(sub_batch, n_samples), ...]`` shards."""
+        return shard_arrays(batch, n_shards, min_samples=self.shard_min_samples)
+
+
+def shard_arrays(batch, n_shards: int, *, min_samples: int = 1) -> list[tuple]:
+    """Split a batch structure into contiguous in-order sub-batches.
+
+    ``batch`` may be one ``(B, ...)`` array or a tuple/list mixing arrays
+    (split along axis 0 when their leading size matches ``B``), ``None`` and
+    scalars (passed through).  Shards are contiguous index ranges — the order
+    is part of the parallel determinism contract — and never smaller than
+    ``min_samples`` (the shard count shrinks instead).  Returns
+    ``[(sub_batch, n_samples), ...]``.
+    """
+    leaves = batch if isinstance(batch, (tuple, list)) else (batch,)
+    batch_size = next(
+        (leaf.shape[0] for leaf in leaves if isinstance(leaf, np.ndarray)), None
+    )
+    if batch_size is None:
+        raise ValueError("shard_arrays found no ndarray leaf to split on")
+    n_effective = max(1, min(int(n_shards), batch_size // max(int(min_samples), 1)))
+    bounds = np.linspace(0, batch_size, n_effective + 1).astype(int)
+
+    def take(leaf, start, stop):
+        if isinstance(leaf, np.ndarray) and leaf.ndim >= 1 and leaf.shape[0] == batch_size:
+            return leaf[start:stop]
+        return leaf
+
+    shards = []
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        if stop <= start:
+            continue
+        if isinstance(batch, (tuple, list)):
+            sub = type(batch)(take(leaf, start, stop) for leaf in batch)
+        else:
+            sub = take(batch, start, stop)
+        shards.append((sub, int(stop - start)))
+    return shards
 
 
 def dropout_rngs(module: Module, prefix: str = "dropout") -> dict[str, np.random.Generator]:

@@ -1,0 +1,512 @@
+"""Sharded data-parallel gradient workers for the training engine.
+
+A :class:`GradientWorkerPool` keeps ``n_workers`` **persistent** spawn-safe
+``multiprocessing`` processes alive across the whole ``fit``.  Each worker
+builds one replica of the training loop's modules (via the loop's picklable
+``worker_factory``), and every optimizer step then runs as:
+
+1. the parent packs the current parameters into a shared-memory buffer
+   (one contiguous block per dtype — see :class:`repro.nn.flat.FlatLayout`);
+2. each worker receives its batch shard through a shared-memory input arena
+   (arrays are written once and read as views — cached render-cache images
+   are never pickled per batch), refreshes its replica's parameters from the
+   shared buffer, computes ``batch_loss`` and backpropagates;
+3. each worker packs its gradients into its own shared segment, and the
+   parent reduces them in **fixed ascending worker order** with per-shard
+   weights ``n_w / n_total`` before stepping the optimizer as usual.
+
+Determinism contract
+--------------------
+* ``n_workers=1`` never reaches this module: the trainer runs the plain
+  sequential path, bit-identical to earlier PRs.
+* Multi-worker runs are deterministic *at a fixed worker count*: shards are
+  contiguous in-order splits, every worker's stochastic components draw from
+  per-shard streams derived as ``SeedSequence([seed, worker_index,
+  n_workers])``, and the gradient reduction order is fixed — a float64 run
+  repeated with the same ``n_workers`` reproduces its loss curve exactly.
+* Contrastive objectives see per-shard negatives (as in standard data-
+  parallel contrastive training), so a 2-worker curve is not the 1-worker
+  curve — only reproducible against itself.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from repro.nn.flat import FlatLayout
+
+#: spawn is the one start method that is safe everywhere (threads, BLAS);
+#: fork would duplicate the parent's whole heap including the render cache
+DEFAULT_START_METHOD = "spawn"
+
+#: seconds to wait for a worker reply before declaring it dead
+DEFAULT_TIMEOUT = 120.0
+
+
+class WorkerError(RuntimeError):
+    """A gradient worker raised; carries the remote traceback."""
+
+
+def derive_worker_seed(seed: int, worker_index: int, n_workers: int) -> np.random.SeedSequence:
+    """The per-shard RNG root: deterministic in (seed, shard, worker count)."""
+    return np.random.SeedSequence([int(seed), int(worker_index), int(n_workers)])
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory helpers
+# --------------------------------------------------------------------------- #
+class _SharedBlock:
+    """One shared-memory segment holding per-dtype 1-D arrays."""
+
+    def __init__(self, nbytes_by_dtype: dict[str, int], *, create: bool, name: str | None = None):
+        offsets, total = {}, 0
+        for key, nbytes in sorted(nbytes_by_dtype.items()):
+            offsets[key] = total
+            total += max(int(nbytes), 0)
+        self._shm = (
+            SharedMemory(create=True, size=max(total, 1))
+            if create
+            else SharedMemory(name=name)
+        )
+        self.name = self._shm.name
+        self.arrays: dict[str, np.ndarray] = {}
+        for key, nbytes in nbytes_by_dtype.items():
+            count = int(nbytes) // np.dtype(key).itemsize
+            self.arrays[key] = np.ndarray(
+                (count,), dtype=key, buffer=self._shm.buf, offset=offsets[key]
+            )
+
+    def close(self, *, unlink: bool) -> None:
+        self.arrays = {}
+        try:
+            self._shm.close()
+            if unlink:
+                self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+
+class _InputArena:
+    """A per-worker byte arena batch arrays are written into (parent side).
+
+    Arrays travel as ``(offset, dtype, shape)`` descriptors in the step
+    message; the worker maps them back as views on its attached segment.  A
+    batch larger than the arena (only possible if later batches exceed the
+    first, which sizing with ``growth`` head-room avoids) falls back to
+    pickling those arrays through the queue — correct, just slower.
+    """
+
+    def __init__(self, growth: float = 1.5):
+        self.growth = growth
+        self._shm: SharedMemory | None = None
+        self.name: str | None = None
+        self.capacity = 0
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def ensure(self, nbytes: int) -> None:
+        if nbytes <= self.capacity:
+            return
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+        self.capacity = int(nbytes * self.growth) + 64
+        self._shm = SharedMemory(create=True, size=self.capacity)
+        self.name = self._shm.name
+
+    def write(self, array: np.ndarray):
+        """Write one array; returns its descriptor or None if it cannot fit."""
+        array = np.ascontiguousarray(array)
+        offset = self._cursor
+        if self._shm is None or offset + array.nbytes > self.capacity:
+            return None
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf, offset=offset)
+        view[...] = array
+        self._cursor = offset + array.nbytes
+        return (offset, array.dtype.name, tuple(array.shape))
+
+    def close(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - teardown race
+                pass
+            self._shm = None
+
+
+def _encode_batch(batch, arena: _InputArena | None):
+    """Replace ndarrays in a (possibly nested) batch with arena descriptors."""
+    if isinstance(batch, np.ndarray):
+        descriptor = arena.write(batch) if arena is not None else None
+        if descriptor is None:
+            return ("pickle", batch)
+        return ("shm", descriptor)
+    if isinstance(batch, (tuple, list)):
+        return ("seq", type(batch).__name__, [_encode_batch(item, arena) for item in batch])
+    return ("raw", batch)
+
+
+def _decode_batch(encoded, shm_buf):
+    """Rebuild a batch from :func:`_encode_batch` output (worker side).
+
+    Shared-memory arrays are **copied** out of the arena so the parent can
+    start writing the next step while the worker still computes.
+    """
+    kind = encoded[0]
+    if kind == "shm":
+        offset, dtype, shape = encoded[1]
+        view = np.ndarray(shape, dtype=dtype, buffer=shm_buf, offset=offset)
+        return view.copy()
+    if kind == "pickle":
+        return encoded[1]
+    if kind == "seq":
+        items = [_decode_batch(item, shm_buf) for item in encoded[2]]
+        return tuple(items) if encoded[1] == "tuple" else items
+    return encoded[1]
+
+
+def _estimate_nbytes(batch) -> int:
+    if isinstance(batch, np.ndarray):
+        return batch.nbytes
+    if isinstance(batch, (tuple, list)):
+        return sum(_estimate_nbytes(item) for item in batch)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+def _module_buffer_state(named_modules: dict) -> dict[str, np.ndarray]:
+    """Non-parameter state (e.g. BN running stats) of every named module."""
+    state: dict[str, np.ndarray] = {}
+    for name, module in named_modules.items():
+        parameter_keys = {key for key, _ in module.named_parameters()}
+        for key, value in module.state_dict().items():
+            if key not in parameter_keys:
+                state[f"{name}.{key}"] = value
+    return state
+
+
+def _apply_module_buffers(module, updates: dict[str, np.ndarray], prefix: str = "") -> None:
+    """Set only the buffer entries of ``updates`` on ``module``, recursively.
+
+    The targeted counterpart of :func:`_module_buffer_state` — parameters are
+    untouched (the parent's are authoritative), so merging worker buffers
+    costs a handful of small array copies instead of a full ``state_dict``
+    round-trip per module per epoch.
+    """
+    for key in module._buffers():
+        value = updates.get(f"{prefix}{key}")
+        if value is not None:
+            setattr(module, key, np.asarray(value).copy())
+    for child_name, child in module._modules.items():
+        _apply_module_buffers(child, updates, f"{prefix}{child_name}.")
+
+
+def _worker_main(
+    worker_index: int,
+    n_workers: int,
+    factory,
+    compute_dtype: str,
+    signature,
+    param_block_spec,
+    grad_block_spec,
+    command_queue,
+    result_queue,
+) -> None:
+    """Entry point of one gradient worker process."""
+    from repro.nn.tensor import Tensor, set_default_dtype
+
+    arenas: dict[str, SharedMemory] = {}
+    param_block = grad_block = None
+    try:
+        set_default_dtype(np.dtype(compute_dtype))
+        replica = factory(worker_index, n_workers)
+        layout = FlatLayout(replica.parameters())
+        if layout.signature() != signature:
+            raise RuntimeError(
+                f"worker {worker_index}: replica parameters do not match the "
+                f"parent layout ({len(layout.signature())} vs {len(signature)} slots)"
+            )
+        param_block = _SharedBlock(param_block_spec[1], create=False, name=param_block_spec[0])
+        grad_block = _SharedBlock(grad_block_spec[1], create=False, name=grad_block_spec[0])
+        seen_version = -1
+        result_queue.put((worker_index, "ready", None))
+        while True:
+            message = command_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "step":
+                _, version, encoded, arena_name = message
+                shm_buf = None
+                if arena_name is not None:
+                    arena = arenas.get(arena_name)
+                    if arena is None:
+                        # a new name supersedes this worker's one arena —
+                        # close the stale mapping so the parent's unlink can
+                        # actually reclaim the old segment's memory
+                        for stale in arenas.values():
+                            stale.close()
+                        arenas.clear()
+                        arena = SharedMemory(name=arena_name)
+                        arenas[arena_name] = arena
+                    shm_buf = arena.buf
+                if version != seen_version:  # params only move on optimizer steps
+                    layout.unpack_data(param_block.arrays)
+                    seen_version = version
+                batch = _decode_batch(encoded, shm_buf)
+                for param in layout.parameters:
+                    param.grad = None
+                losses = replica.batch_loss(batch)
+                if isinstance(losses, Tensor):
+                    losses = {"loss": losses}
+                losses["loss"].backward()
+                layout.pack_grads(grad_block.arrays)
+                logs = {
+                    key: float(value.item()) if isinstance(value, Tensor) else float(value)
+                    for key, value in losses.items()
+                }
+                result_queue.put((worker_index, "ok", logs))
+            elif kind == "buffers":
+                result_queue.put(
+                    (worker_index, "buffers", _module_buffer_state(replica.named_modules()))
+                )
+    except Exception:  # pragma: no cover - exercised via WorkerError tests
+        result_queue.put((worker_index, "error", traceback.format_exc()))
+    finally:
+        for arena in arenas.values():
+            arena.close()
+        if param_block is not None:
+            param_block.close(unlink=False)
+        if grad_block is not None:
+            grad_block.close(unlink=False)
+
+
+# --------------------------------------------------------------------------- #
+# parent-side pool
+# --------------------------------------------------------------------------- #
+class GradientWorkerPool:
+    """Persistent pool of sharded gradient workers (parent side).
+
+    Parameters
+    ----------
+    factory:
+        Picklable callable ``factory(worker_index, n_workers)`` returning a
+        replica object with ``parameters()``, ``batch_loss(batch)`` and
+        ``named_modules()`` (see ``TrainLoop.worker_factory``).
+    parameters:
+        The parent's parameters, in the same order the replica yields them.
+    n_workers:
+        Number of worker processes (must be >= 2; ``n_workers=1`` is the
+        sequential trainer path by contract).
+    compute_dtype:
+        Tensor default dtype installed in every worker (the trainer's
+        ``DtypePolicy.compute_dtype``), so shards compute in the same
+        precision as the sequential path.
+    """
+
+    def __init__(
+        self,
+        factory,
+        parameters,
+        *,
+        n_workers: int,
+        compute_dtype: str = "float64",
+        start_method: str = DEFAULT_START_METHOD,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if n_workers < 2:
+            raise ValueError(f"GradientWorkerPool needs n_workers >= 2, got {n_workers}")
+        try:
+            pickle.dumps(factory)
+        except Exception as error:
+            raise ValueError(
+                f"worker_factory must be picklable for spawn-based workers: {error}"
+            ) from error
+        self.n_workers = int(n_workers)
+        self.timeout = float(timeout)
+        self._layout = FlatLayout(parameters)
+        nbytes = self._layout.nbytes()
+        self._param_block = _SharedBlock(nbytes, create=True)
+        self._grad_blocks = [_SharedBlock(nbytes, create=True) for _ in range(self.n_workers)]
+        self._arenas = [_InputArena() for _ in range(self.n_workers)]
+        self._param_version = 0
+        self._closed = False
+        self._broken = False
+
+        context = get_context(start_method)
+        self._command_queues = [context.Queue() for _ in range(self.n_workers)]
+        self._result_queue = context.Queue()
+        signature = self._layout.signature()
+        self._processes = []
+        for index in range(self.n_workers):
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    self.n_workers,
+                    factory,
+                    compute_dtype,
+                    signature,
+                    (self._param_block.name, nbytes),
+                    (self._grad_blocks[index].name, nbytes),
+                    self._command_queues[index],
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._collect({index: "ready" for index in range(self.n_workers)})
+
+    # ----------------------------------------------------------------- plumbing
+    def _collect(self, expected: dict[int, str]) -> dict[int, object]:
+        """Gather one reply per expected worker, surfacing remote errors.
+
+        Any failure marks the pool *broken*: replies from workers that were
+        still in flight stay in the result queue, so a later ``step`` could
+        otherwise pair a stale gradient with a new batch.
+        """
+        import queue as queue_module
+
+        replies: dict[int, object] = {}
+        while len(replies) < len(expected):
+            try:
+                worker_index, kind, payload = self._result_queue.get(timeout=self.timeout)
+            except queue_module.Empty:
+                self._broken = True
+                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
+                raise WorkerError(
+                    f"timed out waiting for gradient workers (dead: {dead or 'none'})"
+                ) from None
+            if kind == "error":
+                self._broken = True
+                raise WorkerError(f"gradient worker {worker_index} failed:\n{payload}")
+            if kind != expected.get(worker_index):
+                self._broken = True
+                raise WorkerError(
+                    f"protocol error: worker {worker_index} sent {kind!r}, "
+                    f"expected {expected.get(worker_index)!r}"
+                )
+            replies[worker_index] = payload
+        return replies
+
+    # --------------------------------------------------------------------- step
+    def step(self, shards, *, accumulate: bool = False) -> dict[str, float]:
+        """Run one sharded forward/backward; deposit gradients on the parent.
+
+        ``shards`` is ``[(batch, weight), ...]`` from ``TrainLoop.
+        shard_batch`` (weights are shard sample counts).  Returns the
+        shard-weighted metric logs.  Gradients land in each parameter's
+        ``.grad`` — reduced in fixed worker order — ready for callbacks and
+        ``optimizer.step()`` exactly like a sequential backward.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._broken:
+            raise RuntimeError(
+                "worker pool is broken after a prior worker error; "
+                "close it and create a new pool"
+            )
+        shards = [(batch, float(weight)) for batch, weight in shards if weight > 0]
+        if not shards:
+            raise ValueError("step() requires at least one non-empty shard")
+        if len(shards) > self.n_workers:
+            raise ValueError(f"got {len(shards)} shards for {self.n_workers} workers")
+        if not accumulate:
+            # parameters only change at optimizer steps, so micro-batches
+            # inside an accumulation window reuse the last broadcast
+            self._layout.pack_data(self._param_block.arrays)
+            self._param_version += 1
+        for worker_index, (batch, _) in enumerate(shards):
+            arena = self._arenas[worker_index]
+            arena.ensure(_estimate_nbytes(batch))
+            arena.reset()
+            encoded = _encode_batch(batch, arena)
+            self._command_queues[worker_index].put(
+                ("step", self._param_version, encoded, arena.name)
+            )
+        replies = self._collect({index: "ok" for index in range(len(shards))})
+
+        total_weight = sum(weight for _, weight in shards)
+        weights = [weight / total_weight for _, weight in shards]
+        self._layout.reduce_grads(
+            [self._grad_blocks[index].arrays for index in range(len(shards))],
+            weights,
+            accumulate=accumulate,
+        )
+        logs: dict[str, float] = {}
+        for worker_index, weight in enumerate(weights):
+            for key, value in replies[worker_index].items():
+                logs[key] = logs.get(key, 0.0) + weight * value
+        return logs
+
+    # ------------------------------------------------------------------ buffers
+    def sync_module_buffers(self, named_modules: dict) -> None:
+        """Pull non-parameter module state (BN running stats) from worker 0.
+
+        Parameters are authoritative on the parent (it owns the optimizer);
+        running statistics are only updated by worker-side forwards, so they
+        are fetched from the first shard's replica — deterministic at a fixed
+        worker count — and merged into the parent modules before epoch-end
+        callbacks (checkpoints, serving) observe them.
+        """
+        if self._closed or self._broken:
+            return
+        self._command_queues[0].put(("buffers",))
+        payload = self._collect({0: "buffers"})[0]
+        for name, module in named_modules.items():
+            prefix = f"{name}."
+            updates = {
+                key[len(prefix) :]: value
+                for key, value in payload.items()
+                if key.startswith(prefix)
+            }
+            if updates:
+                _apply_module_buffers(module, updates)
+
+    # -------------------------------------------------------------------- close
+    def close(self) -> None:
+        """Stop the workers and release every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._command_queues:
+            try:
+                queue.put(("stop",))
+            except (ValueError, OSError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for queue in self._command_queues:
+            queue.close()
+        self._result_queue.close()
+        self._param_block.close(unlink=True)
+        for block in self._grad_blocks:
+            block.close(unlink=True)
+        for arena in self._arenas:
+            arena.close()
+
+    def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

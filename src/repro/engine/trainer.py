@@ -69,6 +69,19 @@ class Trainer:
     dtype_policy:
         The precision policy (see :class:`~repro.engine.state.DtypePolicy`),
         configured once here instead of per loop.
+    n_workers:
+        Sharded data-parallel training: with ``n_workers >= 2`` every batch
+        is split by ``loop.shard_batch`` across a persistent
+        :class:`~repro.engine.parallel.GradientWorkerPool` (the loop must
+        provide a ``worker_factory``); gradients are reduced in fixed worker
+        order before each optimizer step.  ``n_workers=1`` (default) is the
+        sequential path, bit-identical to previous releases.
+    worker_pool:
+        An already-running :class:`~repro.engine.parallel.GradientWorkerPool`
+        to borrow instead of spawning one per ``fit`` — estimators keep one
+        alive across fits so worker startup is paid once.  The caller owns
+        (and closes) a borrowed pool; a trainer-spawned one is closed when
+        ``fit`` returns.
     """
 
     def __init__(
@@ -82,10 +95,16 @@ class Trainer:
         rng: np.random.Generator | None = None,
         dtype_policy: DtypePolicy | None = None,
         state: TrainState | None = None,
+        n_workers: int = 1,
+        worker_pool=None,
     ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.loop = loop
         self.optimizer = optimizer
         self.scheduler = scheduler
+        self.n_workers = int(n_workers if worker_pool is None else worker_pool.n_workers)
+        self.worker_pool = worker_pool
         self.callbacks: list[Callback] = list(callbacks)
         self.rng = rng
         self.dtype_policy = dtype_policy or DtypePolicy()
@@ -176,7 +195,34 @@ class Trainer:
         with default_dtype(self.dtype_policy.np_compute_dtype):
             return self._fit(int(epochs))
 
+    def _make_worker_pool(self):
+        """Spin up the gradient worker pool for ``n_workers >= 2`` runs."""
+        from repro.engine.parallel import GradientWorkerPool
+
+        factory = self.loop.worker_factory()
+        if factory is None:
+            raise ValueError(
+                f"{type(self.loop).__name__} does not support sharded training "
+                "(worker_factory() returned None); use n_workers=1"
+            )
+        return GradientWorkerPool(
+            factory,
+            list(self.loop.parameters()),
+            n_workers=self.n_workers,
+            compute_dtype=self.dtype_policy.compute_dtype,
+        )
+
     def _fit(self, epochs: int) -> History:
+        if self.worker_pool is not None:  # borrowed: the owner closes it
+            return self._fit_epochs(int(epochs), self.worker_pool)
+        pool = self._make_worker_pool() if self.n_workers > 1 else None
+        try:
+            return self._fit_epochs(int(epochs), pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _fit_epochs(self, epochs: int, pool) -> History:
         accumulation = next(
             (cb.steps for cb in self.callbacks if isinstance(cb, GradAccumulation)), 1
         )
@@ -193,17 +239,23 @@ class Trainer:
             for batch in self.loop.make_batches(self.rng, epoch):
                 if micro == 0:
                     self.optimizer.zero_grad()
-                losses = self._normalize_losses(self.loop.batch_loss(batch))
-                losses["loss"].backward()
+                if pool is not None:
+                    logs = pool.step(
+                        self.loop.shard_batch(batch, pool.n_workers),
+                        accumulate=micro > 0,
+                    )
+                else:
+                    losses = self._normalize_losses(self.loop.batch_loss(batch))
+                    losses["loss"].backward()
+                    logs = {
+                        key: float(value.item()) if isinstance(value, Tensor) else float(value)
+                        for key, value in losses.items()
+                    }
                 micro += 1
                 self.state.batch += 1
                 if micro >= accumulation:
                     self._finish_step(accumulation, micro)
                     micro = 0
-                logs = {
-                    key: float(value.item()) if isinstance(value, Tensor) else float(value)
-                    for key, value in losses.items()
-                }
                 for key, value in logs.items():
                     totals[key] = totals.get(key, 0.0) + value
                 n_batches += 1
@@ -211,6 +263,11 @@ class Trainer:
                 if self.state.stop_training:
                     aborted = True
                     break
+            if pool is not None and n_batches:
+                # BN running stats only advance inside the workers; merge the
+                # first shard's before epoch-end callbacks (or, on a mid-epoch
+                # abort, the caller) observe the modules
+                pool.sync_module_buffers(self.loop.named_modules())
             if aborted:
                 break
             if micro > 0:  # leftover partial accumulation window still steps
@@ -273,6 +330,22 @@ class Trainer:
         """Restore trainer + loop state from a checkpoint written by
         :meth:`save_checkpoint` (without continuing training)."""
         from repro.api.bundle import BundleFormatError, load_bundle, sub_state
+
+        if self.n_workers > 1:
+            import warnings
+
+            # checkpoints snapshot the parent-side streams only; worker
+            # replicas restart their derived streams from position zero, so
+            # a sharded resume is deterministic but NOT bit-identical to the
+            # uninterrupted run (sequential resume keeps the full guarantee)
+            warnings.warn(
+                "resuming a sharded run (n_workers > 1): worker RNG streams "
+                "restart from their derived seeds, so the continued run is "
+                "not bit-identical to an uninterrupted one; resume with "
+                "n_workers=1 for the bit-exact guarantee",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         arrays, manifest = load_bundle(path)
         if manifest.get("kind") != CHECKPOINT_KIND:

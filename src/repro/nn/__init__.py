@@ -13,6 +13,8 @@ substrate the framework needs:
 * :mod:`~repro.nn.inference` — fused no-grad serving kernels: the
   :class:`~repro.nn.inference.Workspace` buffer arena, raw-array layer
   kernels and eval-time Conv→BatchNorm folding.
+* :mod:`~repro.nn.flat` — flat per-dtype parameter/gradient packing used by
+  the sharded data-parallel workers (:mod:`repro.engine.parallel`).
 * :mod:`~repro.nn.optim` — SGD, Adam and AdamW optimizers.
 * :mod:`~repro.nn.schedulers` — StepLR and cosine learning-rate schedules.
 * :mod:`~repro.nn.serialization` — ``state_dict`` save/load as ``.npz``.
@@ -22,6 +24,7 @@ model code reads like the original.
 """
 
 from repro.nn import functional, inference, init
+from repro.nn.flat import FlatLayout
 from repro.nn.inference import Workspace
 from repro.nn.layers import (
     GELU,
@@ -67,6 +70,7 @@ __all__ = [
     "inference",
     "init",
     "Workspace",
+    "FlatLayout",
     "Linear",
     "Conv1d",
     "Conv2d",

@@ -1,0 +1,134 @@
+"""Flat parameter/gradient packing for data-parallel training.
+
+The sharded gradient workers (:mod:`repro.engine.parallel`) broadcast
+parameters and reduce gradients through shared memory.  :class:`FlatLayout`
+maps an ordered parameter list onto **one contiguous 1-D buffer per dtype**
+(float32 parameters never round-trip through float64), so a broadcast is a
+single ``copyto`` per dtype into a shared segment and a reduction is a
+fixed-order ``scale * buffer`` accumulation over the workers' segments — no
+pickling, no per-parameter traffic.
+
+The layout is purely positional: parent and worker build it from the *same*
+``loop.parameters()`` order (both sides construct the identical module stack),
+and :meth:`FlatLayout.signature` lets the worker verify that assumption
+before training starts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class FlatLayout:
+    """Per-dtype contiguous layout over an ordered list of parameters.
+
+    Parameters
+    ----------
+    parameters:
+        The parameters, in the stable order both sides of a broadcast use
+        (e.g. ``list(loop.parameters())``).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("FlatLayout requires at least one parameter")
+        #: per-parameter (dtype_key, offset, size) slots, aligned with
+        #: :attr:`parameters`
+        self.slots: list[tuple[str, int, int]] = []
+        sizes: dict[str, int] = {}
+        for param in self.parameters:
+            key = np.dtype(param.data.dtype).name
+            offset = sizes.get(key, 0)
+            size = int(param.data.size)
+            self.slots.append((key, offset, size))
+            sizes[key] = offset + size
+        #: total element count per dtype name (e.g. ``{"float32": 12345}``)
+        self.sizes: dict[str, int] = sizes
+        # reusable reduction work buffers (allocated on first reduce_grads)
+        self._reduce_total: dict[str, np.ndarray] | None = None
+        self._reduce_scratch: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ shape
+    def signature(self) -> list[tuple[tuple[int, ...], str]]:
+        """Picklable per-parameter ``(shape, dtype)`` list for validation."""
+        return [
+            (tuple(param.data.shape), np.dtype(param.data.dtype).name)
+            for param in self.parameters
+        ]
+
+    def nbytes(self) -> dict[str, int]:
+        """Byte size of each per-dtype buffer."""
+        return {key: size * np.dtype(key).itemsize for key, size in self.sizes.items()}
+
+    def allocate(self) -> dict[str, np.ndarray]:
+        """Fresh (non-shared) per-dtype buffers, mainly for tests."""
+        return {key: np.zeros(size, dtype=key) for key, size in self.sizes.items()}
+
+    # ------------------------------------------------------------------- data
+    def pack_data(self, buffers: dict[str, np.ndarray]) -> None:
+        """Copy every parameter's values into the flat buffers."""
+        for param, (key, offset, size) in zip(self.parameters, self.slots):
+            buffers[key][offset : offset + size] = param.data.reshape(-1)
+
+    def unpack_data(self, buffers: dict[str, np.ndarray]) -> None:
+        """Copy the flat buffers back into the parameters, *in place*.
+
+        ``param.data`` keeps its identity (``np.copyto``), so optimizer moment
+        buffers and any views held elsewhere stay attached.
+        """
+        for param, (key, offset, size) in zip(self.parameters, self.slots):
+            np.copyto(param.data, buffers[key][offset : offset + size].reshape(param.data.shape))
+
+    # ------------------------------------------------------------------ grads
+    def pack_grads(self, buffers: dict[str, np.ndarray]) -> None:
+        """Copy every parameter's gradient into the flat buffers (None → 0)."""
+        for param, (key, offset, size) in zip(self.parameters, self.slots):
+            segment = buffers[key][offset : offset + size]
+            if param.grad is None:
+                segment[:] = 0.0
+            else:
+                segment[:] = param.grad.reshape(-1)
+
+    def reduce_grads(
+        self,
+        worker_buffers: Sequence[dict[str, np.ndarray]],
+        weights: Sequence[float],
+        *,
+        accumulate: bool = False,
+    ) -> None:
+        """Fixed-order weighted reduction of worker gradients into ``.grad``.
+
+        ``sum_w weights[w] * worker_buffers[w]`` is accumulated in ascending
+        worker order — the order is part of the determinism contract: floats
+        don't associate, so a fixed reduction order makes multi-worker runs
+        reproducible at a fixed worker count.  With ``accumulate`` the result
+        is *added* to any existing gradient (gradient-accumulation windows).
+        """
+        if len(worker_buffers) != len(weights):
+            raise ValueError("one weight per worker buffer set is required")
+        if self._reduce_total is None:
+            # lazily allocated once: this runs on every training step, so the
+            # accumulator and the per-worker scratch are reused across steps
+            self._reduce_total = self.allocate()
+            self._reduce_scratch = self.allocate()
+        totals = self._reduce_total
+        scratch = self._reduce_scratch
+        for key, size in self.sizes.items():
+            total = totals[key][:size]
+            total[:] = 0.0
+            for buffers, weight in zip(worker_buffers, weights):
+                np.multiply(buffers[key][:size], np.dtype(key).type(weight), out=scratch[key][:size])
+                total += scratch[key][:size]
+        for param, (key, offset, size) in zip(self.parameters, self.slots):
+            segment = totals[key][offset : offset + size].reshape(param.data.shape)
+            if accumulate and param.grad is not None:
+                param.grad = param.grad + segment
+            else:
+                # copy: `totals` is a reused buffer, but param.grad must own
+                # its data past the next reduction
+                param.grad = segment.copy()

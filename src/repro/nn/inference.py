@@ -34,6 +34,14 @@ from repro.nn import layers as L
 from repro.nn.functional import _avg_pool1d_data, _avg_pool2d_data
 from repro.nn.tensor import Tensor, default_dtype, no_grad
 
+#: serving micro-batch size the estimator configs and ``FineTuner`` default
+#: to (re-exported as ``repro.api.estimator.DEFAULT_SERVING_BATCH_SIZE``).
+#: Profiling for PR 5 (benchmarks/test_perf_inference.py) showed fused
+#: throughput is flat in the micro-batch size once the workspace is warm;
+#: 256 quarters the per-micro-batch dispatch overhead of the old 64 and
+#: hands threaded BLAS wider matmuls.
+DEFAULT_SERVING_BATCH_SIZE = 256
+
 
 class Workspace:
     """A reusable buffer arena for the fused inference path.

@@ -1,0 +1,204 @@
+"""Batched-vs-reference augmentation equivalence (PR 5).
+
+The vectorized ``_transform_batch`` kernels must be **bit-identical** to the
+per-sample ``_transform_sample`` loops under the same RNG stream — outputs
+*and* final generator state — because the engine's golden loss curves assert
+``==`` on floats.  These tests parametrize over every op registered in
+:data:`repro.api.registry.AUGMENTATIONS` (the bank vocabulary), plus the
+shape/NaN edge cases of the gather-based ops and the ``interp_batch`` kernel
+that underpins them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import AUGMENTATIONS
+from repro.augmentations import (
+    AugmentationBank,
+    Compose,
+    Jitter,
+    Scaling,
+    Slicing,
+    TimeWarp,
+    WindowWarp,
+    default_bank,
+    interp_batch,
+)
+from repro.augmentations.kernels import interp_uniform_batch
+
+REGISTERED = sorted(AUGMENTATIONS.names())
+
+
+def _pair(name_or_cls, seed=123, **kwargs):
+    """Two identically seeded instances: reference-path and batched-path."""
+    if isinstance(name_or_cls, str):
+        reference = AUGMENTATIONS.create(name_or_cls, seed=seed, **kwargs)
+        batched = AUGMENTATIONS.create(name_or_cls, seed=seed, **kwargs)
+    else:
+        reference = name_or_cls(seed=seed, **kwargs)
+        batched = name_or_cls(seed=seed, **kwargs)
+    reference.batched = False
+    batched.batched = True
+    return reference, batched
+
+
+def _assert_equivalent(reference, batched, X, calls=3):
+    """Outputs bit-identical and RNG streams aligned over repeated calls."""
+    for call in range(calls):
+        out_reference = reference(X)
+        out_batched = batched(X)
+        assert out_batched.dtype == X.dtype
+        np.testing.assert_array_equal(
+            out_reference,
+            out_batched,
+            err_msg=f"{type(reference).__name__} diverged on call {call}",
+        )
+        assert (
+            reference._rng.bit_generator.state == batched._rng.bit_generator.state
+        ), f"{type(reference).__name__} consumed a different stream on call {call}"
+
+
+@pytest.mark.parametrize("name", REGISTERED)
+class TestRegisteredOpEquivalence:
+    def test_batch_bit_identical_float64(self, name, rng):
+        _assert_equivalent(*_pair(name), rng.normal(size=(7, 3, 48)))
+
+    def test_batch_bit_identical_float32(self, name, rng):
+        X = rng.normal(size=(6, 2, 33)).astype(np.float32)
+        _assert_equivalent(*_pair(name), X)
+
+    def test_batch_bit_identical_single_sample_batch(self, name, rng):
+        _assert_equivalent(*_pair(name), rng.normal(size=(1, 2, 40)))
+
+    def test_batch_bit_identical_short_series(self, name, rng):
+        # T=7 exercises the window == 2 floors of Slicing / WindowWarp
+        _assert_equivalent(*_pair(name), rng.normal(size=(5, 1, 7)))
+
+    def test_batch_bit_identical_with_nans(self, name, rng):
+        X = rng.normal(size=(6, 2, 31))
+        X[0, 0, 3] = np.nan
+        X[2, 1, :5] = np.nan
+        X[5, :, -1] = np.nan
+        _assert_equivalent(*_pair(name), X)
+
+    def test_batched_flag_defaults_on(self, name):
+        assert AUGMENTATIONS.create(name, seed=0).batched is True
+
+
+class TestEdgeCases:
+    def test_slicing_degenerate_crop_keeps_stream(self, rng):
+        # crop_ratio=1.0 -> window == T: both paths copy, but must still
+        # consume one integers draw per sample
+        X = rng.normal(size=(4, 2, 20))
+        reference, batched = _pair(Slicing, crop_ratio=1.0)
+        _assert_equivalent(reference, batched, X)
+        np.testing.assert_array_equal(batched(X), X)
+
+    def test_window_warp_identity_scale_group(self, rng):
+        # a scale of exactly 1.0 makes the stitched length equal T (the
+        # resample short-circuits); mixed groups must still land in order
+        X = rng.normal(size=(8, 2, 30))
+        _assert_equivalent(*_pair(WindowWarp, scales=(0.5, 1.0, 2.0)), X)
+
+    def test_window_warp_full_window(self, rng):
+        X = rng.normal(size=(5, 1, 24))
+        _assert_equivalent(*_pair(WindowWarp, window_ratio=1.0), X)
+
+    def test_time_warp_many_knots(self, rng):
+        X = rng.normal(size=(4, 2, 50))
+        _assert_equivalent(*_pair(TimeWarp, n_knots=12, strength=0.5), X)
+
+    def test_compose_runs_reference_loop(self, rng):
+        # Compose interleaves the children's draws per sample, so its batched
+        # path is defined as the reference loop: identical streams either way
+        X = rng.normal(size=(5, 2, 32))
+        make = lambda: Compose(
+            [Jitter(sigma=0.05), Scaling(sigma=0.1), TimeWarp()], seed=7
+        )
+        reference, batched = make(), make()
+        reference.batched = False
+        np.testing.assert_array_equal(reference(X), batched(X))
+
+    def test_integer_input_promoted_to_default_dtype(self):
+        from repro.nn.tensor import default_dtype
+
+        X = np.arange(2 * 24, dtype=np.int64).reshape(1, 2, 24)
+        assert Jitter(seed=0)(X).dtype == np.float64
+        with default_dtype(np.float32):
+            assert Jitter(seed=0)(X).dtype == np.float32
+
+    def test_float32_not_upcast(self, rng):
+        X = rng.normal(size=(3, 2, 16)).astype(np.float32)
+        for name in REGISTERED:
+            out = AUGMENTATIONS.create(name, seed=0)(X)
+            assert out.dtype == np.float32, name
+
+
+class TestBankEquivalence:
+    def test_two_views_bit_identical(self, rng):
+        X = rng.normal(size=(6, 1, 40))
+        reference = default_bank(seed=5).set_batched(False)
+        batched = default_bank(seed=5).set_batched(True)
+        for _ in range(2):
+            for side_a, side_b in zip(reference.two_views(X), batched.two_views(X)):
+                np.testing.assert_array_equal(side_a, side_b)
+
+    def test_augment_batch_preserves_dtype(self, rng):
+        X = rng.normal(size=(4, 1, 32)).astype(np.float32)
+        views = default_bank(seed=0).augment_batch(X)
+        assert views.dtype == np.float32
+        assert views.shape == (5, 4, 1, 32)
+
+    def test_set_batched_returns_bank(self):
+        bank = default_bank(seed=0)
+        assert isinstance(bank.set_batched(False), AugmentationBank)
+        assert all(not augmentation.batched for augmentation in bank)
+
+
+class TestInterpKernel:
+    """``interp_batch`` fuzzed for bit-identity against ``np.interp``."""
+
+    @pytest.mark.parametrize("with_nans", [False, True])
+    def test_matches_np_interp(self, rng, with_nans):
+        for _ in range(60):
+            n_in = int(rng.integers(2, 30))
+            n_out = int(rng.integers(2, 50))
+            xp = np.sort(rng.normal(size=n_in))
+            if len(np.unique(xp)) != n_in:
+                continue
+            fp = rng.normal(size=(3, n_in))
+            if with_nans:
+                fp[0, rng.integers(0, n_in)] = np.nan
+            x = rng.normal(size=n_out) * 1.5
+            # force exact hits, including both endpoints
+            x[0], x[-1] = xp[0], xp[-1]
+            if n_out > 2:
+                x[1] = xp[int(rng.integers(0, n_in))]
+            got = interp_batch(x, xp, fp)
+            for row in range(fp.shape[0]):
+                np.testing.assert_array_equal(got[row], np.interp(x, xp, fp[row]))
+
+    def test_uniform_plan_matches_generic(self, rng):
+        for n_in, n_out in [(2, 9), (24, 96), (29, 10), (96, 96)]:
+            fp = rng.normal(size=(4, 2, n_in))
+            fp[0, 0, 0] = np.nan
+            expected = interp_batch(
+                np.linspace(0.0, 1.0, n_out), np.linspace(0.0, 1.0, n_in), fp
+            )
+            np.testing.assert_array_equal(interp_uniform_batch(fp, n_out), expected)
+
+    def test_rejects_scalar_xp(self):
+        with pytest.raises(ValueError):
+            interp_batch([0.5], [1.0], [[2.0]])
+
+    def test_broadcasts_query_over_rows(self, rng):
+        xp = np.linspace(0.0, 1.0, 8)
+        fp = rng.normal(size=(5, 3, 8))
+        x = rng.uniform(0, 1, size=(5, 1, 11))  # per-sample grids, shared across M
+        got = interp_batch(x, xp, fp)
+        assert got.shape == (5, 3, 11)
+        for b in range(5):
+            for m in range(3):
+                np.testing.assert_array_equal(got[b, m], np.interp(x[b, 0], xp, fp[b, m]))

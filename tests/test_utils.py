@@ -96,3 +96,49 @@ class TestResultTable:
         table = ResultTable(["a"])
         table.add_row([1])
         assert str(table) == table.render()
+
+
+class TestBenchReport:
+    """The BENCH_*.json trajectory report (repro.utils.bench_report)."""
+
+    def _write(self, tmp_path, name, records):
+        import json
+
+        (tmp_path / name).write_text(json.dumps(records))
+
+    def test_report_tracks_trajectory_and_delta(self, tmp_path):
+        from repro.utils.bench_report import build_report
+
+        self._write(
+            tmp_path,
+            "BENCH_training.json",
+            [
+                {"benchmark": "engine_pretrain", "samples_per_sec": 100.0},
+                {"benchmark": "engine_pretrain", "samples_per_sec": 200.0},
+                {"benchmark": "engine_pretrain", "samples_per_sec": 300.0},
+            ],
+        )
+        report = build_report(tmp_path)
+        assert "engine_pretrain" in report
+        assert "3.00x" in report  # overall 100 -> 300
+        assert "+50.0%" in report  # latest vs previous 200 -> 300
+
+    def test_missing_and_broken_files_do_not_raise(self, tmp_path):
+        from repro.utils.bench_report import build_report
+
+        (tmp_path / "BENCH_imaging.json").write_text("{not json")
+        report = build_report(tmp_path)
+        assert "no measurements recorded yet" in report
+        assert "unreadable" in report
+
+    def test_main_prints_report(self, tmp_path, capsys):
+        from repro.utils.bench_report import main
+
+        self._write(
+            tmp_path,
+            "BENCH_inference.json",
+            [{"benchmark": "predict_fused", "fused_speedup": 1.5}],
+        )
+        assert main(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "predict_fused" in out and "fused_speedup" in out
