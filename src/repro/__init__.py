@@ -24,7 +24,7 @@ Quick start
 """
 
 from repro.core import AimTS, AimTSConfig, FineTuneConfig
-from repro.api import estimator_names, load_estimator, make_estimator
+from repro.api import estimator_names, load_estimator, make_estimator, serve
 
 __version__ = "1.1.0"
 
@@ -35,5 +35,6 @@ __all__ = [
     "make_estimator",
     "load_estimator",
     "estimator_names",
+    "serve",
     "__version__",
 ]

@@ -15,6 +15,10 @@ comparison baselines interchangeable:
   originating config, label map, fine-tuned classifier, ...), loadable back
   into a fresh estimator with :func:`~repro.api.registry.load_estimator`.
 
+On top of those, :func:`serve` turns a saved bundle into a running
+:class:`repro.serving.ModelServer` — the micro-batching front door over the
+fused inference path.
+
 >>> from repro.api import make_estimator, estimator_names
 >>> sorted(estimator_names())  # doctest: +ELLIPSIS
 ['aimts', ...]
@@ -39,6 +43,28 @@ from repro.api.registry import (
     make_estimator,
 )
 
+
+def serve(path, *, eval_mode: bool = True, start: bool = True, **server_kwargs):
+    """Load a bundle checkpoint and stand up a micro-batching model server.
+
+    Convenience over :meth:`repro.serving.ModelServer.from_bundle`: the
+    bundle at ``path`` is loaded with ``eval_mode`` Conv→BN folding (on by
+    default) and wrapped in a started server — use it as a context manager
+    so it drains and shuts down cleanly::
+
+        with serve("model.npz", max_wait_ms=2.0) as server:
+            label = server.submit(sample).result()
+
+    ``server_kwargs`` are forwarded to the ``ModelServer`` constructor
+    (``max_batch``, ``max_wait_ms``, ``n_workers``, ...).  Pass
+    ``start=False`` to get an unstarted server.
+    """
+    from repro.serving import ModelServer
+
+    server = ModelServer.from_bundle(path, eval_mode=eval_mode, **server_kwargs)
+    return server.start() if start else server
+
+
 __all__ = [
     "Estimator",
     "FineTunedPredictorMixin",
@@ -50,6 +76,7 @@ __all__ = [
     "make_estimator",
     "load_estimator",
     "estimator_names",
+    "serve",
     "save_bundle",
     "load_bundle",
     "peek_manifest",

@@ -194,13 +194,47 @@ def estimator_names() -> list[str]:
     return ESTIMATORS.names()
 
 
-def load_estimator(path: str | os.PathLike):
+def _fold_targets(estimator) -> list:
+    """Modules of ``estimator`` that eval-mode Conv→BN folding applies to.
+
+    Duck-typed over the repo's estimator families: the AimTS facade exposes a
+    ``pretrainer`` with ``_trainable_modules()``, the neural baselines expose
+    ``encoder`` / ``projection``, and any fitted estimator carries a
+    fine-tuner with its own encoder + classifier.  Estimators without neural
+    modules (Rocket, LinearClassifier) simply contribute nothing.
+    """
+    from repro.nn.module import Module
+
+    targets: list = []
+    pretrainer = getattr(estimator, "pretrainer", None)
+    if pretrainer is not None and hasattr(pretrainer, "_trainable_modules"):
+        targets.extend(pretrainer._trainable_modules())
+    for attribute in ("encoder", "projection"):
+        module = getattr(estimator, attribute, None)
+        if isinstance(module, Module):
+            targets.append(module)
+    finetuner = getattr(estimator, "_finetuner", None)
+    if finetuner is not None:
+        for module in (finetuner.encoder, finetuner.classifier):
+            if isinstance(module, Module):
+                targets.append(module)
+    return targets
+
+
+def load_estimator(path: str | os.PathLike, *, eval_mode: bool = False):
     """Reconstruct a fully working estimator from a bundle checkpoint.
 
     Reads the bundle manifest, rebuilds the estimator from the registry using
     the originating config stored in it, then loads all weights — including a
     fine-tuned classifier when present, so ``load_estimator(p).predict(X)``
     works with no further calls.
+
+    ``eval_mode=True`` additionally prepares the estimator for serving: every
+    eval-time Conv→BatchNorm pair is folded **once at load time** (see
+    :func:`repro.nn.inference.fold_batchnorms`) instead of on every
+    ``predict`` call.  The folded estimator predicts identically but must not
+    be trained further or re-saved — the bundle file stays the source of
+    truth (``repro.serving.ModelServer.reload`` re-loads from the path).
     """
     arrays, manifest = load_bundle(path)
     name = manifest.get("estimator")
@@ -220,4 +254,12 @@ def load_estimator(path: str | os.PathLike):
         estimator._load_from_state(arrays, manifest)
     else:  # pragma: no cover - third-party estimators without the fast path
         estimator.load(path)
+    if eval_mode:
+        from repro.nn.inference import fold_batchnorms
+
+        folded = 0
+        for module in _fold_targets(estimator):
+            module.eval()
+            folded += fold_batchnorms(module)
+        estimator._bn_folded = folded
     return estimator

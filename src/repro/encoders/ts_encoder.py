@@ -170,9 +170,11 @@ class TSEncoder(nn.Module):
 
         Serving entry point: no Tensor wrappers, no autograd bookkeeping, and
         with a :class:`~repro.nn.inference.Workspace` all intermediate
-        buffers are reused across calls.  Bit-identical to the eval-mode
-        autograd forward (the trunk has no dropout or batch norm), and runs
-        in the encoder's parameter dtype regardless of the input dtype.
+        buffers are reused across calls.  Matches the eval-mode autograd
+        forward (the trunk has no dropout or batch norm) up to the
+        batch-invariant linear head (<= 1 ulp), and a sample's representation
+        is bitwise independent of its batch composition.  Runs in the
+        encoder's parameter dtype regardless of the input dtype.
         """
         x = np.asarray(x, dtype=self.head.weight.data.dtype)
         if x.ndim == 2:
@@ -196,7 +198,9 @@ class TSEncoder(nn.Module):
         for index, block in enumerate(self.blocks):
             hidden = block.infer(hidden, workspace=workspace, tag=f"block{index}")
         pooled = hidden.sum(axis=2) * (1.0 / hidden.shape[2])  # (N, hidden)
-        encoded = pooled @ self.head.weight.data.T + self.head.bias.data
+        # batch-invariant linear head: a sample's representation must not
+        # depend on how many neighbours shared its (micro-)batch
+        encoded = NI.linear_forward(pooled, self.head)
         if not self.channel_independent:
             return encoded
         encoded = encoded.reshape(batch, n_variables, self.repr_dim)

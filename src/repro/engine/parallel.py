@@ -31,6 +31,7 @@ Determinism contract
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import traceback
 from multiprocessing import get_context
@@ -91,14 +92,19 @@ class _SharedBlock:
             pass
 
 
-class _InputArena:
-    """A per-worker byte arena batch arrays are written into (parent side).
+class InputArena:
+    """A byte arena batch arrays are written into (writer side).
 
     Arrays travel as ``(offset, dtype, shape)`` descriptors in the step
     message; the worker maps them back as views on its attached segment.  A
     batch larger than the arena (only possible if later batches exceed the
     first, which sizing with ``growth`` head-room avoids) falls back to
     pickling those arrays through the queue — correct, just slower.
+
+    The arena is transport-agnostic: the gradient workers attach to it across
+    a process boundary by segment ``name``, while same-process readers (e.g.
+    the serving micro-batcher, :mod:`repro.serving`) map descriptors straight
+    back through :meth:`view` — zero-copy either way.
     """
 
     def __init__(self, growth: float = 1.5):
@@ -132,6 +138,20 @@ class _InputArena:
         self._cursor = offset + array.nbytes
         return (offset, array.dtype.name, tuple(array.shape))
 
+    def view(self, descriptor) -> np.ndarray:
+        """Map a :meth:`write` descriptor back to an array view (same process).
+
+        The returned array aliases the arena segment: it stays valid until the
+        arena is :meth:`reset` (and rewritten) or closed.  Descriptors from
+        consecutive ``write`` calls are laid out back to back, so a descriptor
+        whose shape is extended by a leading batch axis views all of them at
+        once — the serving path's zero-copy batch assembly.
+        """
+        if self._shm is None:
+            raise ValueError("arena holds no segment; write() something first")
+        offset, dtype, shape = descriptor
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+
     def close(self) -> None:
         if self._shm is not None:
             try:
@@ -142,7 +162,11 @@ class _InputArena:
             self._shm = None
 
 
-def _encode_batch(batch, arena: _InputArena | None):
+#: backwards-compatible private alias (the arena predates its public name)
+_InputArena = InputArena
+
+
+def _encode_batch(batch, arena: InputArena | None):
     """Replace ndarrays in a (possibly nested) batch with arena descriptors."""
     if isinstance(batch, np.ndarray):
         descriptor = arena.write(batch) if arena is not None else None
@@ -338,7 +362,7 @@ class GradientWorkerPool:
         nbytes = self._layout.nbytes()
         self._param_block = _SharedBlock(nbytes, create=True)
         self._grad_blocks = [_SharedBlock(nbytes, create=True) for _ in range(self.n_workers)]
-        self._arenas = [_InputArena() for _ in range(self.n_workers)]
+        self._arenas = [InputArena() for _ in range(self.n_workers)]
         self._param_version = 0
         self._closed = False
         self._broken = False
@@ -367,6 +391,10 @@ class GradientWorkerPool:
             process.start()
             self._processes.append(process)
         self._collect({index: "ready" for index in range(self.n_workers)})
+        # an abandoned pool (estimator dropped without shutdown_workers())
+        # must never leave the interpreter hanging on live worker processes
+        # or queue feeder threads; close() unregisters this again
+        atexit.register(self.close)
 
     # ----------------------------------------------------------------- plumbing
     def _collect(self, expected: dict[int, str]) -> dict[int, object]:
@@ -476,10 +504,15 @@ class GradientWorkerPool:
 
     # -------------------------------------------------------------------- close
     def close(self) -> None:
-        """Stop the workers and release every shared-memory segment."""
+        """Stop the workers and release every shared-memory segment.
+
+        Idempotent: a second call (or a call racing interpreter shutdown) is
+        a silent no-op.
+        """
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         for queue in self._command_queues:
             try:
                 queue.put(("stop",))

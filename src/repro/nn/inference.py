@@ -10,8 +10,11 @@ through:
   inputs and convolution outputs.
 * :func:`conv1d_forward` / :func:`conv2d_forward` / :func:`linear_forward` —
   raw-``ndarray`` layer kernels (no Tensor wrappers, no backward closures)
-  that compute exactly the same arithmetic as the autograd forward, so the
-  fused path is bit-identical to an eval-mode Tensor forward in float64.
+  computing the same arithmetic as the autograd forward.  The linear kernel
+  is additionally **batch-invariant** (row-wise compute), so a sample's
+  fused result never depends on how many neighbours shared its batch — the
+  property ``repro.serving`` needs for micro-batched responses bit-identical
+  to direct ``predict``; vs. the autograd gemm it differs by <= 1 ulp.
 * :func:`fold_conv_bn` — batch-norm folding: at eval time a BN layer is an
   affine transform per channel, which folds into the preceding convolution's
   weights (``w' = w * gamma/sqrt(var+eps)``), removing the BN pass entirely.
@@ -89,8 +92,26 @@ def _buffer(workspace: Workspace | None, tag: str, shape, dtype) -> np.ndarray:
 # Layer kernels
 # --------------------------------------------------------------------------- #
 def linear_forward(x: np.ndarray, layer: L.Linear) -> np.ndarray:
-    """``x W^T + b`` on raw arrays; always allocates a fresh output."""
-    out = x @ layer.weight.data.T
+    """``x W^T + b`` on raw arrays; always allocates a fresh output.
+
+    2-D inputs are computed row by row (gemv): a full-batch gemm picks its
+    kernel — and therefore its accumulation order — from the row count, so a
+    sample's output would depend on how many neighbours shared its batch.
+    Row-wise compute makes every sample's result independent of batch
+    composition, which the serving micro-batcher (:mod:`repro.serving`)
+    relies on for responses bit-identical under any coalescing.  Higher-rank
+    inputs keep the batched matmul: each leading slice is its own fixed-shape
+    gemm, already composition-independent.
+    """
+    weight_t = layer.weight.data.T
+    if x.ndim == 2:
+        out = np.empty(
+            (x.shape[0], weight_t.shape[1]), dtype=np.result_type(x, weight_t)
+        )
+        for index in range(x.shape[0]):
+            np.matmul(x[index], weight_t, out=out[index])
+    else:
+        out = x @ weight_t
     if layer.bias is not None:
         out += layer.bias.data
     return out
@@ -197,6 +218,53 @@ def fold_conv_bn(conv: L.Conv1d | L.Conv2d, bn: L.BatchNorm1d | L.BatchNorm2d):
     bias = (bias - bn.running_mean) * scale + bn.bias.data
     dtype = conv.weight.data.dtype
     return weight.astype(dtype, copy=False), bias.astype(dtype, copy=False)
+
+
+def fold_batchnorms(module: L.Module) -> int:
+    """Bake Conv→BN folding into ``module`` in place; returns pairs folded.
+
+    Walks every :class:`~repro.nn.layers.Sequential` container reachable from
+    ``module`` and, for each ``Conv1d → BatchNorm1d`` / ``Conv2d →
+    BatchNorm2d`` pair, overwrites the convolution's weights with the folded
+    values of :func:`fold_conv_bn` (creating a bias parameter when the
+    convolution had none) and replaces the batch norm with
+    :class:`~repro.nn.layers.Identity`.  The folded module computes exactly
+    what the fused inference path computed by folding per call — but the
+    O(parameters) fold now happens once instead of on every ``predict``.
+
+    Eval-time only: the folded module no longer tracks batch statistics and
+    its ``state_dict`` has the folded layout (no BN entries), so it must not
+    be trained further or re-saved as a bundle — use it for serving
+    (``load_estimator(path, eval_mode=True)``) and keep the original bundle
+    file as the source of truth.
+    """
+    from repro.nn.module import Parameter
+
+    folded = 0
+    for child in module.modules():
+        if not isinstance(child, L.Sequential):
+            continue
+        names = list(child._order)
+        for index, name in enumerate(names[:-1]):
+            layer = child._modules[name]
+            successor = child._modules[names[index + 1]]
+            pair = (
+                isinstance(layer, L.Conv1d) and isinstance(successor, L.BatchNorm1d)
+            ) or (isinstance(layer, L.Conv2d) and isinstance(successor, L.BatchNorm2d))
+            if not pair:
+                continue
+            weight, bias = fold_conv_bn(layer, successor)
+            layer.weight.data = weight
+            if layer.bias is None:
+                # pin the new parameter to the conv's dtype, not the ambient
+                # default (a float32 model must stay float32 after folding)
+                with default_dtype(weight.dtype):
+                    layer.bias = Parameter(bias)
+            else:
+                layer.bias.data = bias
+            child.register_module(names[index + 1], L.Identity())
+            folded += 1
+    return folded
 
 
 def _batchnorm_eval(x: np.ndarray, bn: L.BatchNorm1d | L.BatchNorm2d) -> np.ndarray:

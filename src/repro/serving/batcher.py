@@ -1,0 +1,192 @@
+"""Dynamic micro-batching: coalesce concurrent requests into fused batches.
+
+The scheduler keeps one pending group per ``(op group, sample shape, dtype)``
+key, so a flushed batch is always homogeneous and stacks into a single fused
+call.  A group flushes on whichever trigger fires first:
+
+* **size** — the group reaches ``max_batch`` (sealed by the submitting
+  thread itself, no scheduler hop), or
+* **deadline** — ``max_wait_s`` elapsed since the group's *first* request
+  (sealed by a worker waking from a timed wait), so a lone request is never
+  stranded waiting for company.
+
+``close()`` drains every pending group into the ready queue before waking
+the workers, so accepted requests are always answered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serving.stats import ServerStats
+from repro.serving.transport import SlabPool
+
+
+class Request:
+    """One accepted request: its payload handle plus the caller's future."""
+
+    __slots__ = ("op", "descriptor", "array", "future", "submitted_at")
+
+    def __init__(self, op: str, descriptor, array, submitted_at: float):
+        self.op = op
+        self.descriptor = descriptor  # slab descriptor (zero-copy path) ...
+        self.array = array  # ... or a private copy (fallback path)
+        self.future: Future = Future()
+        self.submitted_at = submitted_at
+
+
+class MicroBatch:
+    """A sealed, homogeneous batch ready for one fused estimator call."""
+
+    __slots__ = ("key", "requests", "slab", "trigger")
+
+    def __init__(self, key, requests, slab, trigger: str):
+        self.key = key
+        self.requests = requests
+        self.slab = slab
+        self.trigger = trigger  # "size" | "deadline" | "drain"
+
+    @property
+    def group(self) -> str:
+        return self.key[0]
+
+    def materialize(self) -> np.ndarray:
+        """The ``(batch, ...)`` input array — a slab view when possible."""
+        if self.slab is not None:
+            descriptors = [request.descriptor for request in self.requests]
+            if all(descriptor is not None for descriptor in descriptors):
+                batch = self.slab.batch_view(descriptors)
+                if batch is not None:
+                    return batch
+            parts = [
+                self.slab.view(request.descriptor)
+                if request.descriptor is not None
+                else request.array
+                for request in self.requests
+            ]
+        else:
+            parts = [request.array for request in self.requests]
+        return np.stack(parts)
+
+    def release(self, pool: SlabPool | None) -> None:
+        """Return the slab to the pool once the fused call has consumed it."""
+        if self.slab is not None and pool is not None:
+            pool.release(self.slab)
+        self.slab = None
+
+
+class _Group:
+    __slots__ = ("requests", "slab", "deadline")
+
+    def __init__(self):
+        self.requests: list[Request] = []
+        self.slab = None
+        self.deadline = 0.0
+
+
+class MicroBatcher:
+    """Group-keyed pending queues with size/deadline/drain flush triggers."""
+
+    def __init__(
+        self,
+        *,
+        max_batch: int,
+        max_wait_s: float,
+        slab_pool: SlabPool | None = None,
+        stats: ServerStats | None = None,
+        clock=time.perf_counter,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._pool = slab_pool
+        self.stats = stats if stats is not None else ServerStats()
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._groups: dict[tuple, _Group] = {}
+        self._ready: deque[MicroBatch] = deque()
+        self._closed = False
+
+    def submit(self, key: tuple, op: str, sample: np.ndarray) -> Request:
+        """Enqueue one sample under ``key``; returns the pending request."""
+        now = self._clock()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed; no new requests accepted")
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _Group()
+            if group.slab is None and self._pool is not None:
+                group.slab = self._pool.try_acquire()
+            descriptor = None
+            if group.slab is not None:
+                descriptor = group.slab.append(sample, capacity_samples=self.max_batch)
+            request = Request(op, descriptor, None, now)
+            if descriptor is None:
+                request.array = np.ascontiguousarray(sample).copy()
+                self.stats.increment("fallback_requests")
+            group.requests.append(request)
+            if len(group.requests) == 1:
+                group.deadline = now + self.max_wait_s
+            self.stats.increment("requests")
+            self.stats.observe_max("pending", self.pending_count())
+            if len(group.requests) >= self.max_batch:
+                self._seal(key, "size")
+            self._cond.notify()
+        return request
+
+    def pending_count(self) -> int:
+        """Requests accepted but not yet handed to a worker (caller holds lock
+        or tolerates a racy read)."""
+        queued = sum(len(group.requests) for group in self._groups.values())
+        ready = sum(len(batch.requests) for batch in self._ready)
+        return queued + ready
+
+    def _seal(self, key: tuple, trigger: str) -> None:
+        group = self._groups.pop(key)
+        batch = MicroBatch(key, group.requests, group.slab, trigger)
+        self._ready.append(batch)
+        self.stats.increment("batches")
+        self.stats.increment(f"{trigger}_flushes")
+        self.stats.increment("batched_samples", len(batch.requests))
+
+    def next_batch(self) -> MicroBatch | None:
+        """Block until a batch is ready; ``None`` means closed and drained.
+
+        Workers park here: a ready batch is handed over immediately, else the
+        worker waits until the earliest group deadline (sealing it itself on
+        expiry) or a submit/close notification, whichever comes first.
+        """
+        with self._cond:
+            while True:
+                if self._ready:
+                    return self._ready.popleft()
+                if self._closed and not self._groups:
+                    return None
+                wait_for = None
+                if self._groups:
+                    due_key = min(self._groups, key=lambda k: self._groups[k].deadline)
+                    remaining = self._groups[due_key].deadline - self._clock()
+                    if remaining <= 0:
+                        self._seal(due_key, "deadline")
+                        continue
+                    wait_for = remaining
+                self._cond.wait(wait_for)
+
+    def close(self) -> None:
+        """Stop accepting requests and drain pending groups to the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for key in list(self._groups):
+                self._seal(key, "drain")
+            self._cond.notify_all()

@@ -1,0 +1,154 @@
+"""Open-loop load generation for the serving benchmarks.
+
+Open loop means requests are *scheduled* at a fixed offered rate regardless
+of how fast responses come back — the realistic regime for a server facing
+independent clients.  Latency is measured from each request's scheduled send
+time to its completion, so queueing delay (including generator lag when the
+server pushes back) is charged to the server, not hidden.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serving.stats import LatencySummary
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run against a :class:`ModelServer`."""
+
+    op: str
+    offered_rps: float
+    duration_s: float
+    n_requests: int
+    n_completed: int
+    n_errors: int
+    achieved_rps: float
+    latency: LatencySummary
+
+    def as_record(self) -> dict:
+        """Flat dict for ``BENCH_serving.json`` records."""
+        record = {
+            "op": self.op,
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_errors": self.n_errors,
+            "requests_per_sec": self.achieved_rps,
+        }
+        record.update(self.latency.as_record())
+        return record
+
+
+def run_open_loop(
+    server,
+    samples,
+    *,
+    rate_rps: float,
+    duration_s: float,
+    op: str = "predict",
+    n_submitters: int = 2,
+    timeout_s: float = 120.0,
+) -> LoadReport:
+    """Offer single-sample requests at ``rate_rps`` for ``duration_s`` seconds.
+
+    ``samples`` is a sequence of ``(n_variables, length)`` arrays cycled
+    round-robin.  ``n_submitters`` threads share the schedule, so the offered
+    rate holds even when a single ``submit`` call occasionally blocks.
+    Returns a :class:`LoadReport` with sustained requests/s (completions over
+    makespan) and the open-loop latency digest.
+    """
+    n_requests = max(1, int(rate_rps * duration_s))
+    send_gap = 1.0 / rate_rps
+    latencies: list[float | None] = [None] * n_requests
+    lock = threading.Lock()
+    state = {"errors": 0, "remaining": n_requests, "last_done": 0.0}
+    all_done = threading.Event()
+    ticket = itertools.count()
+    start = time.perf_counter() + 0.005  # small lead so ticket 0 isn't already late
+
+    def _completion(index: int, scheduled: float):
+        def callback(future) -> None:
+            done = time.perf_counter()
+            failed = future.cancelled() or future.exception() is not None
+            with lock:
+                if failed:
+                    state["errors"] += 1
+                else:
+                    latencies[index] = done - scheduled
+                state["last_done"] = max(state["last_done"], done)
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    all_done.set()
+
+        return callback
+
+    def _submitter() -> None:
+        while True:
+            index = next(ticket)
+            if index >= n_requests:
+                return
+            scheduled = start + index * send_gap
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                future = server.submit(samples[index % len(samples)], op=op)
+            except Exception:
+                with lock:
+                    state["errors"] += 1
+                    state["last_done"] = max(state["last_done"], time.perf_counter())
+                    state["remaining"] -= 1
+                    if state["remaining"] == 0:
+                        all_done.set()
+                continue
+            future.add_done_callback(_completion(index, scheduled))
+
+    threads = [
+        threading.Thread(target=_submitter, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, n_submitters))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    all_done.wait(timeout=timeout_s)
+
+    with lock:
+        n_errors = state["errors"]
+        last_done = state["last_done"]
+        n_completed = sum(1 for value in latencies if value is not None)
+    makespan = max(last_done - start, 1e-9)
+    return LoadReport(
+        op=op,
+        offered_rps=float(rate_rps),
+        duration_s=float(duration_s),
+        n_requests=n_requests,
+        n_completed=n_completed,
+        n_errors=n_errors,
+        achieved_rps=n_completed / makespan,
+        latency=LatencySummary.from_seconds(latencies),
+    )
+
+
+def serial_baseline(predict_one, samples, *, duration_s: float = 1.0) -> float:
+    """Requests/s of one-at-a-time closed-loop calls to ``predict_one``.
+
+    The comparison floor for the micro-batching speedup gate: each sample is
+    submitted alone and the next waits for the previous response.
+    """
+    predict_one(samples[0])  # warmup outside the timed window
+    start = time.perf_counter()
+    completed = 0
+    while True:
+        elapsed = time.perf_counter() - start
+        if elapsed >= duration_s and completed > 0:
+            break
+        predict_one(samples[completed % len(samples)])
+        completed += 1
+    return completed / (time.perf_counter() - start)

@@ -1,0 +1,81 @@
+"""Serving-side counters and latency statistics.
+
+Two small pieces shared by the server, the micro-batcher and the load
+generator: :class:`ServerStats`, a thread-safe counter bag the serving
+pipeline increments from submitter and worker threads alike, and
+:class:`LatencySummary`, the percentile digest the open-loop benchmarks
+record into ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ServerStats:
+    """Thread-safe counters and high-water marks of one serving pipeline."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._maxima: dict[str, float] = {}
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name``."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + int(n)
+
+    def observe_max(self, name: str, value: float) -> None:
+        """Track the high-water mark of gauge ``name``."""
+        with self._lock:
+            if value > self._maxima.get(name, float("-inf")):
+                self._maxima[name] = value
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A consistent copy of every counter and high-water mark."""
+        with self._lock:
+            return {**self._counts, **{f"max_{k}": v for k, v in self._maxima.items()}}
+
+
+@dataclass
+class LatencySummary:
+    """Percentile digest of a set of request latencies (milliseconds)."""
+
+    n: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, seconds) -> "LatencySummary":
+        """Summarise latencies given in seconds; ``None`` entries are skipped."""
+        values = np.asarray([s for s in seconds if s is not None], dtype=np.float64)
+        if values.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        ms = values * 1e3
+        return cls(
+            n=int(ms.size),
+            mean_ms=float(ms.mean()),
+            p50_ms=float(np.percentile(ms, 50)),
+            p99_ms=float(np.percentile(ms, 99)),
+            max_ms=float(ms.max()),
+        )
+
+    def as_record(self, prefix: str = "") -> dict:
+        """Flat dict of the digest, keys prefixed (for ``BENCH_serving.json``)."""
+        return {
+            f"{prefix}n": self.n,
+            f"{prefix}mean_latency_ms": self.mean_ms,
+            f"{prefix}p50_latency_ms": self.p50_ms,
+            f"{prefix}p99_latency_ms": self.p99_ms,
+            f"{prefix}max_latency_ms": self.max_ms,
+        }

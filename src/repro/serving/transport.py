@@ -1,0 +1,122 @@
+"""Zero-copy sample transport between submitters and serving workers.
+
+Request tensors are not pickled through a queue: each pending micro-batch
+owns a :class:`SampleSlab` — a thin wrapper over the shared-memory
+:class:`repro.engine.parallel.InputArena` — and submitters copy their sample
+into it exactly once.  Consecutive writes land back to back, so when the
+batch flushes the worker maps the whole slab as **one** contiguous
+``(batch, ...)`` view (no per-request gather, no second copy).  A bounded
+:class:`SlabPool` recycles slabs between batches so the steady state
+allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.engine.parallel import InputArena
+
+
+class SampleSlab:
+    """One micro-batch worth of contiguous sample storage.
+
+    ``append`` copies a sample into the slab and returns its arena
+    descriptor; the first append of a fresh batch sizes the arena for
+    ``capacity_samples`` like-shaped samples and resets the write cursor.
+    Appends that no longer fit return ``None`` — the batcher then falls back
+    to a private copy for that request.
+    """
+
+    def __init__(self):
+        self._arena = InputArena()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def append(self, sample: np.ndarray, *, capacity_samples: int):
+        sample = np.ascontiguousarray(sample)
+        if self._count == 0:
+            self._arena.ensure(sample.nbytes * capacity_samples)
+            self._arena.reset()
+        descriptor = self._arena.write(sample)
+        if descriptor is not None:
+            self._count += 1
+        return descriptor
+
+    def view(self, descriptor) -> np.ndarray:
+        """Map one descriptor back to its sample view."""
+        return self._arena.view(descriptor)
+
+    def batch_view(self, descriptors) -> np.ndarray | None:
+        """One ``(batch, ...)`` view over all descriptors, or ``None``.
+
+        Valid only when the descriptors are homogeneous and laid out back to
+        back from the first offset — which is how ``append`` writes them; a
+        mixed or gappy layout (shouldn't happen for a group-keyed batch)
+        falls back to ``None`` so the caller stacks per-request views.
+        """
+        if not descriptors:
+            return None
+        first_offset, dtype_name, shape = descriptors[0]
+        stride = int(np.dtype(dtype_name).itemsize * int(np.prod(shape, dtype=np.int64)))
+        for index, (offset, dtype, shp) in enumerate(descriptors):
+            if dtype != dtype_name or shp != shape or offset != first_offset + index * stride:
+                return None
+        batched = (first_offset, dtype_name, (len(descriptors),) + tuple(shape))
+        return self._arena.view(batched)
+
+    def recycle(self) -> None:
+        """Forget the current batch; storage is kept for the next one."""
+        self._count = 0
+
+    def close(self) -> None:
+        self._arena.close()
+
+
+class SlabPool:
+    """A bounded free-list of :class:`SampleSlab` instances.
+
+    ``try_acquire`` hands out a recycled (or fresh, up to ``max_slabs``)
+    slab, or ``None`` when every slab is in flight — the batcher then runs
+    that batch through the copying fallback rather than blocking the
+    submitter.
+    """
+
+    def __init__(self, max_slabs: int):
+        self.max_slabs = int(max_slabs)
+        self._lock = threading.Lock()
+        self._free: list[SampleSlab] = []
+        self._created = 0
+        self._closed = False
+
+    def try_acquire(self) -> SampleSlab | None:
+        with self._lock:
+            if self._closed:
+                return None
+            if self._free:
+                return self._free.pop()
+            if self._created < self.max_slabs:
+                self._created += 1
+                return SampleSlab()
+            return None
+
+    def release(self, slab: SampleSlab) -> None:
+        slab.recycle()
+        with self._lock:
+            if self._closed:
+                slab.close()
+                return
+            self._free.append(slab)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            free, self._free = self._free, []
+        for slab in free:
+            slab.close()

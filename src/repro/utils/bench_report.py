@@ -4,8 +4,14 @@ Every perf benchmark module appends one JSON record per run, so the files at
 the repo root hold the whole measured performance history of the
 reproduction.  This script condenses them into a table per file: one row per
 benchmark name and headline metric (``*samples_per_sec*`` / ``*speedup*`` /
-``*hit_rate*``), showing the first recorded value, the latest, the delta of
-the latest run against the run before it, and the overall trajectory.
+``*hit_rate*`` / ``*requests_per_sec*`` / ``*latency_ms*``), showing the
+first recorded value, the latest, the delta of the latest run against the
+run before it, and the overall trajectory.
+
+Measurement files are discovered by globbing ``BENCH_*.json`` in the target
+directory, so a new benchmark module only has to pick a file name — no
+registration here.  A preferred pipeline order (:data:`BENCH_FILES`) is kept
+for the known files; newcomers sort alphabetically after them.
 
 Run it locally after a benchmark session, or let the ``Perf benchmarks``
 workflow write it into the GitHub job summary::
@@ -23,11 +29,35 @@ import argparse
 import json
 from pathlib import Path
 
-#: the measurement files, in pipeline order
-BENCH_FILES = ("BENCH_imaging.json", "BENCH_training.json", "BENCH_inference.json")
+#: known measurement files, in pipeline order (used only for sorting —
+#: discovery is by glob, see :func:`discover_bench_files`)
+BENCH_FILES = (
+    "BENCH_imaging.json",
+    "BENCH_training.json",
+    "BENCH_inference.json",
+    "BENCH_serving.json",
+)
 
 #: substrings marking a record field as a headline metric worth tracking
-METRIC_MARKERS = ("samples_per_sec", "speedup", "hit_rate")
+METRIC_MARKERS = (
+    "samples_per_sec",
+    "speedup",
+    "hit_rate",
+    "requests_per_sec",
+    "latency_ms",
+)
+
+
+def discover_bench_files(directory: Path) -> list[Path]:
+    """Every ``BENCH_*.json`` in ``directory``, pipeline order then name.
+
+    Files named in :data:`BENCH_FILES` keep their pipeline position; any
+    other match (a future benchmark module's file) sorts alphabetically
+    after them, so nothing needs registering to appear in the report.
+    """
+    known = {name: index for index, name in enumerate(BENCH_FILES)}
+    paths = [path for path in directory.glob("BENCH_*.json") if path.is_file()]
+    return sorted(paths, key=lambda p: (known.get(p.name, len(known)), p.name))
 
 
 def _is_metric(key: str, value) -> bool:
@@ -63,7 +93,7 @@ def trajectories(records: list[dict]) -> dict[tuple[str, str], list[float]]:
 def report_file(path: Path) -> list[str]:
     """Markdown lines summarising one ``BENCH_*.json`` file."""
     lines = [f"## {path.name}", ""]
-    if not path.exists():
+    if not path.exists():  # tolerated for direct report_file() callers
         lines.append("_no measurements recorded yet_")
         lines.append("")
         return lines
@@ -93,10 +123,14 @@ def report_file(path: Path) -> list[str]:
 
 
 def build_report(directory: Path) -> str:
-    """The full markdown report over every known measurement file."""
+    """The full markdown report over every discovered measurement file."""
     lines = ["# Measured performance trajectory", ""]
-    for name in BENCH_FILES:
-        lines.extend(report_file(directory / name))
+    paths = discover_bench_files(directory)
+    if not paths:
+        lines.append(f"_no BENCH_*.json measurement files in {directory}_")
+        lines.append("")
+    for path in paths:
+        lines.extend(report_file(path))
     return "\n".join(lines)
 
 

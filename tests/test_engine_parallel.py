@@ -390,3 +390,105 @@ class TestReviewRegressions:
                 np.testing.assert_array_equal(value, 0.25)
             elif "num_batches" not in key:
                 np.testing.assert_array_equal(value, weights_before[key])
+
+
+# --------------------------------------------------------------------------- #
+# shutdown lifecycle: idempotent no-ops + atexit safety net (ISSUE 6)
+# --------------------------------------------------------------------------- #
+class TestShutdownLifecycle:
+    def test_shutdown_unstarted_estimators_is_silent_noop(self):
+        # never-fitted pretrainer / baseline / facade: no pool exists yet
+        from repro.core.model import AimTS
+
+        AimTSPretrainer(AimTSConfig(**TINY, n_workers=2)).shutdown_workers()
+        AimTS(AimTSConfig(**TINY, n_workers=2)).shutdown_workers()
+        baseline = SimCLR(
+            BaselineConfig(
+                repr_dim=8, proj_dim=4, hidden_channels=4, depth=1,
+                series_length=24, batch_size=8, epochs=1, seed=0, n_workers=2,
+            )
+        )
+        baseline.shutdown_workers()
+
+    def test_double_shutdown_is_silent_noop(self):
+        pretrainer = AimTSPretrainer(AimTSConfig(**TINY, n_workers=2))
+        pretrainer.fit(tiny_pool())
+        pretrainer.shutdown_workers()
+        pretrainer.shutdown_workers()  # second call: nothing to do, no raise
+        assert pretrainer._worker_pool is None
+
+    def test_pool_close_is_idempotent(self):
+        pretrainer = AimTSPretrainer(AimTSConfig(**TINY, n_workers=2))
+        pretrainer.fit(tiny_pool())
+        pool = pretrainer._worker_pool
+        pool.close()
+        pool.close()  # direct double-close on the pool itself
+        assert pool._closed
+
+    def test_pool_registers_and_unregisters_atexit(self, monkeypatch):
+        import atexit
+
+        registered: list = []
+        real_register, real_unregister = atexit.register, atexit.unregister
+
+        def recording_register(func, *args, **kwargs):
+            registered.append(func)
+            return real_register(func, *args, **kwargs)
+
+        def recording_unregister(func):
+            while func in registered:  # equality, like atexit itself
+                registered.remove(func)
+            return real_unregister(func)
+
+        monkeypatch.setattr(atexit, "register", recording_register)
+        monkeypatch.setattr(atexit, "unregister", recording_unregister)
+        pretrainer = AimTSPretrainer(AimTSConfig(**TINY, n_workers=2))
+        pretrainer.fit(tiny_pool())
+        pool = pretrainer._worker_pool
+        # registered at construction: an abandoned interpreter closes the
+        # pool instead of hanging on live worker processes / queue feeders
+        assert pool.close in registered
+        pool.close()
+        # close() unregistered itself, so interpreter shutdown never calls
+        # into an already-dead pool
+        assert pool.close not in registered
+
+
+class TestInputArenaView:
+    def test_view_roundtrips_descriptor_zero_copy(self):
+        from repro.engine.parallel import InputArena
+
+        arena = InputArena()
+        arena.ensure(1024)
+        array = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        descriptor = arena.write(array)
+        view = arena.view(descriptor)
+        np.testing.assert_array_equal(view, array)
+        view[0, 0, 0] = -1.0  # a view, not a copy: writes land in the arena
+        assert arena.view(descriptor)[0, 0, 0] == -1.0
+        arena.close()
+
+    def test_consecutive_writes_form_contiguous_batch(self):
+        from repro.engine.parallel import InputArena
+
+        arena = InputArena()
+        arena.ensure(4096)
+        samples = [np.full((2, 8), float(i)) for i in range(3)]
+        first = arena.write(samples[0])
+        for sample in samples[1:]:
+            arena.write(sample)
+        offset, dtype, shape = first
+        batch = arena.view((offset, dtype, (3,) + shape))
+        np.testing.assert_array_equal(batch, np.stack(samples))
+        arena.close()
+
+    def test_view_without_segment_raises(self):
+        from repro.engine.parallel import InputArena
+
+        with pytest.raises(ValueError, match="no segment"):
+            InputArena().view((0, "float64", (1,)))
+
+    def test_private_alias_still_importable(self):
+        from repro.engine.parallel import InputArena
+
+        assert _InputArena is InputArena

@@ -1,0 +1,130 @@
+"""`load_estimator(eval_mode=True)` — Conv→BN folding once at load time.
+
+The serving fast path folds every eval-time Conv→BatchNorm pair into the
+conv weights when the bundle is loaded, instead of re-folding on every
+``predict`` call.  These tests pin the contract: folding really happens,
+predictions are bit-identical to the unfolded load, and the fold is
+idempotent/train-safe at the module level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import load_estimator, make_estimator
+from repro.core.config import AimTSConfig, FineTuneConfig
+from repro.nn import layers as L
+from repro.nn.inference import fold_batchnorms
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def finetuned_bundle(tmp_path_factory):
+    from repro.data.archives import make_dataset
+    from repro.utils.seeding import seed_everything
+
+    seed_everything(3407)
+    config = AimTSConfig(
+        repr_dim=16,
+        proj_dim=8,
+        hidden_channels=8,
+        depth=2,  # depth 2: multiple Conv→BN pairs in the image trunk
+        panel_size=16,
+        series_length=48,
+        n_variables=2,
+        batch_size=8,
+        epochs=1,
+        seed=3407,
+    )
+    dataset = make_dataset(
+        "evalmode_unit", "motion", n_classes=2, n_train=16, n_test=12, length=48, n_variables=2, seed=1
+    )
+    model = make_estimator("aimts", config=config)
+    model.pretrain(np.random.default_rng(1).normal(size=(16, 2, 48)))
+    model.fine_tune(dataset, FineTuneConfig(epochs=1, batch_size=8, seed=3407))
+    path = model.save(tmp_path_factory.mktemp("evalmode") / "model.npz")
+    return path, dataset.test.X
+
+
+class TestEvalModeLoad:
+    def test_folding_happened_and_batchnorms_are_gone(self, finetuned_bundle):
+        path, _ = finetuned_bundle
+        folded = load_estimator(path, eval_mode=True)
+        assert folded._bn_folded > 0
+        remaining = [
+            type(module).__name__
+            for module in folded.pretrainer.image_encoder.modules()
+            if isinstance(module, (L.BatchNorm1d, L.BatchNorm2d))
+        ]
+        assert remaining == []  # every trunk BN replaced by Identity
+
+    def test_folded_predictions_bit_identical_to_unfolded(self, finetuned_bundle):
+        path, X = finetuned_bundle
+        plain = load_estimator(path)
+        folded = load_estimator(path, eval_mode=True)
+        assert np.array_equal(plain.predict(X), folded.predict(X))
+        assert np.array_equal(plain.predict_proba(X), folded.predict_proba(X))
+        assert np.array_equal(plain.encode(X), folded.encode(X))
+
+    def test_default_load_is_unfolded(self, finetuned_bundle):
+        path, _ = finetuned_bundle
+        plain = load_estimator(path)
+        assert not hasattr(plain, "_bn_folded")
+        has_bn = any(
+            isinstance(module, (L.BatchNorm1d, L.BatchNorm2d))
+            for module in plain.pretrainer.image_encoder.modules()
+        )
+        assert has_bn
+
+    def test_eval_mode_tolerates_estimators_without_neural_modules(self, tmp_path):
+        model = make_estimator("rocket", n_kernels=16)
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(12, 1, 32))
+        y = np.array([0, 1] * 6)
+        model.fit(X, y)
+        path = model.save(tmp_path / "rocket.npz")
+        folded = load_estimator(path, eval_mode=True)
+        assert folded._bn_folded == 0
+        assert np.array_equal(folded.predict(X), model.predict(X))
+
+
+class TestFoldBatchnorms:
+    def _conv_bn_stack(self) -> L.Sequential:
+        rng = np.random.default_rng(5)
+        stack = L.Sequential(
+            L.Conv2d(2, 3, kernel_size=3, padding=1),
+            L.BatchNorm2d(3),
+            L.ReLU(),
+        )
+        bn = stack._modules[stack._order[1]]
+        # non-trivial running stats so the fold actually changes the weights
+        bn.running_mean = rng.normal(size=3)
+        bn.running_var = rng.uniform(0.5, 2.0, size=3)
+        return stack
+
+    def test_fold_preserves_eval_forward(self):
+        stack = self._conv_bn_stack()
+        stack.eval()
+        x = Tensor(np.random.default_rng(6).normal(size=(2, 2, 8, 8)))
+        before = stack(x).data.copy()
+        assert fold_batchnorms(stack) == 1
+        after = stack(x).data
+        np.testing.assert_allclose(after, before, rtol=1e-12, atol=1e-12)
+
+    def test_fold_is_idempotent(self):
+        stack = self._conv_bn_stack()
+        stack.eval()
+        assert fold_batchnorms(stack) == 1
+        assert fold_batchnorms(stack) == 0  # BN already an Identity: nothing left
+
+    def test_fold_preserves_parameter_dtype(self):
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(np.float32):
+            stack = L.Sequential(L.Conv2d(1, 2, kernel_size=3), L.BatchNorm2d(2))
+        stack.eval()
+        assert fold_batchnorms(stack) == 1
+        conv = stack._modules[stack._order[0]]
+        assert conv.weight.data.dtype == np.float32
+        assert conv.bias.data.dtype == np.float32

@@ -126,10 +126,41 @@ class TestBenchReport:
     def test_missing_and_broken_files_do_not_raise(self, tmp_path):
         from repro.utils.bench_report import build_report
 
+        empty = build_report(tmp_path)  # nothing recorded yet: say so, exit 0
+        assert "no BENCH_*.json" in empty
         (tmp_path / "BENCH_imaging.json").write_text("{not json")
         report = build_report(tmp_path)
-        assert "no measurements recorded yet" in report
         assert "unreadable" in report
+
+    def test_discovers_unregistered_files_by_glob(self, tmp_path):
+        from repro.utils.bench_report import build_report, discover_bench_files
+
+        self._write(
+            tmp_path,
+            "BENCH_serving.json",
+            [{"benchmark": "open_loop", "requests_per_sec": 50.0, "p99_latency_ms": 9.0}],
+        )
+        self._write(
+            tmp_path,
+            "BENCH_future_module.json",
+            [{"benchmark": "new_thing", "samples_per_sec": 10.0}],
+        )
+        self._write(
+            tmp_path,
+            "BENCH_training.json",
+            [{"benchmark": "engine_pretrain", "samples_per_sec": 100.0}],
+        )
+        names = [path.name for path in discover_bench_files(tmp_path)]
+        # pipeline order for known files, alphabetical tail for newcomers
+        assert names == [
+            "BENCH_training.json",
+            "BENCH_serving.json",
+            "BENCH_future_module.json",
+        ]
+        report = build_report(tmp_path)
+        assert "open_loop" in report and "requests_per_sec" in report
+        assert "p99_latency_ms" in report
+        assert "new_thing" in report
 
     def test_main_prints_report(self, tmp_path, capsys):
         from repro.utils.bench_report import main
