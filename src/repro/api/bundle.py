@@ -30,6 +30,8 @@ import os
 
 import numpy as np
 
+from repro.utils.paths import normalize_npz_path, resolve_npz_read_path
+
 #: current bundle schema; bump when the layout changes incompatibly
 SCHEMA_VERSION = 1
 
@@ -43,25 +45,10 @@ class BundleFormatError(ValueError):
     """Raised when a file is not a bundle or uses an unsupported schema."""
 
 
-def _normalize_path(path: str | os.PathLike) -> str:
-    path = str(path)
-    # case-insensitive so "model.NPZ" is not double-suffixed to "model.NPZ.npz"
-    if not path.lower().endswith(".npz"):
-        path = path + ".npz"
-    return path
-
-
-def resolve_read_path(path: str | os.PathLike) -> str:
-    """Accept the same path string that ``save_bundle`` was given.
-
-    ``save_bundle("/tmp/model")`` writes ``/tmp/model.npz``; loading with
-    either string must work, so the suffix is appended when the bare path
-    does not exist.
-    """
-    path = str(path)
-    if not os.path.exists(path):
-        return _normalize_path(path)
-    return path
+#: the shared ``.npz`` read-path convention (kept under its historical name —
+#: ``save_bundle("/tmp/model")`` writes ``/tmp/model.npz`` and loading with
+#: either string works)
+resolve_read_path = resolve_npz_read_path
 
 
 def save_bundle(
@@ -74,7 +61,7 @@ def save_bundle(
     The manifest is augmented with the format tag, the schema version and the
     per-array dtype table; caller-provided keys win except for ``dtypes``.
     """
-    path = _normalize_path(path)
+    path = normalize_npz_path(path)
     payload = {key: np.asarray(value) for key, value in arrays.items()}
     if MANIFEST_KEY in payload:
         raise ValueError(f"array key {MANIFEST_KEY!r} is reserved for the manifest")

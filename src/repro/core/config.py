@@ -42,6 +42,14 @@ class AimTSConfig:
         and the byte budget for that cache (default 256 MiB ≈ 10k cached
         panel-32 univariate images; pool samples beyond the budget render on
         demand each epoch; None = unbounded).
+    cache_spill_dir, cache_spill_max_bytes:
+        Disk tier of the render cache for pools larger than ``cache_max_bytes``
+        (the out-of-core corpus path): entries evicted from the RAM LRU spill
+        to ``.npy`` files under ``cache_spill_dir`` (each deterministic render
+        is written at most once) and are served back — content-hash-validated —
+        on later epochs instead of re-rendering.  ``cache_spill_max_bytes``
+        bounds the on-disk footprint (None = unbounded).  ``cache_spill_dir``
+        None (the default) disables the tier.
     compute_dtype:
         Precision of the neural compute core: "float64" (default) is the
         bit-exact reference path, "float32" runs parameters, activations,
@@ -94,6 +102,8 @@ class AimTSConfig:
     image_dtype: str = "float64"
     cache_images: bool = True
     cache_max_bytes: int | None = 256 * 1024 * 1024
+    cache_spill_dir: str | None = None
+    cache_spill_max_bytes: int | None = None
     # compute core precision + serving batch size
     compute_dtype: str = "float64"
     encode_batch_size: int = DEFAULT_SERVING_BATCH_SIZE
@@ -158,6 +168,10 @@ class AimTSConfig:
         check_positive("n_workers", self.n_workers)
         if self.cache_max_bytes is not None:
             check_positive("cache_max_bytes", self.cache_max_bytes)
+        if self.cache_spill_max_bytes is not None:
+            check_positive("cache_spill_max_bytes", self.cache_spill_max_bytes)
+            if self.cache_spill_dir is None:
+                raise ValueError("cache_spill_max_bytes requires cache_spill_dir")
         check_in_options("temperature_mode", self.temperature_mode, TEMPERATURE_MODES)
         check_in_options("mixup_mode", self.mixup_mode, MIXUP_MODES)
         check_in_options("prototype_reduction", self.prototype_reduction, PROTOTYPE_REDUCTIONS)

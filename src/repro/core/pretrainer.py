@@ -23,7 +23,7 @@ from repro.core.config import AimTSConfig
 from repro.core.losses import prototype_loss, series_image_loss
 from repro.core.prototypes import adaptive_temperatures, aggregate_prototype, pairwise_view_distances
 from repro.data.dataset import TimeSeriesDataset
-from repro.data.loaders import BatchIterator, build_pretraining_pool
+from repro.data.loaders import BatchIterator, _is_corpus, build_pretraining_pool
 from repro.encoders import ImageEncoder, ProjectionHead, TSEncoder
 from repro.engine import (
     DtypePolicy,
@@ -312,8 +312,11 @@ class AimTSPretrainer:
         Parameters
         ----------
         corpus:
-            Either a list of :class:`TimeSeriesDataset` (their train splits are
-            merged into one pool) or an already-built pool array ``(N, M, T)``.
+            A list of :class:`TimeSeriesDataset` (their train splits are
+            merged into one pool), an already-built pool array ``(N, M, T)``,
+            or an out-of-core :class:`repro.data.corpus.ShardedCorpus` — the
+            latter streams from disk per mini-batch (cast to the compute
+            dtype on densification) and is never materialised.
         epochs:
             Overrides ``config.epochs`` for this call when given.
         max_samples:
@@ -336,18 +339,25 @@ class AimTSPretrainer:
         compute_dtype = self.dtype_policy.np_compute_dtype
         if isinstance(corpus, np.ndarray):
             pool = np.asarray(corpus, dtype=compute_dtype)
+            if max_samples is not None and pool.shape[0] > max_samples:
+                # seeded subsample rather than head-truncation: raw pools are
+                # often class-sorted, matching build_pretraining_pool's semantics
+                pool = pool[
+                    np.sort(self._rng.choice(pool.shape[0], size=max_samples, replace=False))
+                ]
         else:
+            # dataset lists and sharded corpora both resolve here: a corpus
+            # passes through (seeded-subset when max_samples caps it) and its
+            # batches are cast to the compute dtype at densification time
             pool = build_pretraining_pool(
                 corpus,
                 length=cfg.series_length,
                 n_variables=cfg.n_variables,
                 max_samples=max_samples,
                 seed=self._rng,
-            ).astype(compute_dtype, copy=False)
-        if max_samples is not None and pool.shape[0] > max_samples:
-            # seeded subsample rather than head-truncation: raw pools are often
-            # class-sorted, matching build_pretraining_pool's semantics
-            pool = pool[np.sort(self._rng.choice(pool.shape[0], size=max_samples, replace=False))]
+            )
+            if not _is_corpus(pool):
+                pool = pool.astype(compute_dtype, copy=False)
 
         optimizer = Adam(list(self.parameters()), lr=cfg.learning_rate)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma)
@@ -356,13 +366,24 @@ class AimTSPretrainer:
         # once up front and serve every shuffled batch of every epoch from the
         # cache; insert_on_miss=False freezes the precomputed prefix so a
         # byte budget smaller than the pool renders the rest on demand
-        # instead of churning the LRU under shuffled (uniform) access
+        # instead of churning the LRU under shuffled (uniform) access.
+        # With a spill tier (cache_spill_dir) evictions land on disk and hit
+        # later, so inserts stay on; a sharded corpus pool skips the up-front
+        # pass (it would densify the corpus) and fills the cache tiers during
+        # the first epoch instead — either way each sample renders once.
         use_cache = cfg.use_series_image_loss and cfg.cache_images
+        corpus_pool = _is_corpus(pool)
         if use_cache:
+            spill = cfg.cache_spill_dir is not None
             self.render_cache = RenderCache(
-                self.renderer, max_bytes=cfg.cache_max_bytes, insert_on_miss=False
+                self.renderer,
+                max_bytes=cfg.cache_max_bytes,
+                insert_on_miss=spill or corpus_pool,
+                spill_dir=cfg.cache_spill_dir,
+                spill_max_bytes=cfg.cache_spill_max_bytes,
             )
-            self.render_cache.precompute_pool(pool)
+            if not corpus_pool:
+                self.render_cache.precompute_pool(pool)
         else:
             self.render_cache = None
 
@@ -446,14 +467,16 @@ class _PretrainLoop(TrainLoop):
     shard_min_samples = 2
 
     def __init__(
-        self, pretrainer: AimTSPretrainer, pool: np.ndarray | None, use_cache: bool
+        self, pretrainer: AimTSPretrainer, pool, use_cache: bool
     ):
         self.pretrainer = pretrainer
         self.use_cache = use_cache
         # the iterator shares the pre-trainer's generator, so each epoch's
         # shuffle consumes the exact stream position the seed loop did (and
         # checkpoints can snapshot/restore it through named_rngs); worker
-        # replicas are built without a pool and only serve batch_loss
+        # replicas are built without a pool and only serve batch_loss.
+        # The dtype is a no-op for in-RAM pools (already cast by fit) and the
+        # per-batch densification cast for sharded corpora.
         self.iterator = (
             None
             if pool is None
@@ -462,6 +485,7 @@ class _PretrainLoop(TrainLoop):
                 batch_size=pretrainer.config.batch_size,
                 shuffle=True,
                 seed=pretrainer._rng,
+                dtype=pretrainer.dtype_policy.np_compute_dtype,
                 return_indices=True,
             )
         )

@@ -18,6 +18,12 @@ synthetic archives:
 See DESIGN.md for the substitution rationale.
 """
 
+from repro.data.corpus import (
+    CorpusWriter,
+    ShardedCorpus,
+    build_synthetic_corpus,
+    is_sharded_corpus,
+)
 from repro.data.dataset import DatasetSplit, TimeSeriesDataset
 from repro.data.fewshot import few_shot_subset
 from repro.data.io import dataset_from_arrays, load_dataset_file, save_dataset
@@ -43,4 +49,8 @@ __all__ = [
     "dataset_from_arrays",
     "save_dataset",
     "load_dataset_file",
+    "CorpusWriter",
+    "ShardedCorpus",
+    "build_synthetic_corpus",
+    "is_sharded_corpus",
 ]

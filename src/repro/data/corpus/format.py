@@ -1,0 +1,108 @@
+"""The on-disk sharded corpus format shared by writer, reader and CLI.
+
+A *corpus directory* holds fixed-shape samples split across ``.npy`` shard
+files plus one ``manifest.json`` describing them:
+
+``format`` / ``schema_version``
+    The literal ``"repro-corpus"`` and an integer version; opening anything
+    else raises :class:`CorpusFormatError` instead of garbage.
+``dtype`` / ``sample_shape`` / ``labels_dtype``
+    Storage dtype, the common per-sample shape ``(M, T)``, and the label
+    dtype (``null`` for unlabeled corpora).
+``shards``
+    One entry per shard, in order: data file name, sample count, a content
+    checksum of the data bytes, and (when labeled) the label file and its
+    checksum.  Checksums make corruption detectable (``verify`` subcommand /
+    :meth:`ShardedCorpus.verify`) without trusting file sizes.
+``provenance``
+    Free-form JSON recording how the corpus was produced — the synthetic
+    builder stores the seed, block size and per-family sample splits here so
+    a corpus is reproducible from its manifest alone.
+
+Shard files are plain ``.npy`` arrays of shape ``(n_samples, M, T)``: they
+open zero-copy with ``np.load(..., mmap_mode="r")`` and stay readable by any
+NumPy without this library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+#: current corpus schema; bump when the layout changes incompatibly
+SCHEMA_VERSION = 1
+
+_FORMAT = "repro-corpus"
+
+#: manifest file name inside a corpus directory
+MANIFEST_NAME = "manifest.json"
+
+
+class CorpusFormatError(ValueError):
+    """Raised when a directory is not a corpus or uses an unsupported schema."""
+
+
+def shard_file_name(index: int) -> str:
+    """Data file name of shard ``index`` (zero-padded so listings sort)."""
+    return f"shard-{index:05d}.npy"
+
+
+def labels_file_name(index: int) -> str:
+    """Label file name of shard ``index``."""
+    return f"labels-{index:05d}.npy"
+
+
+def array_checksum(array: np.ndarray) -> str:
+    """Hex content digest of one array (value-, dtype- and shape-sensitive)."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(array.tobytes(), digest_size=16)
+    digest.update(repr((str(array.dtype), array.shape)).encode())
+    return digest.hexdigest()
+
+
+def manifest_path(directory: str | os.PathLike) -> str:
+    return os.path.join(str(directory), MANIFEST_NAME)
+
+
+def write_manifest(directory: str | os.PathLike, manifest: dict) -> str:
+    """Write ``manifest`` (stamped with format tag + schema version)."""
+    manifest = dict(manifest)
+    manifest.setdefault("format", _FORMAT)
+    manifest.setdefault("schema_version", SCHEMA_VERSION)
+    path = manifest_path(directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_manifest(directory: str | os.PathLike) -> dict:
+    """Read and validate the manifest of a corpus directory.
+
+    Raises :class:`CorpusFormatError` when the directory holds no manifest,
+    the manifest is not a corpus manifest, or its schema version is
+    unsupported.
+    """
+    path = manifest_path(directory)
+    if not os.path.isfile(path):
+        raise CorpusFormatError(f"{str(directory)!r} is not a corpus directory (no {MANIFEST_NAME})")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (ValueError, OSError) as exc:
+        raise CorpusFormatError(f"unreadable corpus manifest {path!r}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != _FORMAT:
+        raise CorpusFormatError(
+            f"{path!r} is not a repro corpus manifest (format={manifest.get('format')!r})"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CorpusFormatError(
+            f"{path!r} uses corpus schema version {version!r}; this build only "
+            f"supports version {SCHEMA_VERSION} — rebuild the corpus with a "
+            "matching version of the library"
+        )
+    return manifest

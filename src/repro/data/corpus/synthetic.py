@@ -1,0 +1,214 @@
+"""Stream the synthetic generator families into an on-disk corpus.
+
+:func:`build_synthetic_corpus` produces the unbounded labelled pre-training
+corpora the scaling experiments need (ROADMAP: 10^5–10^7-sample Fig. 8-style
+curves) without ever materialising the pool: samples are generated in fixed
+*generation blocks* and handed straight to a :class:`CorpusWriter`, so peak
+memory is one block plus one shard regardless of ``n_samples``.
+
+Determinism contract
+--------------------
+Generation is chunked by ``block_size``, **independently of the shard
+layout**: block ``b`` of family ``f`` is rendered with the derived generator
+``default_rng(SeedSequence([seed, f, b]))``.  Consequences:
+
+* the corpus bytes depend only on ``(seed, families, n_samples, block_size,
+  length, n_variables, normalize, dtype)`` — rebuilding with a different
+  ``shard_size`` is sample-for-sample byte-identical;
+* streaming to disk equals one-shot in-RAM generation:
+  :func:`generate_family_samples` (which materialises the same blocks) is
+  the bit-exact reference, and a family whose sample count fits one block is
+  exactly ``family(n, rng=default_rng(SeedSequence([seed, f, 0])))``;
+* per-block class templates are redrawn per block (families draw class
+  parameters from their generator), which adds intra-class diversity at
+  scale — the per-block template provenance is recorded in the manifest.
+
+Labels are offset per family into one global label space; the per-family
+``label_offset`` / sample split lives in the manifest's provenance.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+
+import numpy as np
+
+from repro.data.corpus.writer import CorpusWriter
+from repro.data.generators import get_family
+from repro.data.loaders import z_normalize
+from repro.utils.validation import check_positive
+
+#: default samples per generation block (memory bound of the builder)
+DEFAULT_BLOCK_SIZE = 2048
+
+FamilySpec = str | tuple[str, dict]
+
+
+def _parse_spec(spec: FamilySpec) -> tuple[str, dict]:
+    if isinstance(spec, str):
+        return spec, {}
+    name, kwargs = spec  # a (name, kwargs) pair (tuple or list, e.g. from JSON)
+    return str(name), dict(kwargs)
+
+
+def family_n_classes(name: str, kwargs: dict | None = None) -> int:
+    """Class count a family spec will produce (explicit kwarg or the default)."""
+    kwargs = kwargs or {}
+    if "n_classes" in kwargs:
+        return int(kwargs["n_classes"])
+    default = inspect.signature(get_family(name)).parameters["n_classes"].default
+    return int(default)
+
+
+def block_rng(seed: int, family_index: int, block_index: int) -> np.random.Generator:
+    """The derived generator of one ``(family, block)`` cell."""
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(family_index), int(block_index)])
+    )
+
+
+def generate_family_samples(
+    spec: FamilySpec,
+    n_samples: int,
+    *,
+    seed: int,
+    family_index: int = 0,
+    length: int = 96,
+    n_variables: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The in-RAM reference of one family's streamed samples.
+
+    Materialises exactly the blocks :func:`build_synthetic_corpus` streams
+    for this family (same derived generators, same normalisation), so the
+    streamed corpus can be asserted byte-identical against a plain in-memory
+    call.  Returns float64 ``(X, y)`` — the corpus writer's dtype cast is the
+    only difference between this and the bytes on disk.
+    """
+    check_positive("n_samples", n_samples)
+    name, kwargs = _parse_spec(spec)
+    family = get_family(name)
+    blocks_X, blocks_y = [], []
+    for block_index, start in enumerate(range(0, int(n_samples), int(block_size))):
+        count = min(int(block_size), int(n_samples) - start)
+        X, y = family(
+            count,
+            length=length,
+            n_variables=n_variables,
+            rng=block_rng(seed, family_index, block_index),
+            **kwargs,
+        )
+        if normalize:
+            X = z_normalize(X)
+        blocks_X.append(X)
+        blocks_y.append(np.asarray(y, dtype=np.int64))
+    return np.concatenate(blocks_X, axis=0), np.concatenate(blocks_y, axis=0)
+
+
+def split_samples(n_samples: int, n_families: int) -> list[int]:
+    """Even per-family sample split (earlier families absorb the remainder)."""
+    base, remainder = divmod(int(n_samples), int(n_families))
+    return [base + (1 if index < remainder else 0) for index in range(int(n_families))]
+
+
+def build_synthetic_corpus(
+    directory: str | os.PathLike,
+    families: list[FamilySpec] | None = None,
+    n_samples: int = 10_000,
+    *,
+    length: int = 96,
+    n_variables: int = 1,
+    shard_size: int = 4096,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+    dtype: str | np.dtype = "float32",
+    normalize: bool = True,
+    overwrite: bool = False,
+):
+    """Stream ``n_samples`` synthetic samples across ``families`` to disk.
+
+    Parameters
+    ----------
+    directory:
+        Target corpus directory (see :class:`CorpusWriter` for overwrite
+        semantics).
+    families:
+        Family specs — names from :func:`repro.data.generators.family_names`
+        or ``(name, kwargs)`` pairs; ``None`` uses the ECG/motion/device
+        trio.  ``n_samples`` is split evenly across them; samples are laid
+        out family-major (shuffling is the reader's job).
+    length, n_variables:
+        Common sample shape, passed straight to every family.
+    shard_size, block_size:
+        On-disk shard capacity and generation-block size.  Only
+        ``block_size`` affects the sample bytes (see the determinism
+        contract above); ``shard_size`` only affects the file layout.
+    normalize:
+        Apply per-sample :func:`~repro.data.loaders.z_normalize` (the same
+        canonicalisation ``build_pretraining_pool`` applies to dataset
+        corpora).
+
+    Returns the opened :class:`~repro.data.corpus.ShardedCorpus`.
+    """
+    from repro.data.corpus.reader import ShardedCorpus
+
+    check_positive("n_samples", n_samples)
+    check_positive("block_size", block_size)
+    if families is None:
+        families = ["ecg", "motion", "device"]
+    if not families:
+        raise ValueError("families must not be empty")
+    specs = [_parse_spec(spec) for spec in families]
+    counts = split_samples(n_samples, len(specs))
+
+    label_offset = 0
+    provenance_families = []
+    for (name, kwargs), count in zip(specs, counts):
+        provenance_families.append(
+            {
+                "name": name,
+                "kwargs": kwargs,
+                "n_samples": count,
+                "label_offset": label_offset,
+                "n_classes": family_n_classes(name, kwargs),
+            }
+        )
+        label_offset += family_n_classes(name, kwargs)
+
+    writer = CorpusWriter(
+        directory,
+        (int(n_variables), int(length)),
+        dtype=dtype,
+        shard_size=shard_size,
+        labeled=True,
+        overwrite=overwrite,
+        provenance={
+            "builder": "build_synthetic_corpus",
+            "seed": int(seed),
+            "block_size": int(block_size),
+            "normalize": bool(normalize),
+            "n_classes_total": label_offset,
+            "families": provenance_families,
+        },
+    )
+    with writer:
+        for family_index, entry in enumerate(provenance_families):
+            remaining = entry["n_samples"]
+            block_index = 0
+            while remaining > 0:
+                count = min(int(block_size), remaining)
+                X, y = get_family(entry["name"])(
+                    count,
+                    length=length,
+                    n_variables=n_variables,
+                    rng=block_rng(seed, family_index, block_index),
+                    **entry["kwargs"],
+                )
+                if normalize:
+                    X = z_normalize(X)
+                writer.append(X, np.asarray(y, dtype=np.int64) + entry["label_offset"])
+                remaining -= count
+                block_index += 1
+    return ShardedCorpus(directory)

@@ -1,0 +1,181 @@
+"""Streaming shard writer with bounded memory.
+
+:class:`CorpusWriter` accepts samples in arbitrarily sized ``append`` calls
+and flushes one fixed-capacity shard buffer to disk whenever it fills, so
+writing a million-sample corpus holds at most ``shard_size`` samples in RAM.
+Shard checksums are computed from the exact bytes written, and the manifest
+is written last (on :meth:`close`), so a crashed build leaves a directory
+the reader refuses to open rather than a silently truncated corpus.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.data.corpus.format import (
+    MANIFEST_NAME,
+    array_checksum,
+    labels_file_name,
+    shard_file_name,
+    write_manifest,
+)
+from repro.utils.validation import check_positive
+
+
+class CorpusWriter:
+    """Stream ``(sample, label)`` data into an on-disk sharded corpus.
+
+    Parameters
+    ----------
+    directory:
+        Target corpus directory; created if missing.  A directory already
+        holding a corpus (or stray shard files) is rejected unless
+        ``overwrite=True``, which removes the previous manifest and shards.
+    sample_shape:
+        Common per-sample shape ``(M, T)``; every appended sample must match.
+    dtype:
+        Storage dtype of the samples (appends cast on copy into the shard
+        buffer, so the bytes on disk never depend on the caller's dtype).
+    shard_size:
+        Samples per shard — the writer's entire memory footprint.
+    labeled:
+        Whether the corpus stores an integer label per sample.  Appends must
+        then always provide ``y`` (and never otherwise).
+    provenance:
+        Free-form JSON-serialisable dict recorded in the manifest (seeds,
+        generator spec, source description).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        sample_shape: tuple[int, ...],
+        *,
+        dtype: str | np.dtype = "float32",
+        shard_size: int = 4096,
+        labeled: bool = False,
+        provenance: dict | None = None,
+        overwrite: bool = False,
+    ):
+        check_positive("shard_size", shard_size)
+        self.directory = str(directory)
+        self.sample_shape = tuple(int(size) for size in sample_shape)
+        if not self.sample_shape or any(size <= 0 for size in self.sample_shape):
+            raise ValueError(f"sample_shape must be positive, got {self.sample_shape}")
+        self.dtype = np.dtype(dtype)
+        self.shard_size = int(shard_size)
+        self.labeled = bool(labeled)
+        self.provenance = dict(provenance) if provenance else {}
+        os.makedirs(self.directory, exist_ok=True)
+        existing = [
+            name
+            for name in os.listdir(self.directory)
+            if name == MANIFEST_NAME or (name.startswith(("shard-", "labels-")) and name.endswith(".npy"))
+        ]
+        if existing:
+            if not overwrite:
+                raise FileExistsError(
+                    f"{self.directory!r} already holds corpus files "
+                    f"({sorted(existing)[:3]}...); pass overwrite=True to replace them"
+                )
+            for name in existing:
+                os.remove(os.path.join(self.directory, name))
+        self._buffer = np.empty((self.shard_size, *self.sample_shape), dtype=self.dtype)
+        self._label_buffer = np.empty(self.shard_size, dtype=np.int64) if self.labeled else None
+        self._buffered = 0
+        self._shards: list[dict] = []
+        self._n_samples = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ append
+    def __len__(self) -> int:
+        """Samples accepted so far (buffered + flushed)."""
+        return self._n_samples
+
+    def append(self, X: np.ndarray, y: np.ndarray | None = None) -> None:
+        """Append one ``(M, T)`` sample or a ``(n, M, T)`` batch.
+
+        ``y`` is required for labeled corpora (scalar or ``(n,)``) and
+        rejected otherwise.  Data is copied into the shard buffer — the
+        caller's arrays are never retained.
+        """
+        if self._closed:
+            raise RuntimeError("CorpusWriter is closed")
+        X = np.asarray(X)
+        if X.shape == self.sample_shape:
+            X = X[None]
+        if X.ndim != len(self.sample_shape) + 1 or X.shape[1:] != self.sample_shape:
+            raise ValueError(
+                f"expected samples of shape {self.sample_shape} (or a leading "
+                f"batch axis), got {X.shape}"
+            )
+        if self.labeled:
+            if y is None:
+                raise ValueError("labeled corpus: append() requires y")
+            y = np.atleast_1d(np.asarray(y, dtype=np.int64))
+            if y.shape != (X.shape[0],):
+                raise ValueError(f"y must have shape ({X.shape[0]},), got {y.shape}")
+        elif y is not None:
+            raise ValueError("unlabeled corpus: append() must not receive y")
+        start = 0
+        while start < X.shape[0]:
+            take = min(self.shard_size - self._buffered, X.shape[0] - start)
+            stop = start + take
+            self._buffer[self._buffered : self._buffered + take] = X[start:stop]
+            if self.labeled:
+                self._label_buffer[self._buffered : self._buffered + take] = y[start:stop]
+            self._buffered += take
+            self._n_samples += take
+            start = stop
+            if self._buffered == self.shard_size:
+                self._flush_shard()
+
+    def _flush_shard(self) -> None:
+        if self._buffered == 0:
+            return
+        index = len(self._shards)
+        data = self._buffer[: self._buffered]
+        entry = {
+            "data": shard_file_name(index),
+            "n_samples": int(self._buffered),
+            "checksum": array_checksum(data),
+        }
+        np.save(os.path.join(self.directory, entry["data"]), data)
+        if self.labeled:
+            labels = self._label_buffer[: self._buffered]
+            entry["labels"] = labels_file_name(index)
+            entry["labels_checksum"] = array_checksum(labels)
+            np.save(os.path.join(self.directory, entry["labels"]), labels)
+        self._shards.append(entry)
+        self._buffered = 0
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> str:
+        """Flush the partial shard and write the manifest; returns its path.
+
+        Idempotent: a second close returns the manifest path again.
+        """
+        if self._closed:
+            return os.path.join(self.directory, MANIFEST_NAME)
+        self._flush_shard()
+        self._closed = True
+        manifest = {
+            "dtype": str(self.dtype),
+            "sample_shape": list(self.sample_shape),
+            "labels_dtype": "int64" if self.labeled else None,
+            "n_samples": int(self._n_samples),
+            "shard_size": int(self.shard_size),
+            "shards": self._shards,
+            "provenance": self.provenance,
+        }
+        return write_manifest(self.directory, manifest)
+
+    def __enter__(self) -> "CorpusWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # only finalise a manifest for a successfully completed build
+        if exc_type is None:
+            self.close()

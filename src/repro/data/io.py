@@ -14,6 +14,7 @@ import os
 import numpy as np
 
 from repro.data.dataset import DatasetSplit, TimeSeriesDataset
+from repro.utils.paths import normalize_npz_path, resolve_npz_read_path
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_probability
 
@@ -85,10 +86,13 @@ def dataset_from_arrays(
 
 
 def save_dataset(dataset: TimeSeriesDataset, path: str | os.PathLike) -> str:
-    """Serialise a dataset to an ``.npz`` file; returns the path written."""
-    path = str(path)
-    if not path.endswith(".npz"):
-        path = path + ".npz"
+    """Serialise a dataset to an ``.npz`` file; returns the path written.
+
+    The suffix convention matches :mod:`repro.api.bundle`: a missing ``.npz``
+    is appended case-insensitively (``data.NPZ`` stays ``data.NPZ``), and
+    :func:`load_dataset_file` accepts the same path string — suffixed or not.
+    """
+    path = normalize_npz_path(path)
     payload = {
         "train_X": dataset.train.X,
         "test_X": dataset.test.X,
@@ -100,13 +104,21 @@ def save_dataset(dataset: TimeSeriesDataset, path: str | os.PathLike) -> str:
         payload["train_y"] = dataset.train.y
     if dataset.test.y is not None:
         payload["test_y"] = dataset.test.y
-    np.savez(path, **payload)
+    # write through a file handle: np.savez would re-append ".npz" to a
+    # string path whose suffix differs in case (e.g. "data.NPZ")
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
     return path
 
 
 def load_dataset_file(path: str | os.PathLike) -> TimeSeriesDataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    with np.load(str(path), allow_pickle=False) as archive:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Accepts the same path string ``save_dataset`` was given — the ``.npz``
+    suffix is appended when the bare path does not exist on disk.
+    """
+    path = resolve_npz_read_path(path)
+    with np.load(path, allow_pickle=False) as archive:
         train_y = archive["train_y"] if "train_y" in archive.files else None
         test_y = archive["test_y"] if "test_y" in archive.files else None
         return TimeSeriesDataset(

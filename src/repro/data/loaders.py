@@ -89,13 +89,31 @@ def select_variables(X: np.ndarray, n_variables: int) -> np.ndarray:
     return np.tile(X, (1, repeats, 1))[:, :n_variables]
 
 
+def _is_corpus(obj) -> bool:
+    """Duck-typed check for the out-of-core readers of :mod:`repro.data.corpus`.
+
+    Duck-typed (not an isinstance) so this hot module never imports the
+    corpus package, which itself imports :func:`z_normalize` from here.
+    """
+    return (
+        hasattr(obj, "gather")
+        and hasattr(obj, "iter_index_batches")
+        and hasattr(obj, "sample_shape")
+    )
+
+
 class BatchIterator:
-    """Shuffling mini-batch iterator over ``(X, y)`` arrays.
+    """Shuffling mini-batch iterator over ``(X, y)`` arrays or a sharded corpus.
 
     Parameters
     ----------
     X:
-        Samples of shape ``(n, M, T)``.
+        Samples of shape ``(n, M, T)``, or an out-of-core
+        :class:`repro.data.corpus.ShardedCorpus` / ``CorpusSubset``.  Corpus
+        batches are densified per mini-batch via ``gather`` (memmap-backed —
+        the corpus itself is never materialised) in the reader's shard-aware
+        shuffled order, which for a single-shard corpus is bit-identical to
+        the in-RAM global shuffle under the same generator.
     y:
         Optional integer labels.
     batch_size:
@@ -125,7 +143,13 @@ class BatchIterator:
         return_indices: bool = False,
     ):
         check_positive("batch_size", batch_size)
-        self.X = as_float_array(X, dtype)
+        self.corpus = X if _is_corpus(X) else None
+        if self.corpus is not None:
+            self.X = X
+            self._dtype = None if dtype is None else np.dtype(dtype)
+        else:
+            self.X = as_float_array(X, dtype)
+            self._dtype = None
         self.y = None if y is None else np.asarray(y, dtype=np.int64)
         if self.y is not None and self.y.shape[0] != self.X.shape[0]:
             raise ValueError("X and y must have the same number of samples")
@@ -137,7 +161,23 @@ class BatchIterator:
     def __len__(self) -> int:
         return int(np.ceil(self.X.shape[0] / self.batch_size))
 
+    def _iter_corpus(self) -> Iterator[tuple]:
+        for indices in self.corpus.iter_index_batches(
+            self.batch_size, rng=self._rng, shuffle=self.shuffle
+        ):
+            batch = self.corpus.gather(indices)
+            if self._dtype is not None:
+                batch = batch.astype(self._dtype, copy=False)
+            if self.y is not None:
+                labels = self.y[indices]
+            else:
+                labels = self.corpus.gather_labels(indices)
+            yield (batch, labels, indices) if self.return_indices else (batch, labels)
+
     def __iter__(self) -> Iterator[tuple]:
+        if self.corpus is not None:
+            yield from self._iter_corpus()
+            return
         order = np.arange(self.X.shape[0])
         if self.shuffle:
             self._rng.shuffle(order)
@@ -151,7 +191,7 @@ class BatchIterator:
 
 
 def build_pretraining_pool(
-    corpus: list[TimeSeriesDataset],
+    corpus: "list[TimeSeriesDataset] | object",
     *,
     length: int = 96,
     n_variables: int = 1,
@@ -163,8 +203,23 @@ def build_pretraining_pool(
     Every dataset is z-normalised and resampled to a common shape so that
     samples from different sources can share mini-batches, as required by the
     multi-source pre-training stage.
+
+    An out-of-core :class:`repro.data.corpus.ShardedCorpus` passes straight
+    through (its samples were canonicalised at build time): the corpus —
+    seeded-subsampled via ``max_samples`` when requested — is returned as-is
+    for :class:`BatchIterator` to stream, never densified.
     """
     rng = new_rng(seed)
+    if _is_corpus(corpus):
+        if corpus.sample_shape != (n_variables, length):
+            raise ValueError(
+                f"corpus sample shape {corpus.sample_shape} does not match the "
+                f"requested ({n_variables}, {length}); rebuild the corpus at "
+                "the target shape"
+            )
+        if max_samples is not None and len(corpus) > max_samples:
+            return corpus.subset(max_samples=max_samples, seed=rng)
+        return corpus
     pools = []
     for dataset in corpus:
         X = z_normalize(dataset.train.X)

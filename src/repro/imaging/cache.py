@@ -19,14 +19,24 @@ Design:
 * an optional ``max_bytes`` budget bounds memory: inserts evict
   least-recently-used entries, and :meth:`precompute_pool` fills the cache
   only up to the budget;
-* hit/miss/eviction counters plus render timings are exposed via
-  :meth:`stats` so benchmarks (``benchmarks/test_perf_imaging.py``) can
-  report cache hit rate and residual render time per epoch.
+* an optional **disk spill tier** (``spill_dir``) keeps the render-once
+  property for pools larger than RAM: entries evicted from the RAM tier are
+  written as ``.npy`` files instead of dropped, served back on later lookups
+  (a *disk hit*, promoted back into the RAM LRU) after validating both the
+  requested series hash and a stored image content hash — a corrupted or
+  stale file is counted in ``readback_failures`` and transparently
+  re-rendered.  Because renders are deterministic, each image is written to
+  disk at most once no matter how often it shuttles between tiers;
+* hit/miss/eviction counters plus render timings and the spill-tier
+  counters (``spilled_bytes`` / ``disk_hits`` / ``readback_failures``) are
+  exposed via :meth:`stats` so benchmarks (``benchmarks/test_perf_imaging.py``,
+  ``benchmarks/test_perf_corpus.py``) can report cache behaviour per epoch.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from collections import OrderedDict
 
@@ -66,11 +76,20 @@ class RenderCache:
     insert_on_miss:
         Whether :meth:`get_batch` inserts freshly rendered images for indices
         it has never seen.  Disable after :meth:`precompute_pool` when the
-        budget is smaller than the pool: with uniformly shuffled access, LRU
-        churn would evict entries that were about to hit, so a *frozen*
-        prefix (hits for cached samples, plain on-demand renders for the
-        rest, no eviction traffic) is strictly faster.  Content-hash
+        budget is smaller than the pool *and no spill tier is configured*:
+        with uniformly shuffled access, LRU churn would evict entries that
+        were about to hit, so a *frozen* prefix (hits for cached samples,
+        plain on-demand renders for the rest, no eviction traffic) is
+        strictly faster.  With a spill tier the calculus flips — evictions
+        land on disk and hit later, so keep inserts on.  Content-hash
         mismatches on already-cached indices are still refreshed in place.
+    spill_dir:
+        Optional directory for the disk spill tier (created if missing).
+        ``None`` (default) disables spilling: evictions discard the image as
+        before.
+    spill_max_bytes:
+        Optional cap on bytes spilled to disk; once reached, further
+        evictions are discarded instead of spilled.  ``None`` = unbounded.
     """
 
     def __init__(
@@ -80,21 +99,39 @@ class RenderCache:
         max_bytes: int | None = None,
         validate: bool = True,
         insert_on_miss: bool = True,
+        spill_dir: str | os.PathLike | None = None,
+        spill_max_bytes: int | None = None,
     ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
+        if spill_max_bytes is not None and spill_max_bytes <= 0:
+            raise ValueError(
+                f"spill_max_bytes must be positive or None, got {spill_max_bytes}"
+            )
+        if spill_max_bytes is not None and spill_dir is None:
+            raise ValueError("spill_max_bytes requires spill_dir")
         self.renderer = renderer
         self.max_bytes = max_bytes
         self.validate = validate
         self.insert_on_miss = insert_on_miss
+        self.spill_dir = None if spill_dir is None else str(spill_dir)
+        self.spill_max_bytes = spill_max_bytes
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
         self._images: OrderedDict[int, np.ndarray] = OrderedDict()
         self._hashes: dict[int, bytes] = {}
+        #: spilled index → (series hash, image content hash, image nbytes)
+        self._spill_meta: dict[int, tuple[bytes, bytes, int]] = {}
         self._nbytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.rendered_samples = 0
         self.render_seconds = 0.0
+        self.spilled_bytes = 0
+        self.spill_writes = 0
+        self.disk_hits = 0
+        self.readback_failures = 0
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -115,7 +152,7 @@ class RenderCache:
         return self.hits / lookups if lookups else 0.0
 
     def stats(self) -> dict[str, float | int]:
-        """Counters for benchmarks and logging."""
+        """Counters for benchmarks and logging (RAM tier + spill tier)."""
         return {
             "entries": len(self._images),
             "nbytes": self._nbytes,
@@ -125,13 +162,20 @@ class RenderCache:
             "hit_rate": self.hit_rate,
             "rendered_samples": self.rendered_samples,
             "render_seconds": self.render_seconds,
+            "spill_entries": len(self._spill_meta),
+            "spilled_bytes": self.spilled_bytes,
+            "spill_writes": self.spill_writes,
+            "disk_hits": self.disk_hits,
+            "readback_failures": self.readback_failures,
         }
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries, RAM and spilled (counters are kept)."""
         self._images.clear()
         self._hashes.clear()
         self._nbytes = 0
+        for index in list(self._spill_meta):
+            self._drop_spill(index)
 
     # ---------------------------------------------------------------- filling
     def _render(self, batch: np.ndarray) -> np.ndarray:
@@ -141,15 +185,74 @@ class RenderCache:
         self.rendered_samples += batch.shape[0]
         return images
 
+    # ------------------------------------------------------------- spill tier
+    def _spill_path(self, index: int) -> str:
+        return os.path.join(self.spill_dir, f"img-{index:09d}.npy")
+
+    def _drop_spill(self, index: int) -> None:
+        meta = self._spill_meta.pop(index, None)
+        if meta is None:
+            return
+        self.spilled_bytes -= meta[2]
+        try:
+            os.remove(self._spill_path(index))
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def _spill_entry(self, index: int, image: np.ndarray, series_hash: bytes) -> None:
+        """Move one evicted image to the disk tier (skip if already there)."""
+        if index in self._spill_meta:
+            return  # renders are deterministic: the bytes on disk still match
+        if (
+            self.spill_max_bytes is not None
+            and self.spilled_bytes + image.nbytes > self.spill_max_bytes
+        ):
+            return
+        np.save(self._spill_path(index), image)
+        self._spill_meta[index] = (series_hash, content_hash(image), image.nbytes)
+        self.spilled_bytes += image.nbytes
+        self.spill_writes += 1
+
+    def _load_spilled(self, index: int, sample: np.ndarray) -> np.ndarray | None:
+        """Read one image back from the spill tier, or None on any mismatch.
+
+        A stale series hash (the pool changed under the cache) silently drops
+        the entry; a read error or image-hash mismatch (disk corruption)
+        additionally counts a ``readback_failure``.  Either way the caller
+        falls through to a re-render.
+        """
+        meta = self._spill_meta.get(index)
+        if meta is None:
+            return None
+        series_hash, image_hash, _ = meta
+        if self.validate and series_hash != content_hash(sample):
+            self._drop_spill(index)
+            return None
+        try:
+            image = np.load(self._spill_path(index), allow_pickle=False)
+        except (OSError, ValueError):
+            image = None
+        if image is None or content_hash(image) != image_hash:
+            self.readback_failures += 1
+            self._drop_spill(index)
+            return None
+        return image
+
     def _evict_until_fits(self, incoming: int) -> bool:
-        """Evict LRU entries to make room; False if ``incoming`` can never fit."""
+        """Evict LRU entries to make room; False if ``incoming`` can never fit.
+
+        With a spill tier configured, evicted images land on disk instead of
+        being discarded (subject to ``spill_max_bytes``).
+        """
         if self.max_bytes is None:
             return True
         if incoming > self.max_bytes:
             return False
         while self._nbytes + incoming > self.max_bytes and self._images:
             index, evicted = self._images.popitem(last=False)
-            self._hashes.pop(index, None)
+            series_hash = self._hashes.pop(index, None)
+            if self.spill_dir is not None and series_hash is not None:
+                self._spill_entry(index, evicted, series_hash)
             self._nbytes -= evicted.nbytes
             self.evictions += 1
         return self._nbytes + incoming <= self.max_bytes
@@ -159,6 +262,10 @@ class RenderCache:
         index = int(index)
         if self.max_bytes is not None and image.nbytes > self.max_bytes:
             return False  # reject before touching any existing entry
+        sample_hash = content_hash(sample)
+        spilled = self._spill_meta.get(index)
+        if spilled is not None and spilled[0] != sample_hash:
+            self._drop_spill(index)  # the pool row changed; the file is stale
         previous = self._images.pop(index, None)
         if previous is not None:
             self._nbytes -= previous.nbytes
@@ -171,7 +278,7 @@ class RenderCache:
             # unbounded caches keep the cheap no-copy views
             image = image.copy()
         self._images[index] = image
-        self._hashes[index] = content_hash(sample)
+        self._hashes[index] = sample_hash
         self._nbytes += image.nbytes
         return True
 
@@ -210,8 +317,10 @@ class RenderCache:
         """Serve rendered images for ``batch`` ``(B, M, T)`` at pool ``indices``.
 
         Cached entries whose content hash matches the batch row are returned
-        as-is (a *hit*); everything else is rendered in one vectorized call (a
-        *miss*) and inserted for the next epoch.
+        as-is (a *hit*); spilled entries are read back from disk, validated
+        and promoted into the RAM LRU (a *disk hit*); everything else is
+        rendered in one vectorized call (a *miss*) and inserted for the next
+        epoch.
         """
         batch = np.asarray(batch)
         indices = np.asarray(indices, dtype=np.int64)
@@ -231,9 +340,20 @@ class RenderCache:
                 self._images.move_to_end(index)
                 cached[position] = image
                 self.hits += 1
-            else:
-                missing.append(position)
-                self.misses += 1
+                continue
+            if self.spill_dir is not None:
+                readback = self._load_spilled(index, batch[position])
+                if readback is not None:
+                    cached[position] = readback
+                    self.disk_hits += 1
+                    if self.insert_on_miss:
+                        # promote into the RAM LRU: the displaced LRU entry
+                        # spills in turn (its bytes are already on disk, so no
+                        # rewrite), letting hot indices migrate to RAM
+                        self.insert(index, batch[position], readback)
+                    continue
+            missing.append(position)
+            self.misses += 1
         if not missing:
             return np.stack([cached[position] for position in range(len(indices))], axis=0)
         rendered = self._render(batch[missing])

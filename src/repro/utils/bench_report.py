@@ -33,6 +33,7 @@ from pathlib import Path
 #: discovery is by glob, see :func:`discover_bench_files`)
 BENCH_FILES = (
     "BENCH_imaging.json",
+    "BENCH_corpus.json",
     "BENCH_training.json",
     "BENCH_inference.json",
     "BENCH_serving.json",
@@ -45,6 +46,10 @@ METRIC_MARKERS = (
     "hit_rate",
     "requests_per_sec",
     "latency_ms",
+    "peak_rss_mb",
+    "spilled_bytes",
+    "disk_hits",
+    "readback_failures",
 )
 
 

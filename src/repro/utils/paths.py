@@ -1,0 +1,33 @@
+"""Shared ``.npz`` path conventions of the save/load surfaces.
+
+Every archive writer in the library (:mod:`repro.api.bundle`,
+:func:`repro.data.io.save_dataset`) follows the same contract: a missing
+``.npz`` suffix is appended (case-insensitively, so ``model.NPZ`` is not
+double-suffixed to ``model.NPZ.npz``), and the matching loader accepts the
+same path string the saver was given — suffixed or not.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def normalize_npz_path(path: str | os.PathLike) -> str:
+    """Append ``.npz`` unless the path already carries it (case-insensitive)."""
+    path = str(path)
+    if not path.lower().endswith(".npz"):
+        path = path + ".npz"
+    return path
+
+
+def resolve_npz_read_path(path: str | os.PathLike) -> str:
+    """Accept the same path string the saver was given.
+
+    Saving to ``/tmp/model`` writes ``/tmp/model.npz``; loading with either
+    string must work, so the suffix is appended when the bare path does not
+    exist on disk.
+    """
+    path = str(path)
+    if not os.path.exists(path):
+        return normalize_npz_path(path)
+    return path

@@ -155,6 +155,88 @@ class TestRenderCacheEviction:
         assert len(cache) == 0 and cache.misses == 2
 
 
+class TestRenderCacheSpill:
+    def spill_cache(self, renderer, tmp_path, ram_images=4, **kwargs):
+        image_nbytes = renderer.image_nbytes(1)
+        return RenderCache(
+            renderer,
+            max_bytes=ram_images * image_nbytes,
+            spill_dir=tmp_path / "spill",
+            **kwargs,
+        )
+
+    def test_evictions_spill_and_serve_disk_hits(self, renderer, pool, tmp_path):
+        cache = self.spill_cache(renderer, tmp_path)
+        ref = renderer.render_batch(pool)
+        cache.get_batch(pool, np.arange(len(pool)))  # 12 renders, 8 spill
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["spill_entries"] == len(pool) - 4
+        assert stats["spilled_bytes"] == (len(pool) - 4) * renderer.image_nbytes(1)
+        assert len(list((tmp_path / "spill").glob("img-*.npy"))) == len(pool) - 4
+        # second epoch: everything is served from RAM or disk, zero re-renders
+        out = cache.get_batch(pool, np.arange(len(pool)))
+        np.testing.assert_array_equal(out, ref)
+        assert cache.rendered_samples == len(pool)
+        assert cache.disk_hits > 0
+        assert cache.readback_failures == 0
+
+    def test_each_image_is_written_to_disk_at_most_once(self, renderer, pool, tmp_path):
+        cache = self.spill_cache(renderer, tmp_path)
+        for _ in range(3):  # promotion/demotion cycles across epochs
+            cache.get_batch(pool, np.arange(len(pool)))
+        # deterministic renders: demoting an already-spilled entry is a no-op
+        assert cache.spill_writes == cache.stats()["spill_entries"]
+
+    def test_corrupted_spill_file_counts_readback_failure(self, renderer, pool, tmp_path):
+        cache = self.spill_cache(renderer, tmp_path)
+        cache.get_batch(pool, np.arange(len(pool)))
+        victim = sorted(cache._spill_meta)[0]
+        path = tmp_path / "spill" / f"img-{victim:09d}.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(raw)
+        out = cache.get_batch(pool[[victim]], np.array([victim]))
+        np.testing.assert_array_equal(out[0], renderer.render_batch(pool[[victim]])[0])
+        assert cache.readback_failures == 1
+        assert victim not in cache._spill_meta  # the bad file was dropped
+
+    def test_stale_series_drops_spill_entry_silently(self, renderer, pool, tmp_path):
+        cache = self.spill_cache(renderer, tmp_path)
+        cache.get_batch(pool, np.arange(len(pool)))
+        victim = sorted(cache._spill_meta)[0]
+        assert victim not in cache._images
+        changed = pool[[victim]] + 1.0
+        out = cache.get_batch(changed, np.array([victim]))
+        np.testing.assert_array_equal(out[0], renderer.render_batch(changed)[0])
+        assert cache.readback_failures == 0  # staleness is not corruption
+        assert victim not in cache._spill_meta
+
+    def test_spill_byte_budget_is_respected(self, renderer, pool, tmp_path):
+        image_nbytes = renderer.image_nbytes(1)
+        cache = self.spill_cache(
+            renderer, tmp_path, ram_images=2, spill_max_bytes=3 * image_nbytes
+        )
+        cache.get_batch(pool, np.arange(len(pool)))
+        stats = cache.stats()
+        assert stats["spill_entries"] == 3
+        assert stats["spilled_bytes"] == 3 * image_nbytes
+        assert len(list((tmp_path / "spill").glob("img-*.npy"))) == 3
+
+    def test_clear_removes_spill_files(self, renderer, pool, tmp_path):
+        cache = self.spill_cache(renderer, tmp_path)
+        cache.get_batch(pool, np.arange(len(pool)))
+        cache.clear()
+        assert cache.stats()["spill_entries"] == 0
+        assert not list((tmp_path / "spill").glob("img-*.npy"))
+
+    def test_spill_configuration_validation(self, renderer, tmp_path):
+        with pytest.raises(ValueError):
+            RenderCache(renderer, spill_max_bytes=1024)  # needs spill_dir
+        with pytest.raises(ValueError):
+            RenderCache(renderer, spill_dir=tmp_path, spill_max_bytes=0)
+
+
 class TestPretrainerCacheIntegration:
     def _config(self, **overrides) -> AimTSConfig:
         base = dict(
@@ -210,6 +292,24 @@ class TestPretrainerCacheIntegration:
 
     def test_default_cache_budget_is_finite(self):
         assert AimTSConfig().cache_max_bytes == 256 * 1024 * 1024
+
+    def test_spill_config_reaches_the_cache(self, rng, tmp_path):
+        pool = rng.normal(size=(12, 1, 32))
+        image_nbytes = 3 * 16 * 16 * 8
+        pretrainer = AimTSPretrainer(
+            self._config(
+                cache_max_bytes=4 * image_nbytes,
+                cache_spill_dir=str(tmp_path / "spill"),
+            )
+        )
+        history = pretrainer.fit(pool)
+        stats = pretrainer.render_cache.stats()
+        # with the spill tier on, evicted renders land on disk and hit later,
+        # so the whole pool still renders exactly once across both epochs
+        assert stats["rendered_samples"] == pool.shape[0]
+        assert stats["spill_entries"] > 0
+        assert stats["disk_hits"] > 0
+        assert len(history.series_image_loss) == 2
 
     def test_float32_image_dtype_pipeline(self, rng):
         pool = rng.normal(size=(12, 1, 32))

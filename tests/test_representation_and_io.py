@@ -142,6 +142,20 @@ class TestDatasetIO:
         np.testing.assert_array_equal(loaded.train.X, small_dataset.train.X)
         np.testing.assert_array_equal(loaded.test.y, small_dataset.test.y)
 
+    def test_save_appends_suffix_and_load_accepts_the_save_path(self, tmp_path, small_dataset):
+        # the same contract as repro.api.bundle: save("ds") writes "ds.npz"
+        # and load works with either string
+        path = save_dataset(small_dataset, tmp_path / "ds")
+        assert path == str(tmp_path / "ds.npz")
+        for load_path in (tmp_path / "ds", tmp_path / "ds.npz"):
+            assert load_dataset_file(load_path).name == small_dataset.name
+
+    def test_uppercase_suffix_is_not_double_appended(self, tmp_path, small_dataset):
+        path = save_dataset(small_dataset, tmp_path / "ds.NPZ")
+        assert path == str(tmp_path / "ds.NPZ")
+        assert not (tmp_path / "ds.NPZ.npz").exists()
+        assert load_dataset_file(path).name == small_dataset.name
+
     def test_user_dataset_flows_through_finetuning(self, rng):
         from repro.core import FineTuneConfig, FineTuner
         from repro.encoders import TSEncoder
