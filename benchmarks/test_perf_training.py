@@ -53,6 +53,11 @@ FINETUNE_TRAIN = 64
 #: regress).  Shared CI runners get the same relaxation as the PR 4 gates.
 PARALLEL_WORKERS = 2
 
+#: PR 8 pipelined arm: producer processes render + augment ahead of the
+#: sequential gradient step through the shared-memory ring
+PIPELINE_PRODUCERS = 2
+PIPELINE_PREFETCH = 4
+
 
 def _usable_cores() -> int:
     """Cores this process may actually run on (affinity-aware, unlike
@@ -66,6 +71,13 @@ def _usable_cores() -> int:
 
 HAS_CORES = _usable_cores() >= PARALLEL_WORKERS
 PARALLEL_GATE = (1.5 if os.environ.get("CI") else 2.0) if HAS_CORES else None
+
+#: PR 8 acceptance gate: pipelined (producers + 1 consumer) must be >= 1.3x
+#: the PR 5 batched sequential arm — but only when the machine has a usable
+#: core for every process in the pipeline; containers with fewer cores
+#: time-share and record the arm ungated.
+HAS_PIPELINE_CORES = _usable_cores() >= PIPELINE_PRODUCERS + 1
+PIPELINE_GATE = (1.15 if os.environ.get("CI") else 1.3) if HAS_PIPELINE_CORES else None
 
 
 def append_bench_record(record: dict) -> None:
@@ -123,6 +135,8 @@ def _run_pretrain_benchmark(
         "pool_shape": list(POOL_SHAPE),
         "compute_dtype": config.compute_dtype,
         "n_workers": config.n_workers,
+        "n_producers": config.n_producers,
+        "prefetch_depth": config.prefetch_depth,
         "augment_batched": config.augment_batched,
         "epochs": epochs_run,
         "fit_seconds": fit_seconds,
@@ -133,12 +147,26 @@ def _run_pretrain_benchmark(
     }
     if warmup:
         record["warmup_seconds"] = warmup_seconds
+    extra = ""
+    if config.n_producers >= 1:
+        # producer occupancy + consumer stall time of the timed fit only
+        # (pipeline_stats live on the fit's trainer, reset per fit)
+        summary = pretrainer.trainer.pipeline_summary()
+        record["producer_occupancy"] = summary["producer_occupancy"]
+        record["consumer_stall_seconds"] = summary["consumer_stall_seconds"]
+        record["produce_seconds"] = summary["produce_seconds"]
+        record["oversize_arrays"] = summary["oversize_arrays"]
+        extra = (
+            f", occupancy {summary['producer_occupancy']:.2f}, "
+            f"stall {summary['consumer_stall_seconds']:.2f}s"
+        )
     append_bench_record(record)
     print(
         f"\n[perf] {benchmark_name} {POOL_SHAPE} x{epochs_run} epochs "
-        f"({config.compute_dtype}, workers={config.n_workers}): "
+        f"({config.compute_dtype}, workers={config.n_workers}, "
+        f"producers={config.n_producers}): "
         f"{fit_seconds:.2f}s total, {fit_seconds / epochs_run:.2f}s/epoch, "
-        f"{samples_per_sec:.1f} samples/s"
+        f"{samples_per_sec:.1f} samples/s{extra}"
     )
     return samples_per_sec
 
@@ -156,14 +184,17 @@ def test_pretrain_epoch_throughput_float32():
 
 
 def test_pretrain_parallel_throughput():
-    """PR 5: batched augmentation kernels + sharded gradient workers.
+    """PR 5 + PR 8: batched kernels, sharded workers, pipelined producers.
 
-    Three arms, all float32 and warmed up to steady state: the PR 4 path
+    Four arms, all float32 and warmed up to steady state: the PR 4 path
     (per-sample augmentations, sequential), the batched-augmentation
-    sequential path, and batched augmentations with ``n_workers=2``.  The
-    batched sequential arm must never regress; the parallel arm is gated at
-    ``PARALLEL_GATE`` x the PR 4 arm when the machine has a core per worker
-    (see the constant above), and recorded ungated otherwise.
+    sequential path, batched augmentations with ``n_workers=2`` (PR 5), and
+    the pipelined path (``n_producers=2`` rendering + augmenting ahead of the
+    sequential gradient step, PR 8).  The batched sequential arm must never
+    regress; the sharded arm is gated at ``PARALLEL_GATE`` x the PR 4 arm and
+    the pipelined arm at ``PIPELINE_GATE`` x the batched arm — each gate arms
+    only when the machine has a usable core per process (see the constants
+    above), and the arm is recorded ungated otherwise.
     """
     pr4_style = _run_pretrain_benchmark(
         "pretrain_f32_per_sample_aug",
@@ -185,10 +216,19 @@ def test_pretrain_parallel_throughput():
         image_dtype="float32",
         n_workers=PARALLEL_WORKERS,
     )
+    pipelined = _run_pretrain_benchmark(
+        "pretrain_f32_pipelined_2producers",
+        warmup=True,
+        compute_dtype="float32",
+        image_dtype="float32",
+        n_producers=PIPELINE_PRODUCERS,
+        prefetch_depth=PIPELINE_PREFETCH,
+    )
     print(
-        f"[perf] PR5 trajectory: per-sample {pr4_style:.0f} -> batched "
-        f"{batched:.0f} -> {PARALLEL_WORKERS} workers {parallel:.0f} samples/s "
-        f"(usable cores: {_usable_cores()}, gate: {PARALLEL_GATE})"
+        f"[perf] PR5/PR8 trajectory: per-sample {pr4_style:.0f} -> batched "
+        f"{batched:.0f} -> {PARALLEL_WORKERS} workers {parallel:.0f} -> "
+        f"{PIPELINE_PRODUCERS} producers {pipelined:.0f} samples/s "
+        f"(usable cores: {_usable_cores()}, gates: {PARALLEL_GATE}/{PIPELINE_GATE})"
     )
     assert batched >= 0.95 * pr4_style, (
         f"batched augmentations regressed the sequential path: "
@@ -199,6 +239,12 @@ def test_pretrain_parallel_throughput():
             f"n_workers={PARALLEL_WORKERS} reached only "
             f"{parallel / pr4_style:.2f}x the PR 4 float32 baseline "
             f"({parallel:.0f} vs {pr4_style:.0f} samples/s)"
+        )
+    if PIPELINE_GATE is not None:
+        assert pipelined >= PIPELINE_GATE * batched, (
+            f"n_producers={PIPELINE_PRODUCERS} reached only "
+            f"{pipelined / batched:.2f}x the PR 5 batched sequential arm "
+            f"({pipelined:.0f} vs {batched:.0f} samples/s)"
         )
 
 

@@ -69,13 +69,22 @@ class BaselineConfig:
     #: toggle, mirroring AimTSConfig.
     n_workers: int = 1
     augment_batched: bool = True
+    #: pipelined pre-training (producer processes + ring prefetch), mirroring
+    #: AimTSConfig: n_producers >= 1 produces views ahead of the gradient
+    #: step with per-batch streams keyed by SeedSequence([seed, epoch, step]);
+    #: 0 keeps the classic bit-exact path; prefetch_depth 0 = inline reference.
+    n_producers: int = 0
+    prefetch_depth: int = 2
 
     def __post_init__(self) -> None:
+        from repro.core.config import _check_pipeline_knobs
+
         for name in ("repr_dim", "proj_dim", "hidden_channels", "depth", "batch_size", "epochs"):
             check_positive(name, getattr(self, name))
         check_positive("learning_rate", self.learning_rate)
         check_positive("encode_batch_size", self.encode_batch_size)
         check_positive("n_workers", self.n_workers)
+        _check_pipeline_knobs(self.n_producers, self.prefetch_depth, self.n_workers)
         check_in_options("compute_dtype", self.compute_dtype, ("float32", "float64"))
         if self.channel_aggregation not in ("concat", "mean"):
             raise ValueError(
@@ -95,6 +104,12 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
     #: registry key (see :data:`repro.api.registry.ESTIMATORS`)
     api_name = "baseline"
     supports_pretraining = True
+    #: whether the objective splits into a produce stage (augment, no
+    #: parameters) and a loss stage — the pipelined pre-training contract
+    #: (:meth:`pipeline_produce` / :meth:`pipeline_loss`); objectives whose
+    #: stochastic draws happen inside the loss itself (e.g. TS2Vec crops)
+    #: keep this False and reject ``n_producers >= 1``
+    supports_pipeline = False
 
     def __init__(self, config: BaselineConfig | None = None):
         self.config = config or BaselineConfig()
@@ -115,6 +130,9 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         #: persistent gradient worker pool (config.n_workers >= 2), spawned
         #: lazily on the first pretrain() — see :meth:`shutdown_workers`
         self._worker_pool = None
+        #: persistent batch-producer pool (config.n_producers >= 1), spawned
+        #: lazily on the first pretrain() — see :meth:`shutdown_workers`
+        self._producer_pool = None
 
     def _build_encoder(self) -> TSEncoder:
         return TSEncoder(
@@ -188,10 +206,33 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         from repro.engine.parallel import derive_worker_seed
 
         root = derive_worker_seed(self.config.seed, worker_index, n_workers)
+        self._install_rng_children(root)
+
+    def _install_rng_children(self, root: np.random.SeedSequence) -> None:
         children = root.spawn(1 + len(self._augmentations()))
         self._rng = np.random.default_rng(children[0])
         for augmentation, child in zip(self._augmentations(), children[1:]):
             augmentation._rng = np.random.default_rng(child)
+
+    def _reseed_for_step(self, epoch: int, step: int) -> None:
+        """Install the step-keyed RNG streams of the pipelined produce stage.
+
+        Derived from ``SeedSequence([seed, epoch, step])`` — a pure function
+        of the schedule position, so any producer (or the inline reference)
+        draws identical views for the same step.
+        """
+        from repro.engine.parallel import derive_step_seed
+
+        self._install_rng_children(derive_step_seed(self.config.seed, epoch, step))
+
+    # --------------------------------------------------------------- pipeline
+    def pipeline_produce(self, batch: np.ndarray):  # pragma: no cover - interface
+        """The produce stage of one step (augmented views; no parameters read)."""
+        raise NotImplementedError
+
+    def pipeline_loss(self, produced) -> Tensor:  # pragma: no cover - interface
+        """The loss on a produced batch (parameters read, no augmentation RNG)."""
+        raise NotImplementedError
 
     def pretrain(
         self,
@@ -229,6 +270,12 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             # class-sorted, matching build_pretraining_pool's semantics
             X = X[np.sort(self._rng.choice(X.shape[0], size=max_samples, replace=False))]
         epochs = epochs or self.config.epochs
+        if self.config.n_producers >= 1 and not self.supports_pipeline:
+            raise ValueError(
+                f"{type(self).__name__} does not support pipelined pre-training "
+                "(its stochastic draws happen inside the loss stage); set "
+                "n_producers=0"
+            )
         self._apply_augment_mode()
         optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
         loop = _BaselinePretrainLoop(self, X)
@@ -240,6 +287,20 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 loop.worker_factory(),
                 list(self.parameters()),
                 n_workers=self.config.n_workers,
+                compute_dtype=self.dtype_policy.compute_dtype,
+            )
+        if (
+            self.config.n_producers >= 1
+            and self.config.prefetch_depth >= 2
+            and self._producer_pool is None
+        ):
+            from repro.engine.parallel import ProducerPool
+
+            # persistent producers: replicas are pure functions of the config
+            self._producer_pool = ProducerPool(
+                loop.producer_factory(),
+                n_producers=self.config.n_producers,
+                prefetch_depth=self.config.prefetch_depth,
                 compute_dtype=self.dtype_policy.compute_dtype,
             )
         history = History()
@@ -255,16 +316,23 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             dtype_policy=self.dtype_policy,
             n_workers=self.config.n_workers,
             worker_pool=self._worker_pool,
+            n_producers=self.config.n_producers,
+            prefetch_depth=self.config.prefetch_depth,
+            producer_pool=self._producer_pool,
         )
         self.trainer.fit(epochs)
         self._pretrained = True
         return LossCurve(history.curve("loss"), history)
 
     def shutdown_workers(self) -> None:
-        """Stop the persistent gradient worker pool (no-op when sequential)."""
+        """Stop the persistent worker and producer pools (idempotent no-op
+        when sequential / already stopped)."""
         if self._worker_pool is not None:
             self._worker_pool.close()
             self._worker_pool = None
+        if self._producer_pool is not None:
+            self._producer_pool.close()
+            self._producer_pool = None
 
     def pretrain_multi_source(
         self,
@@ -414,6 +482,38 @@ def _baseline_worker_replica(
     return _BaselinePretrainLoop(baseline, None)
 
 
+class _BaselineProducer:
+    """Picklable produce-stage replica of a pipelined baseline objective.
+
+    Holds a full baseline instance (cheap at baseline model sizes) but only
+    ever runs its parameter-free :meth:`~SelfSupervisedBaseline.pipeline_produce`
+    stage, with RNG streams rekeyed per step so every replica — and the inline
+    sequential reference — draws identical views for the same ``(epoch, step)``.
+    """
+
+    def __init__(self, baseline: SelfSupervisedBaseline):
+        self.baseline = baseline
+
+    def produce(self, epoch: int, step: int, payload):
+        indices, series = payload
+        self.baseline._reseed_for_step(epoch, step)
+        return self.baseline.pipeline_produce(series)
+
+
+def _baseline_producer_replica(
+    baseline_cls, config: BaselineConfig, init_kwargs: dict, producer_index: int
+):
+    """Build one batch-producer replica of a pipelined baseline objective.
+
+    ``producer_index`` is deliberately unused: replicas are interchangeable
+    (determinism is keyed by schedule position, not by which producer ran
+    the step), which is what lets the pool grow and shrink between epochs.
+    """
+    baseline = baseline_cls(config, **init_kwargs)
+    baseline._apply_augment_mode()
+    return _BaselineProducer(baseline)
+
+
 class _BaselinePretrainLoop(TrainLoop):
     """Engine adapter for the self-supervised baseline objectives."""
 
@@ -460,3 +560,48 @@ class _BaselinePretrainLoop(TrainLoop):
 
     def batch_loss(self, batch) -> Tensor:
         return self.baseline.batch_loss(batch)
+
+    # --------------------------------------------------- pipelined pre-training
+    def producer_factory(self):
+        if not self.baseline.supports_pipeline:
+            return None
+        import functools
+
+        return functools.partial(
+            _baseline_producer_replica,
+            type(self.baseline),
+            self.baseline.config,
+            self.baseline._manifest_init_kwargs(),
+        )
+
+    def pipeline_seed(self):
+        return self.baseline.config.seed
+
+    def pipeline_batches(self, epoch):
+        from repro.data.loaders import epoch_index_batches
+
+        X = self.iterator.X
+        corpus = self.iterator.corpus
+        for indices in epoch_index_batches(
+            X, self.baseline.config.batch_size, epoch=epoch, seed=self.baseline.config.seed
+        ):
+            if indices.size < 2:
+                continue  # contrastive objectives need at least two samples
+            series = corpus.gather(indices) if corpus is not None else X[indices]
+            yield indices, np.ascontiguousarray(
+                series, dtype=self.baseline.dtype_policy.np_compute_dtype
+            )
+
+    def consume_batch(self, produced) -> Tensor:
+        return self.baseline.pipeline_loss(produced)
+
+    def pipeline_slot_nbytes(self) -> int:
+        X = self.iterator.X
+        if self.iterator.corpus is not None:
+            n_variables, length = self.iterator.corpus.sample_shape
+        else:
+            n_variables, length = int(X.shape[1]), int(X.shape[2])
+        itemsize = np.dtype(self.baseline.dtype_policy.np_compute_dtype).itemsize
+        sample = n_variables * length * itemsize
+        # produced payloads are (typically) two augmented views of the batch
+        return 2 * self.baseline.config.batch_size * sample

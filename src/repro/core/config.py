@@ -22,6 +22,22 @@ IMAGE_DTYPES = ("float32", "float64")
 COMPUTE_DTYPES = ("float32", "float64")
 
 
+def _check_pipeline_knobs(n_producers: int, prefetch_depth: int, n_workers: int) -> None:
+    """Shared validation of the pipelined pre-training knobs."""
+    if n_producers < 0:
+        raise ValueError(f"n_producers must be >= 0, got {n_producers}")
+    if prefetch_depth != 0 and prefetch_depth < 2:
+        raise ValueError(
+            "prefetch_depth must be 0 (inline sequential reference) or >= 2 "
+            f"(double-buffered ring), got {prefetch_depth}"
+        )
+    if n_producers >= 1 and n_workers > 1:
+        raise ValueError(
+            "pipelined producers (n_producers >= 1) require the sequential "
+            "gradient path (n_workers=1)"
+        )
+
+
 @dataclass
 class AimTSConfig:
     """Hyper-parameters of the AimTS pre-training stage.
@@ -68,6 +84,18 @@ class AimTSConfig:
         worker processes (shared-memory parameter broadcast / fixed-order
         gradient reduction, see :mod:`repro.engine.parallel`).  ``1`` (the
         default) is the sequential path, bit-identical to earlier releases.
+    n_producers, prefetch_depth:
+        Async pipelined pre-training: with ``n_producers >= 1`` rendering and
+        augmentation run in producer processes ahead of the gradient step,
+        publishing finished batches through a bounded shared-memory ring of
+        ``prefetch_depth`` slots (see
+        :class:`repro.engine.parallel.ProducerPool`).  Per-batch streams are
+        keyed by ``SeedSequence([seed, epoch, step])``, so the loss curve is
+        bit-identical at any producer count; ``prefetch_depth=0`` runs the
+        same schedule inline (the sequential reference), and
+        ``n_producers=0`` (default) keeps the classic synchronous path,
+        bit-exact with earlier releases.  Pipelining requires the sequential
+        gradient path (``n_workers=1``).
     augment_batched:
         Route the augmentation bank through the vectorized batch kernels
         (bit-identical to the per-sample reference loops under the same RNG
@@ -110,6 +138,9 @@ class AimTSConfig:
     # pre-training parallelism (see repro.engine.parallel)
     n_workers: int = 1
     augment_batched: bool = True
+    # pipelined pre-training (producer processes + ring prefetch)
+    n_producers: int = 0
+    prefetch_depth: int = 2
     # data shape
     series_length: int = 96
     n_variables: int = 1
@@ -166,6 +197,7 @@ class AimTSConfig:
         check_in_options("compute_dtype", self.compute_dtype, COMPUTE_DTYPES)
         check_positive("encode_batch_size", self.encode_batch_size)
         check_positive("n_workers", self.n_workers)
+        _check_pipeline_knobs(self.n_producers, self.prefetch_depth, self.n_workers)
         if self.cache_max_bytes is not None:
             check_positive("cache_max_bytes", self.cache_max_bytes)
         if self.cache_spill_max_bytes is not None:

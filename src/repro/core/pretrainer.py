@@ -119,6 +119,69 @@ def build_augmentation_bank(config: AimTSConfig, rng: np.random.Generator) -> Au
     )
 
 
+def _pretrain_producer_replica(config: AimTSConfig, producer_index: int):
+    """Build one batch-producer replica of the pre-training produce stage.
+
+    Module-level so spawn producers can unpickle it.  ``producer_index`` is
+    deliberately unused for anything stochastic: every stream ``produce``
+    consumes is re-keyed per step, so replicas are interchangeable and the
+    pool can grow/shrink without touching the curve.
+    """
+    return _PretrainProducer(config)
+
+
+class _PretrainProducer:
+    """The produce stage of one pipelined pre-training step: render + augment.
+
+    Holds its own augmentation bank, renderer and (when configured) render
+    cache — a spill directory is shared with sibling producers through the
+    cache's cross-process discovery, so each deterministic render is written
+    once pool-wide.  Before each batch the bank's streams are re-derived from
+    ``derive_step_seed(config.seed, epoch, step)``, making the output a pure
+    function of the step key.
+    """
+
+    def __init__(self, config: AimTSConfig):
+        self.config = config
+        self.dtype_policy = DtypePolicy(
+            compute_dtype=config.compute_dtype, image_dtype=config.image_dtype
+        )
+        self.bank = build_augmentation_bank(config, new_rng(config.seed))
+        self.renderer = LineChartRenderer(
+            panel_size=config.panel_size, dtype=self.dtype_policy.image_dtype
+        )
+        self.cache: RenderCache | None = None
+        if config.use_series_image_loss and config.cache_images:
+            self.cache = RenderCache(
+                self.renderer,
+                max_bytes=config.cache_max_bytes,
+                insert_on_miss=True,
+                spill_dir=config.cache_spill_dir,
+                spill_max_bytes=config.cache_spill_max_bytes,
+            )
+
+    def produce(self, epoch: int, step: int, payload):
+        """``(indices, series)`` → ``(series, images, views_a, views_b)``."""
+        from repro.engine.parallel import derive_step_seed
+
+        indices, series = payload
+        cfg = self.config
+        children = derive_step_seed(cfg.seed, epoch, step).spawn(cfg.n_augmentations)
+        for augmentation, child in zip(self.bank, children):
+            augmentation._rng = np.random.default_rng(child)
+        views_a = views_b = None
+        if cfg.use_prototype_loss:
+            views_a, views_b = self.bank.two_views(series)
+        images = None
+        if cfg.use_series_image_loss:
+            images = (
+                self.cache.get_batch(series, indices)
+                if self.cache is not None
+                else self.renderer.render_batch(series)
+            )
+        return series, images, views_a, views_b
+
+
 def _pretrain_worker_replica(config: AimTSConfig, worker_index: int, n_workers: int):
     """Build one gradient-worker replica of the pre-training objective.
 
@@ -192,6 +255,10 @@ class AimTSPretrainer:
         #: lazily on the first fit() and reused across fits — see
         #: :meth:`shutdown_workers`
         self._worker_pool = None
+        #: persistent batch-producer pool (config.n_producers >= 1 with a
+        #: real prefetch depth), spawned lazily on the first fit() and reused
+        #: across fits — see :meth:`shutdown_workers`
+        self._producer_pool = None
 
     # ------------------------------------------------------------------ parts
     def _trainable_modules(self):
@@ -233,19 +300,25 @@ class AimTSPretrainer:
         return projections, representations
 
     def compute_batch_loss(
-        self, batch: np.ndarray, *, images: np.ndarray | None = None
+        self,
+        batch: np.ndarray,
+        *,
+        images: np.ndarray | None = None,
+        views: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> dict[str, Tensor]:
         """Compute all loss components for one ``(B, M, T)`` batch.
 
         ``images`` optionally supplies pre-rendered line-chart images for the
         batch (e.g. served from :attr:`render_cache`); when omitted the batch
-        is rendered on the spot.
+        is rendered on the spot.  ``views`` optionally supplies the two
+        pre-augmented ``(G, B, M, T)`` view sets (the pipelined producers'
+        output); when omitted the bank draws them here from its own streams.
         """
         cfg = self.config
         losses: dict[str, Tensor] = {}
 
         if cfg.use_prototype_loss:
-            views_a, views_b = self.bank.two_views(batch)
+            views_a, views_b = views if views is not None else self.bank.two_views(batch)
             proj_a, reps_a = self._encode_views(views_a)
             proj_b, reps_b = self._encode_views(views_b)
             prototypes_a = self.prototype_projection(
@@ -371,7 +444,11 @@ class AimTSPretrainer:
         # later, so inserts stay on; a sharded corpus pool skips the up-front
         # pass (it would densify the corpus) and fills the cache tiers during
         # the first epoch instead — either way each sample renders once.
-        use_cache = cfg.use_series_image_loss and cfg.cache_images
+        # In pipelined mode the producers render (each owns a cache replica,
+        # sharing any spill directory via the cache's cross-process reads), so
+        # the parent neither precomputes nor holds a render cache.
+        pipelined = cfg.n_producers >= 1
+        use_cache = cfg.use_series_image_loss and cfg.cache_images and not pipelined
         corpus_pool = _is_corpus(pool)
         if use_cache:
             spill = cfg.cache_spill_dir is not None
@@ -398,6 +475,17 @@ class AimTSPretrainer:
                 n_workers=cfg.n_workers,
                 compute_dtype=self.dtype_policy.compute_dtype,
             )
+        if pipelined and cfg.prefetch_depth >= 2 and self._producer_pool is None:
+            from repro.engine.parallel import ProducerPool
+
+            # persistent producers: replicas are pure functions of the config,
+            # so reusing them across fits is always safe
+            self._producer_pool = ProducerPool(
+                loop.producer_factory(),
+                n_producers=cfg.n_producers,
+                prefetch_depth=cfg.prefetch_depth,
+                compute_dtype=self.dtype_policy.compute_dtype,
+            )
         engine_callbacks = list(callbacks)
         if verbose:
             engine_callbacks.insert(
@@ -417,6 +505,9 @@ class AimTSPretrainer:
             dtype_policy=self.dtype_policy,
             n_workers=cfg.n_workers,
             worker_pool=self._worker_pool,
+            n_producers=cfg.n_producers,
+            prefetch_depth=cfg.prefetch_depth,
+            producer_pool=self._producer_pool,
         )
         if resume_from is not None:
             self.trainer.load_checkpoint(resume_from)
@@ -424,10 +515,14 @@ class AimTSPretrainer:
         return self.history
 
     def shutdown_workers(self) -> None:
-        """Stop the persistent gradient worker pool (no-op when sequential)."""
+        """Stop the persistent worker and producer pools (idempotent no-op
+        when sequential / already stopped)."""
         if self._worker_pool is not None:
             self._worker_pool.close()
             self._worker_pool = None
+        if self._producer_pool is not None:
+            self._producer_pool.close()
+            self._producer_pool = None
 
     # ------------------------------------------------------------------ utils
     def encode(
@@ -494,6 +589,68 @@ class _PretrainLoop(TrainLoop):
         import functools
 
         return functools.partial(_pretrain_worker_replica, self.pretrainer.config)
+
+    # ---------------------------------------------------------------- pipeline
+    def producer_factory(self):
+        import functools
+
+        return functools.partial(_pretrain_producer_replica, self.pretrainer.config)
+
+    def pipeline_seed(self):
+        return int(self.pretrainer.config.seed)
+
+    def pipeline_batches(self, epoch):
+        """``(indices, series)`` payloads in the stateless epoch schedule.
+
+        The parent gathers the raw series (memmap-backed for corpora) and
+        ships them with the work item; producers stay config-only replicas.
+        Order derives from ``SeedSequence([seed, epoch])`` — see
+        :func:`repro.data.loaders.epoch_index_batches` — so it is shared by
+        the inline reference, every producer count, and resumed runs.
+        """
+        from repro.data.loaders import epoch_index_batches
+
+        if self.iterator is None:
+            raise RuntimeError("worker-replica loops only provide batch_loss()")
+        pretrainer = self.pretrainer
+        cfg = pretrainer.config
+        pool = self.iterator.X
+        corpus = self.iterator.corpus
+        dtype = pretrainer.dtype_policy.np_compute_dtype
+        for indices in epoch_index_batches(
+            pool, cfg.batch_size, epoch=epoch, seed=cfg.seed
+        ):
+            if indices.size < 2:
+                continue  # contrastive losses need at least two samples
+            if corpus is not None:
+                series = corpus.gather(indices).astype(dtype, copy=False)
+            else:
+                series = pool[indices]
+            yield indices, series
+
+    def consume_batch(self, produced) -> dict:
+        series, images, views_a, views_b = produced
+        losses = self.pretrainer.compute_batch_loss(
+            series,
+            images=images,
+            views=None if views_a is None else (views_a, views_b),
+        )
+        return {
+            "loss": losses["total"],
+            "prototype": losses.get("prototype", 0.0),
+            "series_image": losses.get("series_image", 0.0),
+        }
+
+    def pipeline_slot_nbytes(self) -> int:
+        cfg = self.pretrainer.config
+        itemsize = np.dtype(self.pretrainer.dtype_policy.np_compute_dtype).itemsize
+        series = cfg.batch_size * cfg.n_variables * cfg.series_length * itemsize
+        total = series
+        if cfg.use_prototype_loss:
+            total += 2 * cfg.n_augmentations * series
+        if cfg.use_series_image_loss:
+            total += cfg.batch_size * self.pretrainer.renderer.image_nbytes(cfg.n_variables)
+        return total
 
     def named_modules(self) -> dict:
         pretrainer = self.pretrainer

@@ -126,6 +126,46 @@ class CorpusReaderBase:
         if carry.size:
             yield carry
 
+    def batches_for_epoch(
+        self,
+        batch_size: int,
+        *,
+        epoch: int,
+        seed: int,
+        shuffle: bool = True,
+    ) -> Iterator[np.ndarray]:
+        """The epoch's index batches as a *stateless* schedule.
+
+        Unlike :meth:`iter_index_batches` — whose generator consumes a shared
+        ``rng`` and is therefore single-consumer — this derives a private
+        generator from ``SeedSequence([seed, epoch])``, so any number of
+        producers (or a resumed run) can regenerate the identical batch
+        sequence without coordinating iterator state.  Same shard-aware
+        algorithm, same batch shapes.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence([int(seed), int(epoch)]))
+        return self.iter_index_batches(batch_size, rng=rng, shuffle=shuffle)
+
+    def peek_ahead(
+        self,
+        k: int,
+        batch_size: int,
+        *,
+        epoch: int,
+        seed: int,
+        shuffle: bool = True,
+    ) -> list[np.ndarray]:
+        """The first ``k`` index batches of an epoch, without any shared state.
+
+        A producer-side convenience over :meth:`batches_for_epoch`: claiming
+        the look-ahead window never advances anyone else's iterator.
+        """
+        check_positive("k", k)
+        schedule = self.batches_for_epoch(
+            batch_size, epoch=epoch, seed=seed, shuffle=shuffle
+        )
+        return [batch for batch, _ in zip(schedule, range(int(k)))]
+
 
 class ShardedCorpus(CorpusReaderBase):
     """Read a corpus directory written by :class:`~repro.data.corpus.CorpusWriter`.

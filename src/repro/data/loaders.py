@@ -190,6 +190,39 @@ class BatchIterator:
                 yield self.X[batch], labels
 
 
+def epoch_index_batches(
+    pool,
+    batch_size: int,
+    *,
+    epoch: int,
+    seed: int,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Stateless per-epoch batch schedule over an in-RAM pool or a corpus.
+
+    The pipelined pre-training schedule: batch order derives from
+    ``SeedSequence([seed, epoch])`` alone — no shared iterator advances — so
+    producers, the inline reference path and a resumed run all regenerate the
+    identical sequence.  Corpus pools route through the reader's shard-aware
+    :meth:`~repro.data.corpus.reader.CorpusReaderBase.batches_for_epoch`;
+    in-RAM pools use a global permutation.
+    """
+    check_positive("batch_size", batch_size)
+    batch_size = int(batch_size)
+    if _is_corpus(pool):
+        yield from pool.batches_for_epoch(
+            batch_size, epoch=epoch, seed=seed, shuffle=shuffle
+        )
+        return
+    n_samples = int(pool.shape[0]) if hasattr(pool, "shape") else len(pool)
+    order = np.arange(n_samples, dtype=np.int64)
+    if shuffle:
+        rng = np.random.default_rng(np.random.SeedSequence([int(seed), int(epoch)]))
+        rng.shuffle(order)
+    for start in range(0, order.size, batch_size):
+        yield order[start : start + batch_size]
+
+
 def build_pretraining_pool(
     corpus: "list[TimeSeriesDataset] | object",
     *,

@@ -21,7 +21,12 @@ capabilities are implemented exactly once as callbacks:
   ``Trainer(..., n_workers=N)`` splits every batch across a persistent
   spawn-safe :class:`GradientWorkerPool` with shared-memory parameter
   broadcast and fixed-order gradient reduction (``n_workers=1`` stays the
-  bit-exact sequential path).
+  bit-exact sequential path) — and pipelined batch producers:
+  ``Trainer(..., n_producers=N)`` renders + augments ahead of the gradient
+  step through a :class:`ProducerPool` publishing into a bounded
+  shared-memory :class:`RingArena`, with per-batch streams keyed by
+  :func:`derive_step_seed` so the curve is bit-identical at any producer
+  count (``n_producers=0`` stays the bit-exact synchronous path).
 
 A custom training capability is one small class::
 
@@ -48,7 +53,14 @@ from repro.engine.callbacks import (
 )
 from repro.engine.history import History, LossCurve
 from repro.engine.loop import TrainLoop, dropout_rngs, shard_arrays
-from repro.engine.parallel import GradientWorkerPool, WorkerError, derive_worker_seed
+from repro.engine.parallel import (
+    GradientWorkerPool,
+    ProducerPool,
+    RingArena,
+    WorkerError,
+    derive_step_seed,
+    derive_worker_seed,
+)
 from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
 from repro.engine.trainer import CHECKPOINT_KIND, CHECKPOINT_TAG, Trainer
 
@@ -56,8 +68,11 @@ __all__ = [
     "Trainer",
     "TrainLoop",
     "GradientWorkerPool",
+    "ProducerPool",
+    "RingArena",
     "WorkerError",
     "derive_worker_seed",
+    "derive_step_seed",
     "shard_arrays",
     "TrainState",
     "DtypePolicy",

@@ -47,6 +47,17 @@ class TrainLoop:
     ``factory(worker_index, n_workers)`` that rebuilds a replica with
     ``parameters()`` / ``batch_loss()`` / ``named_modules()`` inside a spawn
     worker — and may tune :attr:`shard_min_samples` / :meth:`shard_batch`.
+
+    Loops that support pipelined pre-training (``Trainer(..., n_producers=N)``)
+    provide the producer hooks: :meth:`producer_factory` (a picklable
+    ``factory(producer_index)`` building an object with ``produce(epoch,
+    step, payload)``), :meth:`pipeline_batches` (the *stateless* per-epoch
+    payload schedule, keyed by ``SeedSequence([seed, epoch])`` so producers
+    never consume shared iterator state) and :meth:`consume_batch` (the loss
+    on a produced batch).  The contract: ``produce`` derives every stochastic
+    stream from ``derive_step_seed(seed, epoch, step)``, so running the same
+    schedule inline, or through any number of producer processes, yields
+    bit-identical losses.
     """
 
     #: smallest shard :meth:`shard_batch` will produce (contrastive
@@ -92,6 +103,44 @@ class TrainLoop:
     def shard_batch(self, batch, n_shards: int) -> list[tuple]:
         """Split one batch into ``[(sub_batch, n_samples), ...]`` shards."""
         return shard_arrays(batch, n_shards, min_samples=self.shard_min_samples)
+
+    # ---------------------------------------------------------------- pipeline
+    def producer_factory(self):
+        """Picklable ``factory(producer_index)`` building a batch producer.
+
+        Returns ``None`` (the default) when the loop does not support
+        pipelined training; the trainer then rejects ``n_producers >= 1``.
+        """
+        return None
+
+    def pipeline_batches(self, epoch: int) -> Iterable:  # pragma: no cover - interface
+        """Lazily yield the epoch's produce payloads in schedule (step) order.
+
+        Must be *stateless in epoch*: the schedule derives from
+        ``SeedSequence([seed, epoch])``, not from a shared mutable iterator —
+        so any producer (or a resumed run) can regenerate it exactly.
+        """
+        raise NotImplementedError
+
+    def consume_batch(self, produced):
+        """Loss for one produced batch (defaults to :meth:`batch_loss`).
+
+        ``produced`` may hold zero-copy views into the producer ring; they
+        are valid for the duration of this step only.
+        """
+        return self.batch_loss(produced)
+
+    def pipeline_slot_nbytes(self) -> int:
+        """Estimated bytes of one produced batch (ring slot sizing hint).
+
+        ``0`` lets the pool pick a generic default; oversize batches still
+        work via the pickle fallback, just slower.
+        """
+        return 0
+
+    def pipeline_seed(self):
+        """The base seed of the step-keyed pipeline streams (checkpoint metadata)."""
+        return None
 
 
 def shard_arrays(batch, n_shards: int, *, min_samples: int = 1) -> list[tuple]:

@@ -1,4 +1,4 @@
-"""Sharded data-parallel gradient workers for the training engine.
+"""Sharded data-parallel gradient workers and pipelined batch producers.
 
 A :class:`GradientWorkerPool` keeps ``n_workers`` **persistent** spawn-safe
 ``multiprocessing`` processes alive across the whole ``fit``.  Each worker
@@ -27,6 +27,19 @@ Determinism contract
 * Contrastive objectives see per-shard negatives (as in standard data-
   parallel contrastive training), so a 2-worker curve is not the 1-worker
   curve — only reproducible against itself.
+
+Pipelined producers (PR 8)
+--------------------------
+:class:`ProducerPool` runs the *produce* side of a training step (render +
+augment) in ``n_producers`` persistent spawn processes ahead of the gradient
+step.  Finished batches are published through a bounded shared-memory
+:class:`RingArena` (``prefetch_depth`` slots, per-slot acquire/release
+handshake on the parent), so the consumer reads zero-copy views while the
+producers already work on later steps.  Determinism is *step-keyed*: every
+per-batch stochastic stream derives from ``SeedSequence([seed, epoch,
+step])`` (:func:`derive_step_seed`), never from arrival order or producer
+identity — the pipelined loss curve is bit-identical at any producer count,
+and producers can grow/shrink between epochs without changing it.
 """
 
 from __future__ import annotations
@@ -56,6 +69,17 @@ class WorkerError(RuntimeError):
 def derive_worker_seed(seed: int, worker_index: int, n_workers: int) -> np.random.SeedSequence:
     """The per-shard RNG root: deterministic in (seed, shard, worker count)."""
     return np.random.SeedSequence([int(seed), int(worker_index), int(n_workers)])
+
+
+def derive_step_seed(seed: int, epoch: int, step: int) -> np.random.SeedSequence:
+    """The per-batch RNG root of the pipelined path.
+
+    Keyed by *schedule position*, never by which producer runs the batch or
+    when it finishes — so the pipelined loss curve is invariant to the
+    producer count, the prefetch depth and mid-training producer resizes,
+    and a resume at ``(epoch, step)`` replays the identical streams.
+    """
+    return np.random.SeedSequence([int(seed), int(epoch), int(step)])
 
 
 # --------------------------------------------------------------------------- #
@@ -166,6 +190,129 @@ class InputArena:
 _InputArena = InputArena
 
 
+class _SlotWriter:
+    """Writer over one ring slot; duck-types ``InputArena.write`` for
+    :func:`_encode_batch`.  Arrays that do not fit the remaining slot space
+    get ``None`` back (→ pickle fallback through the result queue)."""
+
+    def __init__(self, buf, start: int, limit: int):
+        self._buf = buf
+        self._start = start
+        self._limit = limit
+        self._cursor = start
+
+    def write(self, array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        offset = self._cursor
+        if offset + array.nbytes > self._limit:
+            return None
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._buf, offset=offset)
+        view[...] = array
+        self._cursor = offset + array.nbytes
+        return (offset, array.dtype.name, tuple(array.shape))
+
+
+class RingArena:
+    """A bounded multi-slot shared-memory ring for produced batches.
+
+    The multi-slot generalisation of :class:`InputArena`: one segment of
+    ``depth`` equal slots, where step ``s`` of an epoch always lands in slot
+    ``s % depth`` (:meth:`slot_of`).  The parent owns the free/ready
+    handshake — :meth:`acquire` marks a step's slot busy before the produce
+    message is sent, :meth:`release` frees it once the consumer finishes the
+    step — so a slot is only ever rewritten after its previous occupant was
+    fully consumed.  Producers attach by ``name`` and write through
+    :meth:`writer`; descriptors are absolute ``(offset, dtype, shape)``
+    triples the consumer maps back as zero-copy views via :meth:`view`.
+
+    A batch larger than ``slot_nbytes`` does not deadlock the ring: the
+    writer rejects the overflowing arrays and they travel pickled through the
+    result queue instead (correct, just slower — counted per stream).
+    """
+
+    #: slot sizes are rounded up to this multiple so every slot start is
+    #: cache-line aligned
+    ALIGN = 64
+
+    def __init__(
+        self, depth: int, slot_nbytes: int, *, create: bool = True, name: str | None = None
+    ):
+        if depth < 2:
+            raise ValueError(f"RingArena needs depth >= 2 (double-buffered), got {depth}")
+        if slot_nbytes < 1:
+            raise ValueError(f"slot_nbytes must be positive, got {slot_nbytes}")
+        self.depth = int(depth)
+        self.slot_nbytes = -(-int(slot_nbytes) // self.ALIGN) * self.ALIGN
+        self._shm = (
+            SharedMemory(create=True, size=self.depth * self.slot_nbytes)
+            if create
+            else SharedMemory(name=name)
+        )
+        self.name = self._shm.name
+        self._busy: set[int] = set()
+
+    @classmethod
+    def attach(cls, name: str, depth: int, slot_nbytes: int) -> "RingArena":
+        """Map an existing ring by name (producer side)."""
+        return cls(depth, slot_nbytes, create=False, name=name)
+
+    @property
+    def spec(self) -> tuple[str, int, int]:
+        """``(name, depth, slot_nbytes)`` — enough for a producer to attach."""
+        return (self.name, self.depth, self.slot_nbytes)
+
+    def slot_of(self, step: int) -> int:
+        return int(step) % self.depth
+
+    # ------------------------------------------------------- parent handshake
+    def acquire(self, step: int) -> int | None:
+        """Claim ``step``'s slot for writing; ``None`` while it is still busy.
+
+        Backpressure lives here: with every slot busy (consumer stalled),
+        acquire keeps returning ``None`` and the submitter must wait for a
+        :meth:`release` before dispatching more work.
+        """
+        slot = self.slot_of(step)
+        if slot in self._busy:
+            return None
+        self._busy.add(slot)
+        return slot
+
+    def release(self, step: int) -> None:
+        """Free ``step``'s slot after its batch was fully consumed."""
+        self._busy.discard(self.slot_of(step))
+
+    @property
+    def n_busy(self) -> int:
+        return len(self._busy)
+
+    # --------------------------------------------------------------- data I/O
+    def writer(self, slot: int) -> _SlotWriter:
+        """A fresh bounded writer over one slot (producer side)."""
+        if not 0 <= int(slot) < self.depth:
+            raise ValueError(f"slot {slot} out of range for depth {self.depth}")
+        start = int(slot) * self.slot_nbytes
+        return _SlotWriter(self._shm.buf, start, start + self.slot_nbytes)
+
+    def view(self, descriptor) -> np.ndarray:
+        """Map a writer descriptor back to a zero-copy array view.
+
+        Valid until the slot holding it is :meth:`release`-d and rewritten —
+        the consumer must finish (or copy) before releasing.
+        """
+        offset, dtype, shape = descriptor
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+
+    def close(self, *, unlink: bool) -> None:
+        self._busy.clear()
+        try:
+            self._shm.close()
+            if unlink:
+                self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+
 def _encode_batch(batch, arena: InputArena | None):
     """Replace ndarrays in a (possibly nested) batch with arena descriptors."""
     if isinstance(batch, np.ndarray):
@@ -178,23 +325,36 @@ def _encode_batch(batch, arena: InputArena | None):
     return ("raw", batch)
 
 
-def _decode_batch(encoded, shm_buf):
-    """Rebuild a batch from :func:`_encode_batch` output (worker side).
+def _decode_batch(encoded, shm_buf, *, copy: bool = True):
+    """Rebuild a batch from :func:`_encode_batch` output.
 
-    Shared-memory arrays are **copied** out of the arena so the parent can
-    start writing the next step while the worker still computes.
+    With ``copy=True`` (the gradient-worker default) shared-memory arrays are
+    **copied** out of the arena so the parent can start writing the next step
+    while the worker still computes.  ``copy=False`` returns views — the ring
+    consumer's zero-copy path, safe because a ring slot is only released
+    (and thus rewritten) after the consumer finishes the step.
     """
     kind = encoded[0]
     if kind == "shm":
         offset, dtype, shape = encoded[1]
         view = np.ndarray(shape, dtype=dtype, buffer=shm_buf, offset=offset)
-        return view.copy()
+        return view.copy() if copy else view
     if kind == "pickle":
         return encoded[1]
     if kind == "seq":
-        items = [_decode_batch(item, shm_buf) for item in encoded[2]]
+        items = [_decode_batch(item, shm_buf, copy=copy) for item in encoded[2]]
         return tuple(items) if encoded[1] == "tuple" else items
     return encoded[1]
+
+
+def _count_pickled(encoded) -> int:
+    """Arrays in an encoded batch that overflowed shared memory into pickles."""
+    kind = encoded[0]
+    if kind == "pickle":
+        return 1
+    if kind == "seq":
+        return sum(_count_pickled(item) for item in encoded[2])
+    return 0
 
 
 def _estimate_nbytes(batch) -> int:
@@ -533,6 +693,366 @@ class GradientWorkerPool:
             arena.close()
 
     def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# pipelined batch producers
+# --------------------------------------------------------------------------- #
+def _producer_main(producer_index, factory, compute_dtype, work_queue, result_queue) -> None:
+    """Entry point of one batch-producer process.
+
+    Producers are homogeneous pullers on one shared work queue: any producer
+    may run any step, because every stochastic stream a step consumes is
+    derived from the step key (:func:`derive_step_seed`) inside ``produce``
+    itself — producer identity never reaches the curve.
+    """
+    import time as time_module
+
+    from repro.nn.tensor import set_default_dtype
+
+    rings: dict[str, RingArena] = {}
+    try:
+        set_default_dtype(np.dtype(compute_dtype))
+        producer = factory(producer_index)
+        result_queue.put((producer_index, "ready", None))
+        while True:
+            message = work_queue.get()
+            if message[0] == "stop":
+                break
+            _, epoch, step, slot, ring_spec, payload = message
+            start = time_module.perf_counter()
+            produced = producer.produce(epoch, step, payload)
+            name, depth, slot_nbytes = ring_spec
+            ring = rings.get(name)
+            if ring is None:
+                # a new name supersedes the ring — close stale mappings so the
+                # parent's unlink can reclaim the old segment
+                for stale in rings.values():
+                    stale.close(unlink=False)
+                rings.clear()
+                ring = RingArena.attach(name, depth, slot_nbytes)
+                rings[name] = ring
+            encoded = _encode_batch(produced, ring.writer(slot))
+            seconds = time_module.perf_counter() - start
+            result_queue.put(
+                (producer_index, "ok", (step, encoded, seconds, _count_pickled(encoded)))
+            )
+    except Exception:  # pragma: no cover - exercised via WorkerError tests
+        result_queue.put((producer_index, "error", traceback.format_exc()))
+    finally:
+        for ring in rings.values():
+            ring.close(unlink=False)
+
+
+class ProducerPool:
+    """Persistent pool of pipelined batch producers (parent side).
+
+    Parameters
+    ----------
+    factory:
+        Picklable ``factory(producer_index)`` returning a producer object
+        with ``produce(epoch, step, payload)`` (see
+        ``TrainLoop.producer_factory``).  Unlike ``worker_factory`` it takes
+        no pool-size argument: per-step streams are keyed by
+        :func:`derive_step_seed`, so replicas must not (and cannot) condition
+        on the producer count — that is what makes :meth:`resize` curve-safe.
+    n_producers:
+        Producer process count (>= 1; ``0`` never reaches this class — the
+        trainer runs the classic synchronous path).
+    prefetch_depth:
+        Ring slots, i.e. the maximum number of in-flight produced batches
+        (>= 2, double-buffered minimum).
+    compute_dtype:
+        Tensor default dtype installed in every producer, matching the
+        consumer's precision policy.
+    """
+
+    def __init__(
+        self,
+        factory,
+        *,
+        n_producers: int,
+        prefetch_depth: int = 2,
+        compute_dtype: str = "float64",
+        start_method: str = DEFAULT_START_METHOD,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if n_producers < 1:
+            raise ValueError(f"ProducerPool needs n_producers >= 1, got {n_producers}")
+        if prefetch_depth < 2:
+            raise ValueError(
+                f"prefetch_depth must be >= 2 (double-buffered), got {prefetch_depth}"
+            )
+        try:
+            pickle.dumps(factory)
+        except Exception as error:
+            raise ValueError(
+                f"producer_factory must be picklable for spawn-based producers: {error}"
+            ) from error
+        self._factory = factory
+        self.prefetch_depth = int(prefetch_depth)
+        self.timeout = float(timeout)
+        self._compute_dtype = str(compute_dtype)
+        self._context = get_context(start_method)
+        self._work_queue = self._context.Queue()
+        self._result_queue = self._context.Queue()
+        self._ring: RingArena | None = None
+        self._closed = False
+        self._broken = False
+        self._processes: dict[int, object] = {}
+        self._next_index = 0
+        #: per-stream pipeline counters of the most recent epoch (see stream())
+        self.last_stream_stats: dict[str, float] | None = None
+        self._spawn(int(n_producers))
+        atexit.register(self.close)
+
+    @property
+    def n_producers(self) -> int:
+        return len(self._processes)
+
+    # ----------------------------------------------------------------- spawn
+    def _spawn(self, count: int) -> None:
+        fresh = []
+        for _ in range(count):
+            index = self._next_index
+            self._next_index += 1
+            process = self._context.Process(
+                target=_producer_main,
+                args=(
+                    index,
+                    self._factory,
+                    self._compute_dtype,
+                    self._work_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes[index] = process
+            fresh.append(index)
+        pending = set(fresh)
+        while pending:
+            index, kind, payload = self._wait_result()
+            if kind != "ready" or index not in pending:
+                self._broken = True
+                raise WorkerError(
+                    f"protocol error: producer {index} sent {kind!r} during startup"
+                )
+            pending.discard(index)
+
+    def _wait_result(self):
+        """One result-queue message, with liveness-checked timeout.
+
+        Waits in short slices so a crashed producer surfaces as a
+        :class:`WorkerError` within a couple of seconds instead of
+        deadlocking the ring until the full timeout.
+        """
+        import queue as queue_module
+        import time as time_module
+
+        deadline = time_module.monotonic() + self.timeout
+        while True:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [i for i, p in self._processes.items() if not p.is_alive()]
+                if dead:
+                    # give a queued error traceback one chance to beat the
+                    # liveness check (the process may have died right after
+                    # reporting)
+                    try:
+                        message = self._result_queue.get_nowait()
+                    except queue_module.Empty:
+                        self._broken = True
+                        raise WorkerError(
+                            f"producer process(es) {dead} died without a reply"
+                        ) from None
+                else:
+                    if time_module.monotonic() > deadline:
+                        self._broken = True
+                        raise WorkerError(
+                            "timed out waiting for batch producers (dead: none)"
+                        ) from None
+                    continue
+            index, kind, payload = message
+            if kind == "error":
+                self._broken = True
+                raise WorkerError(f"batch producer {index} failed:\n{payload}")
+            return index, kind, payload
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("producer pool is closed")
+        if self._broken:
+            raise RuntimeError(
+                "producer pool is broken after a prior producer error; "
+                "close it and create a new pool"
+            )
+
+    # ---------------------------------------------------------------- stream
+    def _ensure_ring(self, slot_nbytes: int) -> None:
+        needed = max(int(slot_nbytes), 1)
+        if self._ring is not None and needed <= self._ring.slot_nbytes:
+            return
+        if self._ring is not None:
+            self._ring.close(unlink=True)  # producers drop their stale maps
+        self._ring = RingArena(self.prefetch_depth, int(needed * 1.25) + 64)
+
+    def stream(self, epoch: int, payloads, *, slot_nbytes: int = 0):
+        """Yield produced batches for ``payloads`` in submission (step) order.
+
+        ``payloads`` is a lazy iterable of per-step produce inputs; at most
+        ``prefetch_depth`` are in flight (and thus parent-resident) at once,
+        so an out-of-core epoch never materialises.  Yielded batches are
+        zero-copy views into the ring — each step's slot is released when the
+        generator is resumed for the next step, i.e. after the consumer
+        finished its forward/backward.  ``slot_nbytes`` hints the produced
+        batch size (the ring grows to fit; oversize arrays still fall back to
+        pickling).  On exhaustion (or abandonment) the in-flight tail is
+        drained so the pool stays usable; ``last_stream_stats`` then holds
+        the epoch's produce/stall/occupancy counters.
+        """
+        import time as time_module
+
+        self._check_usable()
+        self._ensure_ring(slot_nbytes)
+        ring = self._ring
+        payload_iter = iter(payloads)
+        stats = {
+            "steps": 0,
+            "produce_seconds": 0.0,
+            "stall_seconds": 0.0,
+            "oversize_arrays": 0,
+            "n_producers": float(self.n_producers),
+            "prefetch_depth": float(self.prefetch_depth),
+        }
+        submitted = consumed = 0
+        exhausted = False
+        pending: dict[int, tuple] = {}
+        wall_start = time_module.perf_counter()
+
+        def submit_next():
+            nonlocal submitted, exhausted
+            try:
+                payload = next(payload_iter)
+            except StopIteration:
+                exhausted = True
+                return
+            slot = ring.acquire(submitted)
+            assert slot is not None  # depth-bounded submission keeps slots free
+            self._work_queue.put(("produce", epoch, submitted, slot, ring.spec, payload))
+            submitted += 1
+
+        try:
+            while not exhausted and submitted - consumed < self.prefetch_depth:
+                submit_next()
+            while consumed < submitted:
+                wait_start = time_module.perf_counter()
+                while consumed not in pending:
+                    _, _, (step, encoded, seconds, n_pickled) = self._wait_result()
+                    pending[step] = (encoded, seconds, n_pickled)
+                stats["stall_seconds"] += time_module.perf_counter() - wait_start
+                encoded, seconds, n_pickled = pending.pop(consumed)
+                stats["produce_seconds"] += seconds
+                stats["oversize_arrays"] += n_pickled
+                stats["steps"] += 1
+                try:
+                    yield _decode_batch(encoded, ring._shm.buf, copy=False)
+                finally:
+                    # runs on normal resume AND on mid-yield abandonment, so
+                    # the outer drain never waits for an already-taken reply
+                    ring.release(consumed)
+                    consumed += 1
+                if not exhausted:
+                    submit_next()
+        finally:
+            # consumer done or bailed mid-epoch: drain the in-flight tail so
+            # slots free up and no stale reply can pair with a future stream
+            while consumed < submitted:
+                try:
+                    if consumed not in pending:
+                        _, _, (step, encoded, seconds, n_pickled) = self._wait_result()
+                        pending[step] = (encoded, seconds, n_pickled)
+                        continue
+                except WorkerError:
+                    break  # pool already marked broken
+                pending.pop(consumed)
+                ring.release(consumed)
+                consumed += 1
+            wall = time_module.perf_counter() - wall_start
+            stats["wall_seconds"] = wall
+            stats["occupancy"] = (
+                stats["produce_seconds"] / (self.n_producers * wall) if wall > 0 else 0.0
+            )
+            self.last_stream_stats = stats
+
+    # ---------------------------------------------------------------- resize
+    def resize(self, n_producers: int) -> None:
+        """Grow or shrink the producer set between epochs.
+
+        Curve-safe by construction: producers are identity-free pullers on a
+        shared queue, so the schedule and every per-step stream are unchanged
+        — only the produce-side parallelism moves.  Must not be called while
+        a :meth:`stream` is active.
+        """
+        self._check_usable()
+        n_producers = int(n_producers)
+        if n_producers < 1:
+            raise ValueError(f"resize needs n_producers >= 1, got {n_producers}")
+        current = len(self._processes)
+        if n_producers > current:
+            self._spawn(n_producers - current)
+            return
+        if n_producers == current:
+            return
+        import time as time_module
+
+        for _ in range(current - n_producers):
+            self._work_queue.put(("stop",))
+        deadline = time_module.monotonic() + self.timeout
+        while len(self._processes) > n_producers:
+            for index, process in list(self._processes.items()):
+                process.join(timeout=0.05)
+                if not process.is_alive():
+                    del self._processes[index]
+            if time_module.monotonic() > deadline:  # pragma: no cover - hung producer
+                self._broken = True
+                raise WorkerError("timed out shrinking the producer pool")
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        """Stop the producers and release the ring.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for _ in range(len(self._processes)):
+            try:
+                self._work_queue.put(("stop",))
+            except (ValueError, OSError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes.values():
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung producer
+                process.terminate()
+                process.join(timeout=5.0)
+        self._work_queue.close()
+        self._result_queue.close()
+        if self._ring is not None:
+            self._ring.close(unlink=True)
+            self._ring = None
+
+    def __enter__(self) -> "ProducerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -82,6 +82,27 @@ class Trainer:
         alive across fits so worker startup is paid once.  The caller owns
         (and closes) a borrowed pool; a trainer-spawned one is closed when
         ``fit`` returns.
+    n_producers:
+        Pipelined pre-training: with ``n_producers >= 1`` every epoch runs
+        the loop's *stateless* pipeline schedule, producing batches (render +
+        augment) in producer processes ahead of the gradient step through a
+        bounded shared-memory ring (see
+        :class:`~repro.engine.parallel.ProducerPool`).  Per-batch streams are
+        keyed by ``derive_step_seed(seed, epoch, step)``, so the loss curve
+        is bit-identical at any producer count — and ``prefetch_depth=0``
+        runs the identical schedule inline (no processes), the sequential
+        reference the pipelined runs are asserted against.  ``n_producers=0``
+        (default) is the classic synchronous path, bit-exact with earlier
+        releases.  Mutually exclusive with ``n_workers >= 2``.  The count can
+        be changed between epochs (``trainer.n_producers = k`` from a
+        callback): the pool grows/shrinks without touching the curve.
+    prefetch_depth:
+        Ring slots, i.e. the produce-ahead bound (>= 2, double-buffered
+        minimum; ``0`` = inline synchronous reference mode).
+    producer_pool:
+        An already-running :class:`~repro.engine.parallel.ProducerPool` to
+        borrow instead of spawning one per ``fit`` (estimators keep one alive
+        across fits).  The caller owns and closes it.
     """
 
     def __init__(
@@ -97,14 +118,40 @@ class Trainer:
         state: TrainState | None = None,
         n_workers: int = 1,
         worker_pool=None,
+        n_producers: int = 0,
+        prefetch_depth: int = 2,
+        producer_pool=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if n_producers < 0:
+            raise ValueError(f"n_producers must be >= 0, got {n_producers}")
+        if prefetch_depth != 0 and prefetch_depth < 2:
+            raise ValueError(
+                f"prefetch_depth must be 0 (inline) or >= 2 (double-buffered), "
+                f"got {prefetch_depth}"
+            )
+        if producer_pool is not None:
+            n_producers = producer_pool.n_producers
+            prefetch_depth = producer_pool.prefetch_depth
+        if n_producers >= 1 and (n_workers > 1 or worker_pool is not None):
+            raise ValueError(
+                "pipelined producers (n_producers >= 1) require the sequential "
+                "gradient path (n_workers=1); combine one or the other"
+            )
         self.loop = loop
         self.optimizer = optimizer
         self.scheduler = scheduler
         self.n_workers = int(n_workers if worker_pool is None else worker_pool.n_workers)
         self.worker_pool = worker_pool
+        self.n_producers = int(n_producers)
+        self.prefetch_depth = int(prefetch_depth)
+        self.producer_pool = producer_pool
+        #: per-epoch pipeline counters of the most recent fit (pipelined runs
+        #: only): produce/stall seconds, occupancy, steps — see
+        #: :meth:`pipeline_summary`
+        self.pipeline_stats: list[dict] = []
+        self._inline_producer = None
         self.callbacks: list[Callback] = list(callbacks)
         self.rng = rng
         self.dtype_policy = dtype_policy or DtypePolicy()
@@ -212,17 +259,100 @@ class Trainer:
             compute_dtype=self.dtype_policy.compute_dtype,
         )
 
-    def _fit(self, epochs: int) -> History:
-        if self.worker_pool is not None:  # borrowed: the owner closes it
-            return self._fit_epochs(int(epochs), self.worker_pool)
-        pool = self._make_worker_pool() if self.n_workers > 1 else None
-        try:
-            return self._fit_epochs(int(epochs), pool)
-        finally:
-            if pool is not None:
-                pool.close()
+    def _make_producer_pool(self):
+        """Spin up the batch-producer pool for pipelined (``n_producers >= 1``) runs."""
+        from repro.engine.parallel import ProducerPool
 
-    def _fit_epochs(self, epochs: int, pool) -> History:
+        return ProducerPool(
+            self._producer_factory(),
+            n_producers=self.n_producers,
+            prefetch_depth=self.prefetch_depth,
+            compute_dtype=self.dtype_policy.compute_dtype,
+        )
+
+    def _producer_factory(self):
+        factory = self.loop.producer_factory()
+        if factory is None:
+            raise ValueError(
+                f"{type(self.loop).__name__} does not support pipelined training "
+                "(producer_factory() returned None); use n_producers=0"
+            )
+        return factory
+
+    def _fit(self, epochs: int) -> History:
+        own_producers = None
+        producers = self.producer_pool
+        if self.n_producers >= 1 and producers is None:
+            if self.prefetch_depth == 0:
+                # inline sequential reference: the identical schedule and
+                # step-keyed streams, executed synchronously on the parent
+                self._inline_producer = self._producer_factory()(0)
+            else:
+                producers = own_producers = self._make_producer_pool()
+        try:
+            if self.worker_pool is not None:  # borrowed: the owner closes it
+                return self._fit_epochs(int(epochs), self.worker_pool, producers)
+            pool = self._make_worker_pool() if self.n_workers > 1 else None
+            try:
+                return self._fit_epochs(int(epochs), pool, producers)
+            finally:
+                if pool is not None:
+                    pool.close()
+        finally:
+            if own_producers is not None:
+                own_producers.close()
+
+    def _pipeline_epoch_batches(self, epoch: int, producers):
+        """Produced batches of one pipelined epoch, in schedule order."""
+        import time as time_module
+
+        payloads = self.loop.pipeline_batches(epoch)
+        if producers is None:  # inline sequential reference (prefetch_depth=0)
+            stats = {"steps": 0, "produce_seconds": 0.0, "stall_seconds": 0.0,
+                     "oversize_arrays": 0, "n_producers": 0.0, "prefetch_depth": 0.0}
+            wall_start = time_module.perf_counter()
+            try:
+                for step, payload in enumerate(payloads):
+                    start = time_module.perf_counter()
+                    produced = self._inline_producer.produce(epoch, step, payload)
+                    stats["produce_seconds"] += time_module.perf_counter() - start
+                    stats["steps"] += 1
+                    yield produced
+            finally:
+                wall = time_module.perf_counter() - wall_start
+                stats["wall_seconds"] = wall
+                stats["occupancy"] = stats["produce_seconds"] / wall if wall > 0 else 0.0
+                self.pipeline_stats.append({"epoch": epoch, **stats})
+            return
+        if producers.n_producers != self.n_producers:
+            # elastic producers: a callback moved the knob between epochs
+            producers.resize(self.n_producers)
+        try:
+            yield from producers.stream(
+                epoch, payloads, slot_nbytes=self.loop.pipeline_slot_nbytes()
+            )
+        finally:
+            if producers.last_stream_stats is not None:
+                self.pipeline_stats.append({"epoch": epoch, **producers.last_stream_stats})
+
+    def pipeline_summary(self) -> dict[str, float]:
+        """Aggregate produce/stall/occupancy stats over the recorded epochs."""
+        if not self.pipeline_stats:
+            return {}
+        produce = sum(entry["produce_seconds"] for entry in self.pipeline_stats)
+        stall = sum(entry["stall_seconds"] for entry in self.pipeline_stats)
+        wall = sum(entry["wall_seconds"] for entry in self.pipeline_stats)
+        occupancies = [entry["occupancy"] for entry in self.pipeline_stats]
+        return {
+            "produce_seconds": produce,
+            "consumer_stall_seconds": stall,
+            "wall_seconds": wall,
+            "producer_occupancy": sum(occupancies) / len(occupancies),
+            "oversize_arrays": sum(entry["oversize_arrays"] for entry in self.pipeline_stats),
+            "steps": sum(entry["steps"] for entry in self.pipeline_stats),
+        }
+
+    def _fit_epochs(self, epochs: int, pool, producers=None) -> History:
         accumulation = next(
             (cb.steps for cb in self.callbacks if isinstance(cb, GradAccumulation)), 1
         )
@@ -232,11 +362,17 @@ class Trainer:
         self._emit("on_fit_start")
         for epoch in range(self.state.epoch, int(epochs)):
             self._emit("on_epoch_start", epoch)
+            if self.n_producers >= 1:
+                batches = self._pipeline_epoch_batches(epoch, producers)
+                loss_fn = self.loop.consume_batch
+            else:
+                batches = self.loop.make_batches(self.rng, epoch)
+                loss_fn = self.loop.batch_loss
             totals: dict[str, float] = {}
             n_batches = 0
             micro = 0
             aborted = False
-            for batch in self.loop.make_batches(self.rng, epoch):
+            for batch in batches:
                 if micro == 0:
                     self.optimizer.zero_grad()
                 if pool is not None:
@@ -245,7 +381,7 @@ class Trainer:
                         accumulate=micro > 0,
                     )
                 else:
-                    losses = self._normalize_losses(self.loop.batch_loss(batch))
+                    losses = self._normalize_losses(loss_fn(batch))
                     losses["loss"].backward()
                     logs = {
                         key: float(value.item()) if isinstance(value, Tensor) else float(value)
@@ -269,6 +405,10 @@ class Trainer:
                 # abort, the caller) observe the modules
                 pool.sync_module_buffers(self.loop.named_modules())
             if aborted:
+                if self.n_producers >= 1:
+                    # close the produced-batch generator now (not at GC) so
+                    # in-flight ring slots drain before anything else runs
+                    batches.close()
                 break
             if micro > 0:  # leftover partial accumulation window still steps
                 self._finish_step(accumulation, micro)
@@ -323,6 +463,18 @@ class Trainer:
                 name: get_rng_state(generator)
                 for name, generator in self.loop.named_rngs().items()
             },
+            # the pipeline cursor: epoch/step live in train_state; recording
+            # the mode + seed keying here lets resume re-arm the *same* batch
+            # schedule and per-step producer streams (SeedSequence([seed,
+            # epoch, step]) needs nothing else to replay bit-identically)
+            "pipeline": None
+            if self.n_producers == 0
+            else {
+                "n_producers": self.n_producers,
+                "prefetch_depth": self.prefetch_depth,
+                "seed": self.loop.pipeline_seed(),
+                "seed_keying": "SeedSequence([seed, epoch, step])",
+            },
         }
         return save_bundle(path, arrays, manifest)
 
@@ -375,6 +527,18 @@ class Trainer:
                 set_rng_state(rngs[name], stored)
         self.history.load(manifest.get("history") or {})
         self.state.restore_progress(manifest["train_state"])
+        # the checkpoint's pipeline mode wins: pipelined and sequential paths
+        # key their per-batch RNG streams differently, so resuming in the
+        # other mode would silently break the bit-identical-resume guarantee.
+        # The producer *count* itself is curve-free — restoring it (and the
+        # prefetch depth) just reproduces the recorded configuration.
+        pipeline = manifest.get("pipeline")
+        if pipeline is None:
+            self.n_producers = 0
+        elif self.n_workers == 1:  # sharded trainers keep their (warned) path
+            self.n_producers = int(pipeline["n_producers"])
+            if self.producer_pool is None:
+                self.prefetch_depth = int(pipeline["prefetch_depth"])
         return self.state
 
     def resume(self, path, *, epochs: int | None = None) -> History:

@@ -26,7 +26,10 @@ Design:
   requested series hash and a stored image content hash — a corrupted or
   stale file is counted in ``readback_failures`` and transparently
   re-rendered.  Because renders are deterministic, each image is written to
-  disk at most once no matter how often it shuttles between tiers;
+  disk at most once no matter how often it shuttles between tiers.  Files
+  appear atomically (temp + ``os.replace``) with a ``.meta`` sidecar, so
+  several processes — e.g. the pipelined pre-training producers — can share
+  one spill directory and adopt each other's renders instead of re-rendering;
 * hit/miss/eviction counters plus render timings and the spill-tier
   counters (``spilled_bytes`` / ``disk_hits`` / ``readback_failures``) are
   exposed via :meth:`stats` so benchmarks (``benchmarks/test_perf_imaging.py``,
@@ -186,18 +189,42 @@ class RenderCache:
         return images
 
     # ------------------------------------------------------------- spill tier
+    #
+    # The spill directory is shareable across processes (the pipelined
+    # pre-training producers of :mod:`repro.engine.parallel` each hold their
+    # own RenderCache over one directory): every ``.npy`` lands via an atomic
+    # rename, and a sidecar ``.meta`` file carries the (series hash, image
+    # hash, nbytes) triple so a sibling's file can be adopted — or served —
+    # with exactly the validation an own write gets.
+    _META_NBYTES = 16 + 16 + 8  # series hash + image hash + uint64 nbytes
+
     def _spill_path(self, index: int) -> str:
         return os.path.join(self.spill_dir, f"img-{index:09d}.npy")
+
+    def _meta_path(self, index: int) -> str:
+        return self._spill_path(index) + ".meta"
+
+    def _read_sidecar(self, index: int) -> tuple[bytes, bytes, int] | None:
+        """The on-disk metadata of a spilled image, however wrote it."""
+        try:
+            with open(self._meta_path(index), "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        if len(raw) != self._META_NBYTES:
+            return None  # torn sidecar from a pre-atomic writer: ignore
+        return raw[:16], raw[16:32], int.from_bytes(raw[32:40], "little")
 
     def _drop_spill(self, index: int) -> None:
         meta = self._spill_meta.pop(index, None)
         if meta is None:
             return
         self.spilled_bytes -= meta[2]
-        try:
-            os.remove(self._spill_path(index))
-        except OSError:  # pragma: no cover - already gone
-            pass
+        for path in (self._spill_path(index), self._meta_path(index)):
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
 
     def _spill_entry(self, index: int, image: np.ndarray, series_hash: bytes) -> None:
         """Move one evicted image to the disk tier (skip if already there)."""
@@ -208,7 +235,24 @@ class RenderCache:
             and self.spilled_bytes + image.nbytes > self.spill_max_bytes
         ):
             return
-        np.save(self._spill_path(index), image)
+        sidecar = self._read_sidecar(index)
+        if sidecar is not None and sidecar[0] == series_hash and sidecar[2] == image.nbytes:
+            # a sibling process already spilled this deterministic render —
+            # adopt its file instead of rewriting identical bytes
+            self._spill_meta[index] = sidecar
+            self.spilled_bytes += sidecar[2]
+            return
+        meta = series_hash + content_hash(image) + image.nbytes.to_bytes(8, "little")
+        # image first, sidecar last: a sidecar only ever describes a complete
+        # image file, and os.replace makes each file appear atomically
+        tmp = f"{self._spill_path(index)}.tmp-{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            np.save(fh, image)  # an open handle keeps np.save from appending .npy
+        os.replace(tmp, self._spill_path(index))
+        tmp = f"{self._meta_path(index)}.tmp-{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(meta)
+        os.replace(tmp, self._meta_path(index))
         self._spill_meta[index] = (series_hash, content_hash(image), image.nbytes)
         self.spilled_bytes += image.nbytes
         self.spill_writes += 1
@@ -219,13 +263,21 @@ class RenderCache:
         A stale series hash (the pool changed under the cache) silently drops
         the entry; a read error or image-hash mismatch (disk corruption)
         additionally counts a ``readback_failure``.  Either way the caller
-        falls through to a re-render.
+        falls through to a re-render.  Indices this instance never spilled are
+        discovered through their sidecar files, so sibling processes sharing
+        the directory serve each other's renders.
         """
         meta = self._spill_meta.get(index)
+        adopted = False
         if meta is None:
-            return None
-        series_hash, image_hash, _ = meta
+            meta = self._read_sidecar(index)
+            if meta is None:
+                return None
+            adopted = True
+        series_hash, image_hash, nbytes = meta
         if self.validate and series_hash != content_hash(sample):
+            if adopted:
+                return None  # a sibling's file for some other pool: leave it
             self._drop_spill(index)
             return None
         try:
@@ -234,8 +286,14 @@ class RenderCache:
             image = None
         if image is None or content_hash(image) != image_hash:
             self.readback_failures += 1
+            if adopted:
+                self._spill_meta[index] = meta  # register so the drop cleans up
+                self.spilled_bytes += nbytes
             self._drop_spill(index)
             return None
+        if adopted:
+            self._spill_meta[index] = meta
+            self.spilled_bytes += nbytes
         return image
 
     def _evict_until_fits(self, incoming: int) -> bool:

@@ -50,6 +50,8 @@ METRIC_MARKERS = (
     "spilled_bytes",
     "disk_hits",
     "readback_failures",
+    "producer_occupancy",
+    "consumer_stall_seconds",
 )
 
 

@@ -179,6 +179,56 @@ class TestBitIdenticalResume:
         # and the optimizer advanced the same number of steps
         assert resumed.trainer.state.step == uninterrupted.trainer.state.step
 
+    def test_pipelined_pretrain_resumes_bit_identically(self, tmp_path):
+        pool = make_pool()
+        config = pretrain_config(n_producers=1, prefetch_depth=2)
+
+        uninterrupted = AimTSPretrainer(config)
+        uninterrupted.fit(pool, epochs=4)
+        uninterrupted.shutdown_workers()
+
+        checkpoint = tmp_path / "pipelined_ck"
+        killed = AimTSPretrainer(config)
+        killed.fit(pool, epochs=2, callbacks=[Checkpointer(checkpoint)])
+        killed.shutdown_workers()
+
+        # resume from a *sequential* config: the checkpoint's recorded
+        # pipeline cursor (producer count, prefetch depth, step-keyed seed
+        # schedule) wins, so the run restarts pipelined and loss-for-loss
+        # identical to the uninterrupted pipelined run
+        resumed = AimTSPretrainer(pretrain_config())
+        history = resumed.fit(pool, epochs=4, resume_from=checkpoint)
+        assert resumed.trainer.n_producers == 1
+        assert resumed.trainer.prefetch_depth == 2
+        resumed.shutdown_workers()
+
+        assert history.total_loss == uninterrupted.history.total_loss
+        assert history.prototype_loss == uninterrupted.history.prototype_loss
+        assert history.series_image_loss == uninterrupted.history.series_image_loss
+
+        full_modules = uninterrupted.trainer.loop.named_modules()
+        for name, module in resumed.trainer.loop.named_modules().items():
+            reference = full_modules[name].state_dict()
+            for key, value in module.state_dict().items():
+                np.testing.assert_array_equal(value, reference[key], err_msg=f"{name}.{key}")
+
+    def test_sequential_checkpoint_restores_sequential_mode(self, tmp_path):
+        pool = make_pool()
+        checkpoint = tmp_path / "seq_ck"
+        first = AimTSPretrainer(pretrain_config())
+        first.fit(pool, epochs=2, callbacks=[Checkpointer(checkpoint)])
+
+        # a pipelined config resuming a sequential checkpoint drops back to
+        # the classic path — mixing the two schedules would corrupt the curve
+        resumed = AimTSPretrainer(pretrain_config(n_producers=1, prefetch_depth=2))
+        history = resumed.fit(pool, epochs=4, resume_from=checkpoint)
+        assert resumed.trainer.n_producers == 0
+        resumed.shutdown_workers()
+
+        uninterrupted = AimTSPretrainer(pretrain_config())
+        uninterrupted.fit(pool, epochs=4)
+        assert history.total_loss == uninterrupted.history.total_loss
+
     def test_resume_skips_completed_epochs(self, tmp_path):
         pool = make_pool()
         checkpoint = tmp_path / "ck"

@@ -237,6 +237,75 @@ class TestRenderCacheSpill:
             RenderCache(renderer, spill_dir=tmp_path, spill_max_bytes=0)
 
 
+class TestRenderCacheSpillSharing:
+    """Several cache instances (e.g. pipelined producer processes) over one
+    spill directory: files appear atomically with ``.meta`` sidecars, so
+    siblings serve and adopt each other's renders instead of re-rendering."""
+
+    def two_caches(self, renderer, tmp_path, ram_images=4):
+        image_nbytes = renderer.image_nbytes(1)
+        make = lambda: RenderCache(  # noqa: E731 - tiny local factory
+            renderer, max_bytes=ram_images * image_nbytes, spill_dir=tmp_path / "spill"
+        )
+        return make(), make()
+
+    def test_sibling_serves_existing_spill_files_without_rendering(
+        self, renderer, pool, tmp_path
+    ):
+        first, second = self.two_caches(renderer, tmp_path)
+        ref = renderer.render_batch(pool)
+        first.get_batch(pool, np.arange(len(pool)))
+        spilled = np.array(sorted(first._spill_meta))
+        out = second.get_batch(pool[spilled], spilled)
+        np.testing.assert_array_equal(out, ref[spilled])
+        # every request was discovered through a sidecar: zero renders
+        assert second.rendered_samples == 0
+        assert second.disk_hits == len(spilled)
+
+    def test_sibling_adopts_files_instead_of_rewriting(self, renderer, pool, tmp_path):
+        first, second = self.two_caches(renderer, tmp_path)
+        first.get_batch(pool, np.arange(len(pool)))
+        second.get_batch(pool, np.arange(len(pool)))
+        stats = second.stats()
+        # the sibling registered the files it evicted back onto disk without
+        # writing a single byte — the deterministic render is already there
+        assert second.spill_writes == 0
+        assert stats["spill_entries"] > 0
+        assert stats["spilled_bytes"] == stats["spill_entries"] * renderer.image_nbytes(1)
+
+    def test_stale_sidecar_of_another_pool_is_not_adopted(self, renderer, pool, tmp_path):
+        first, second = self.two_caches(renderer, tmp_path)
+        first.get_batch(pool, np.arange(len(pool)))
+        victim = sorted(first._spill_meta)[0]
+        changed = pool[[victim]] + 1.0
+        out = second.get_batch(changed, np.array([victim]))
+        np.testing.assert_array_equal(out[0], renderer.render_batch(changed)[0])
+        assert second.rendered_samples == 1  # mismatch → fresh render
+        assert second.readback_failures == 0  # staleness is not corruption
+        # the other instance's file was left alone (it may still be valid there)
+        assert victim in first._spill_meta
+        np.testing.assert_array_equal(
+            first.get_batch(pool[[victim]], np.array([victim]))[0],
+            renderer.render_batch(pool[[victim]])[0],
+        )
+
+    def test_discovered_corrupt_file_counts_failure_and_is_removed(
+        self, renderer, pool, tmp_path
+    ):
+        first, second = self.two_caches(renderer, tmp_path)
+        first.get_batch(pool, np.arange(len(pool)))
+        victim = sorted(first._spill_meta)[0]
+        path = tmp_path / "spill" / f"img-{victim:09d}.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(raw)
+        out = second.get_batch(pool[[victim]], np.array([victim]))
+        np.testing.assert_array_equal(out[0], renderer.render_batch(pool[[victim]])[0])
+        assert second.readback_failures == 1
+        assert not path.exists()  # the bad file (and its sidecar) were dropped
+        assert not path.with_name(path.name + ".meta").exists()
+
+
 class TestPretrainerCacheIntegration:
     def _config(self, **overrides) -> AimTSConfig:
         base = dict(
