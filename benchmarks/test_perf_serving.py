@@ -177,3 +177,50 @@ class TestServingThroughput:
         )
         assert report.n_errors == 0
         assert report.latency.p99_ms > 0.0
+
+    def test_overload_shedding_goodput_recorded(self, bundle_path, request_samples):
+        """2x-overload run against a bounded queue: goodput + shed recorded.
+
+        A tight ``max_pending`` admission bound under twice the sustainable
+        offered rate must shed (fast-fail) rather than queue without bound;
+        the retry policy in the load generator converts part of the shed
+        into delayed goodput.  Recorded for the trajectory, gated only on
+        sanity (all requests accounted for, no hard errors).
+        """
+        with ModelServer.from_bundle(
+            bundle_path,
+            max_batch=32,
+            max_wait_ms=2.0,
+            n_workers=min(2, usable_cores()),
+            max_pending=64,
+        ) as server:
+            run_open_loop(  # warmup
+                server, request_samples, rate_rps=50.0, duration_s=0.5, op="predict"
+            )
+            report = run_open_loop(
+                server,
+                request_samples,
+                rate_rps=OFFERED_RPS * 2,
+                duration_s=DURATION_S,
+                op="predict",
+                max_retries=2,
+                retry_backoff_s=0.002,
+            )
+            stats = server.stats()
+        record = {
+            "benchmark": "serving_overload_shedding",
+            "usable_cores": usable_cores(),
+            "max_pending": server.max_pending,
+            "server_shed_requests": stats.get("shed_requests", 0),
+            **report.as_record(),
+            **machine_info(),
+        }
+        append_bench_record(record)
+        print(
+            f"\noverload: goodput {report.goodput_rps:,.1f} req/s of "
+            f"{report.offered_rps:,.1f} offered, shed {report.n_shed}, "
+            f"retries {report.n_retries}, p99 {report.latency.p99_ms:.2f} ms"
+        )
+        assert report.n_errors == 0
+        assert report.n_completed + report.n_shed == report.n_requests
+        assert report.goodput_rps > 0.0

@@ -30,7 +30,7 @@ import os
 
 import numpy as np
 
-from repro.utils.paths import normalize_npz_path, resolve_npz_read_path
+from repro.utils.paths import atomic_write, normalize_npz_path, resolve_npz_read_path
 
 #: current bundle schema; bump when the layout changes incompatibly
 SCHEMA_VERSION = 1
@@ -71,11 +71,11 @@ def save_bundle(
     manifest["dtypes"] = {key: str(value.dtype) for key, value in payload.items()}
     encoded = json.dumps(manifest, sort_keys=True).encode("utf-8")
     payload[MANIFEST_KEY] = np.frombuffer(encoded, dtype=np.uint8)
-    # write through a file handle: np.savez would re-append ".npz" to a
-    # string path whose suffix differs in case (e.g. "model.NPZ")
-    with open(path, "wb") as handle:
-        np.savez(handle, **payload)
-    return path
+    # tmp + os.replace via atomic_write: a crash mid-save (or an injected
+    # checkpoint.write fault) leaves the previous bundle intact, never a
+    # truncated archive (also sidesteps np.savez re-appending ".npz" to a
+    # string path whose suffix differs in case, e.g. "model.NPZ")
+    return atomic_write(path, lambda handle: np.savez(handle, **payload))
 
 
 def _decode_manifest(raw: np.ndarray) -> dict:

@@ -133,6 +133,11 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         #: persistent batch-producer pool (config.n_producers >= 1), spawned
         #: lazily on the first pretrain() — see :meth:`shutdown_workers`
         self._producer_pool = None
+        #: optional :class:`repro.engine.parallel.RestartPolicy` armed on the
+        #: pools (and the trainer's degradation ladder); set it before
+        #: pretrain().  Kept off the config so injectable test clocks never
+        #: travel to spawn children with the pickled config.
+        self.restart_policy = None
 
     def _build_encoder(self) -> TSEncoder:
         return TSEncoder(
@@ -279,6 +284,14 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
         self._apply_augment_mode()
         optimizer = Adam(list(self.parameters()), lr=self.config.learning_rate)
         loop = _BaselinePretrainLoop(self, X)
+        # a pool that broke (or was closed) in an earlier fit is replaced, not
+        # reused — e.g. after the trainer degraded a pipelined fit to inline
+        if self._worker_pool is not None and not self._worker_pool.usable:
+            self._worker_pool.close()
+            self._worker_pool = None
+        if self._producer_pool is not None and not self._producer_pool.usable:
+            self._producer_pool.close()
+            self._producer_pool = None
         if self.config.n_workers > 1 and self._worker_pool is None:
             from repro.engine.parallel import GradientWorkerPool
 
@@ -288,6 +301,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 list(self.parameters()),
                 n_workers=self.config.n_workers,
                 compute_dtype=self.dtype_policy.compute_dtype,
+                restart_policy=self.restart_policy,
             )
         if (
             self.config.n_producers >= 1
@@ -302,6 +316,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 n_producers=self.config.n_producers,
                 prefetch_depth=self.config.prefetch_depth,
                 compute_dtype=self.dtype_policy.compute_dtype,
+                restart_policy=self.restart_policy,
             )
         history = History()
         engine_callbacks = list(callbacks)
@@ -319,6 +334,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             n_producers=self.config.n_producers,
             prefetch_depth=self.config.prefetch_depth,
             producer_pool=self._producer_pool,
+            restart_policy=self.restart_policy,
         )
         self.trainer.fit(epochs)
         self._pretrained = True
@@ -479,7 +495,11 @@ def _baseline_worker_replica(
     baseline = baseline_cls(config, **init_kwargs)
     baseline._apply_augment_mode()
     baseline._reseed_for_worker(worker_index, n_workers)
-    return _BaselinePretrainLoop(baseline, None)
+    loop = _BaselinePretrainLoop(baseline, None)
+    # remember the shard identity so the pool can reseed the replica per step
+    # (derive_worker_step_seed) — the bit-identical respawn/replay contract
+    loop._worker_key = (int(worker_index), int(n_workers))
+    return loop
 
 
 class _BaselineProducer:
@@ -520,6 +540,10 @@ class _BaselinePretrainLoop(TrainLoop):
     #: contrastive objectives need at least a pair of samples per shard
     shard_min_samples = 2
 
+    #: ``(worker_index, n_workers)`` in worker-replica mode (set by
+    #: :func:`_baseline_worker_replica`); enables per-step reseeding
+    _worker_key = None
+
     def __init__(self, baseline: SelfSupervisedBaseline, X: np.ndarray | None):
         self.baseline = baseline
         # shares the baseline's generator so each epoch's shuffle (and any
@@ -548,6 +572,25 @@ class _BaselinePretrainLoop(TrainLoop):
             type(self.baseline),
             self.baseline.config,
             self.baseline._manifest_init_kwargs(),
+        )
+
+    def reseed_for_step(self, epoch: int, step: int) -> None:
+        """Re-derive the replica streams from the (shard, step) key.
+
+        Called by the gradient worker before every ``batch_loss``: each
+        sharded step becomes a pure function of ``(seed, worker_index,
+        n_workers, epoch, step)``, so a respawned worker recomputes the
+        identical gradient for a replayed step.
+        """
+        from repro.engine.parallel import derive_worker_step_seed
+
+        if self._worker_key is None:
+            return
+        worker_index, n_workers = self._worker_key
+        self.baseline._install_rng_children(
+            derive_worker_step_seed(
+                self.baseline.config.seed, worker_index, n_workers, epoch, step
+            )
         )
 
     def make_batches(self, rng, epoch):

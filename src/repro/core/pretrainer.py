@@ -195,7 +195,11 @@ def _pretrain_worker_replica(config: AimTSConfig, worker_index: int, n_workers: 
 
     pretrainer = AimTSPretrainer(config)
     pretrainer.reseed(derive_worker_seed(config.seed, worker_index, n_workers))
-    return _PretrainLoop(pretrainer, pool=None, use_cache=False)
+    loop = _PretrainLoop(pretrainer, pool=None, use_cache=False)
+    # remember the shard identity so the pool can reseed the replica per step
+    # (derive_worker_step_seed) — the bit-identical respawn/replay contract
+    loop._worker_key = (int(worker_index), int(n_workers))
+    return loop
 
 
 class AimTSPretrainer:
@@ -259,6 +263,11 @@ class AimTSPretrainer:
         #: real prefetch depth), spawned lazily on the first fit() and reused
         #: across fits — see :meth:`shutdown_workers`
         self._producer_pool = None
+        #: optional :class:`repro.engine.parallel.RestartPolicy` armed on the
+        #: pools (and the trainer's degradation ladder); set it before fit().
+        #: Kept off the config so injectable test clocks never travel to
+        #: spawn children with the pickled config.
+        self.restart_policy = None
 
     # ------------------------------------------------------------------ parts
     def _trainable_modules(self):
@@ -465,6 +474,14 @@ class AimTSPretrainer:
             self.render_cache = None
 
         loop = _PretrainLoop(self, pool, use_cache)
+        # a pool that broke (or was closed) in an earlier fit is replaced, not
+        # reused — e.g. after the trainer degraded a pipelined fit to inline
+        if self._worker_pool is not None and not self._worker_pool.usable:
+            self._worker_pool.close()
+            self._worker_pool = None
+        if self._producer_pool is not None and not self._producer_pool.usable:
+            self._producer_pool.close()
+            self._producer_pool = None
         if cfg.n_workers > 1 and self._worker_pool is None:
             from repro.engine.parallel import GradientWorkerPool
 
@@ -474,6 +491,7 @@ class AimTSPretrainer:
                 list(self.parameters()),
                 n_workers=cfg.n_workers,
                 compute_dtype=self.dtype_policy.compute_dtype,
+                restart_policy=self.restart_policy,
             )
         if pipelined and cfg.prefetch_depth >= 2 and self._producer_pool is None:
             from repro.engine.parallel import ProducerPool
@@ -485,6 +503,7 @@ class AimTSPretrainer:
                 n_producers=cfg.n_producers,
                 prefetch_depth=cfg.prefetch_depth,
                 compute_dtype=self.dtype_policy.compute_dtype,
+                restart_policy=self.restart_policy,
             )
         engine_callbacks = list(callbacks)
         if verbose:
@@ -508,6 +527,7 @@ class AimTSPretrainer:
             n_producers=cfg.n_producers,
             prefetch_depth=cfg.prefetch_depth,
             producer_pool=self._producer_pool,
+            restart_policy=self.restart_policy,
         )
         if resume_from is not None:
             self.trainer.load_checkpoint(resume_from)
@@ -561,6 +581,10 @@ class _PretrainLoop(TrainLoop):
     #: contrastive prototype construction needs at least a pair per shard
     shard_min_samples = 2
 
+    #: ``(worker_index, n_workers)`` in worker-replica mode (set by
+    #: :func:`_pretrain_worker_replica`); enables per-step reseeding
+    _worker_key = None
+
     def __init__(
         self, pretrainer: AimTSPretrainer, pool, use_cache: bool
     ):
@@ -589,6 +613,25 @@ class _PretrainLoop(TrainLoop):
         import functools
 
         return functools.partial(_pretrain_worker_replica, self.pretrainer.config)
+
+    def reseed_for_step(self, epoch: int, step: int) -> None:
+        """Re-derive the replica streams from the (shard, step) key.
+
+        Called by the gradient worker before every ``batch_loss``: each
+        sharded step becomes a pure function of ``(seed, worker_index,
+        n_workers, epoch, step)``, so a respawned worker recomputes the
+        identical gradient for a replayed step.
+        """
+        from repro.engine.parallel import derive_worker_step_seed
+
+        if self._worker_key is None:
+            return
+        worker_index, n_workers = self._worker_key
+        self.pretrainer.reseed(
+            derive_worker_step_seed(
+                self.pretrainer.config.seed, worker_index, n_workers, epoch, step
+            )
+        )
 
     # ---------------------------------------------------------------- pipeline
     def producer_factory(self):

@@ -25,6 +25,7 @@ from repro.data.corpus.format import (
     read_manifest,
 )
 from repro.data.corpus.reader import (
+    CorpusReadError,
     CorpusReaderBase,
     CorpusSubset,
     ShardedCorpus,
@@ -39,6 +40,7 @@ from repro.data.corpus.writer import CorpusWriter
 
 __all__ = [
     "CorpusFormatError",
+    "CorpusReadError",
     "CorpusReaderBase",
     "CorpusSubset",
     "CorpusWriter",

@@ -6,21 +6,27 @@
         --n-samples 100000 [--length 96 --n-variables 1 --shard-size 4096 \\
         --block-size 2048 --seed 0 --dtype float32 --no-normalize --overwrite]
     python -m repro.data.corpus inspect DIR [--json]
-    python -m repro.data.corpus verify DIR
+    python -m repro.data.corpus verify DIR [--quarantine]
 
 ``build`` streams generator families to disk (see
 :func:`~repro.data.corpus.build_synthetic_corpus` for the determinism
-contract), ``inspect`` prints a manifest summary, and ``verify`` re-hashes
-every shard against its manifest checksum, exiting non-zero and naming the
-corrupt files when the bytes have drifted.
+contract), ``inspect`` prints a manifest summary (including any quarantined
+shards), and ``verify`` re-hashes every shard against its manifest checksum,
+exiting non-zero and naming the corrupt files when the bytes have drifted.
+``verify --quarantine`` additionally moves each corrupt shard's files into
+``DIR/quarantine/`` and rewrites the manifest (atomically) without them,
+recording the loss under ``quarantined_shards`` — the corpus then loads
+cleanly with the surviving samples.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
+from repro.data.corpus.format import write_manifest
 from repro.data.corpus.reader import ShardedCorpus
 from repro.data.corpus.synthetic import DEFAULT_BLOCK_SIZE, build_synthetic_corpus
 from repro.data.generators import family_names
@@ -76,6 +82,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"({corpus.nbytes / 1e6:.1f} MB data)"
     )
     print(f"labeled      {corpus.labeled}")
+    quarantined = manifest.get("quarantined_shards") or []
+    if quarantined:
+        lost = sum(int(entry.get("n_samples", 0)) for entry in quarantined)
+        print(f"quarantined  {len(quarantined)} shard(s), {lost} samples lost:")
+        for entry in quarantined:
+            files = ", ".join(entry.get("files", []))
+            print(f"  {files}: {entry.get('reason', 'unknown')}")
     provenance = corpus.provenance
     if provenance:
         print("provenance:")
@@ -92,6 +105,43 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quarantine_corrupt(corpus: ShardedCorpus, corrupt: list[str]) -> dict:
+    """Move corrupt shards into ``quarantine/`` and rewrite the manifest.
+
+    A shard is quarantined whole: if either its data or its labels file
+    failed verification, both move aside, the shard entry leaves the
+    ``shards`` list and the loss is recorded under ``quarantined_shards``.
+    Returns the updated manifest.
+    """
+    corrupt_set = set(corrupt)
+    quarantine_dir = os.path.join(corpus.directory, "quarantine")
+    os.makedirs(quarantine_dir, exist_ok=True)
+    manifest = dict(corpus.manifest)
+    survivors, newly_quarantined = [], []
+    for entry in manifest["shards"]:
+        files = [entry[key] for key in ("data", "labels") if key in entry]
+        bad = sorted(corrupt_set.intersection(files))
+        if not bad:
+            survivors.append(entry)
+            continue
+        for name in files:
+            source = os.path.join(corpus.directory, name)
+            if os.path.exists(source):
+                os.replace(source, os.path.join(quarantine_dir, name))
+        newly_quarantined.append(
+            {
+                "files": files,
+                "n_samples": int(entry["n_samples"]),
+                "reason": f"checksum mismatch in {', '.join(bad)}",
+            }
+        )
+    manifest["shards"] = survivors
+    manifest["n_samples"] = sum(int(entry["n_samples"]) for entry in survivors)
+    manifest["quarantined_shards"] = list(manifest.get("quarantined_shards", [])) + newly_quarantined
+    write_manifest(corpus.directory, manifest)
+    return manifest
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     corpus = ShardedCorpus(args.directory)
     corrupt = corpus.verify()
@@ -99,6 +149,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"CORRUPT: {len(corrupt)} file(s) failed their checksum:")
         for name in corrupt:
             print(f"  {name}")
+        if args.quarantine:
+            manifest = _quarantine_corrupt(corpus, corrupt)
+            moved = len(manifest["quarantined_shards"])
+            print(
+                f"quarantined: corrupt shard(s) moved to {os.path.join(args.directory, 'quarantine')}; "
+                f"manifest now lists {len(manifest['shards'])} shard(s), "
+                f"{manifest['n_samples']} samples ({moved} quarantine entr(y/ies) total)"
+            )
         return 1
     print(
         f"ok: {corpus.n_shards} shard(s), {len(corpus)} samples, "
@@ -140,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = commands.add_parser("verify", help="re-checksum every shard")
     verify.add_argument("directory")
+    verify.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt shards to DIR/quarantine/ and rewrite the manifest without them",
+    )
     verify.set_defaults(handler=_cmd_verify)
     return parser
 

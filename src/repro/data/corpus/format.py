@@ -68,15 +68,23 @@ def manifest_path(directory: str | os.PathLike) -> str:
 
 
 def write_manifest(directory: str | os.PathLike, manifest: dict) -> str:
-    """Write ``manifest`` (stamped with format tag + schema version)."""
+    """Write ``manifest`` (stamped with format tag + schema version).
+
+    Atomic (tmp + ``os.replace``): a crash mid-write leaves the previous
+    manifest readable, never a truncated JSON file.
+    """
+    from repro.utils.paths import atomic_write
+
     manifest = dict(manifest)
     manifest.setdefault("format", _FORMAT)
     manifest.setdefault("schema_version", SCHEMA_VERSION)
     path = manifest_path(directory)
-    with open(path, "w", encoding="utf-8") as handle:
+
+    def _dump(handle) -> None:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return path
+
+    return atomic_write(path, _dump, mode="w")
 
 
 def read_manifest(directory: str | os.PathLike) -> dict:

@@ -29,8 +29,13 @@ from repro.data.corpus.format import (
     array_checksum,
     read_manifest,
 )
+from repro.utils.faults import InjectedFault, fault_point
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_positive
+
+
+class CorpusReadError(CorpusFormatError):
+    """A shard file stayed unreadable after the configured read retries."""
 
 
 def is_sharded_corpus(obj) -> bool:
@@ -178,12 +183,42 @@ class ShardedCorpus(CorpusReaderBase):
         Open shards as read-only memory maps (the point of the format);
         ``False`` loads each shard into RAM on first touch — only useful to
         benchmark the memmap path against.
+    read_retries:
+        Transient shard-open failures (NFS hiccups, chaos faults at the
+        ``corpus.read_shard`` site) are retried this many times before the
+        shard counts as unreadable; retries are tallied in
+        ``read_retry_count``.
+    skip_corrupt:
+        ``True`` iterates *around* unreadable shards: a shard whose open
+        fails after retries is quarantined in memory (``quarantined`` maps
+        shard → reason, ``dropped_samples`` counts the loss) and its index
+        block is skipped by :meth:`iter_index_batches`.  :meth:`gather` on a
+        quarantined shard's indices still raises — silent sample
+        substitution is never correct.  The default ``False`` raises
+        :class:`CorpusReadError` at first touch.
     """
 
-    def __init__(self, directory: str | os.PathLike, *, mmap: bool = True):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        mmap: bool = True,
+        read_retries: int = 1,
+        skip_corrupt: bool = False,
+    ):
+        if read_retries < 0:
+            raise ValueError(f"read_retries must be >= 0, got {read_retries}")
         self.directory = str(directory)
         self.manifest = read_manifest(self.directory)
         self.mmap = bool(mmap)
+        self.read_retries = int(read_retries)
+        self.skip_corrupt = bool(skip_corrupt)
+        #: total transient-open retries that eventually succeeded or gave up
+        self.read_retry_count = 0
+        #: shard index → reason, for shards quarantined at read time
+        self.quarantined: dict[int, str] = {}
+        #: samples unreachable through quarantined shards
+        self.dropped_samples = 0
         self.sample_shape = tuple(int(size) for size in self.manifest["sample_shape"])
         self.dtype = np.dtype(self.manifest["dtype"])
         self.labeled = self.manifest.get("labels_dtype") is not None
@@ -218,7 +253,19 @@ class ShardedCorpus(CorpusReaderBase):
     # ------------------------------------------------------------------ access
     def _open(self, file_name: str) -> np.ndarray:
         path = os.path.join(self.directory, file_name)
-        return np.load(path, mmap_mode="r" if self.mmap else None, allow_pickle=False)
+        attempt = 0
+        while True:
+            try:
+                fault_point("corpus.read_shard")
+                return np.load(path, mmap_mode="r" if self.mmap else None, allow_pickle=False)
+            except (OSError, ValueError, InjectedFault) as error:
+                if attempt >= self.read_retries:
+                    raise CorpusReadError(
+                        f"shard file {file_name!r} unreadable after "
+                        f"{attempt + 1} attempt(s): {error}"
+                    ) from error
+                attempt += 1
+                self.read_retry_count += 1
 
     def shard_data(self, shard: int) -> np.ndarray:
         """The ``(n, M, T)`` memmap view of one shard (opened lazily, kept)."""
@@ -235,7 +282,25 @@ class ShardedCorpus(CorpusReaderBase):
             self._label_maps[shard] = view
         return view
 
+    def _quarantine(self, shard: int, reason: str) -> None:
+        if shard not in self.quarantined:
+            self.quarantined[shard] = reason
+            self.dropped_samples += int(self._shard_entries[shard]["n_samples"])
+
     def _shard_index_block(self, shard: int) -> np.ndarray:
+        if shard in self.quarantined:
+            return np.empty(0, dtype=np.int64)
+        if self.skip_corrupt:
+            # probe the shard before handing out its indices: an unreadable
+            # shard is quarantined here so iteration routes around it instead
+            # of failing mid-epoch at gather time
+            try:
+                self.shard_data(shard)
+                if self.labeled:
+                    self.shard_labels(shard)
+            except CorpusReadError as error:
+                self._quarantine(shard, str(error))
+                return np.empty(0, dtype=np.int64)
         return np.arange(self._offsets[shard], self._offsets[shard + 1], dtype=np.int64)
 
     def _shard_of(self, indices: np.ndarray) -> np.ndarray:
@@ -262,6 +327,11 @@ class ShardedCorpus(CorpusReaderBase):
         out = np.empty((indices.size, *self.sample_shape), dtype=self.dtype)
         shard_ids = self._shard_of(indices)
         for shard in np.unique(shard_ids):
+            if int(shard) in self.quarantined:
+                raise CorpusReadError(
+                    f"shard {int(shard)} is quarantined "
+                    f"({self.quarantined[int(shard)]}); its samples are unavailable"
+                )
             mask = shard_ids == shard
             out[mask] = self.shard_data(int(shard))[indices[mask] - self._offsets[shard]]
         return out

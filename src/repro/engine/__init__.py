@@ -56,10 +56,12 @@ from repro.engine.loop import TrainLoop, dropout_rngs, shard_arrays
 from repro.engine.parallel import (
     GradientWorkerPool,
     ProducerPool,
+    RestartPolicy,
     RingArena,
     WorkerError,
     derive_step_seed,
     derive_worker_seed,
+    derive_worker_step_seed,
 )
 from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
 from repro.engine.trainer import CHECKPOINT_KIND, CHECKPOINT_TAG, Trainer
@@ -69,10 +71,12 @@ __all__ = [
     "TrainLoop",
     "GradientWorkerPool",
     "ProducerPool",
+    "RestartPolicy",
     "RingArena",
     "WorkerError",
     "derive_worker_seed",
     "derive_step_seed",
+    "derive_worker_step_seed",
     "shard_arrays",
     "TrainState",
     "DtypePolicy",

@@ -212,22 +212,54 @@ class Checkpointer(Callback):
     loop's module weights, the optimizer moments, the scheduler step, every
     named RNG stream and the history — everything
     :meth:`~repro.engine.trainer.Trainer.resume` needs to continue a killed
-    run bit-identically.  The file at ``path`` is overwritten in place so it
-    always holds the latest completed epoch.
+    run bit-identically.  Every save is atomic (tmp + ``os.replace``), so a
+    crash mid-save never corrupts the previous checkpoint.
+
+    With the default ``keep_last=None`` the file at ``path`` is overwritten
+    in place so it always holds the latest completed epoch.  With
+    ``keep_last=N`` each save lands in an epoch-stamped sibling
+    (``model.epoch0003.npz``) and only the newest ``N`` are retained —
+    a bad epoch can be rolled back past the most recent save.
     """
 
-    def __init__(self, path, *, every: int = 1, save_on_fit_end: bool = True):
+    def __init__(
+        self, path, *, every: int = 1, save_on_fit_end: bool = True, keep_last: int | None = None
+    ):
         check_positive("every", every)
+        if keep_last is not None:
+            check_positive("keep_last", keep_last)
         self.path = path
         self.every = int(every)
         self.save_on_fit_end = bool(save_on_fit_end)
+        self.keep_last = int(keep_last) if keep_last is not None else None
         #: path written by the most recent save (None until one happens)
         self.last_path: str | None = None
+        #: retained epoch-stamped paths, oldest first (``keep_last`` mode)
+        self.kept_paths: list[str] = []
+
+    def _save(self, trainer) -> None:
+        if self.keep_last is None:
+            self.last_path = trainer.save_checkpoint(self.path)
+            return
+        import os
+
+        from repro.utils.paths import normalize_npz_path
+
+        base = normalize_npz_path(self.path)
+        stamped = f"{base[:-len('.npz')]}.epoch{trainer.state.epoch:04d}.npz"
+        self.last_path = trainer.save_checkpoint(stamped)
+        self.kept_paths.append(self.last_path)
+        while len(self.kept_paths) > self.keep_last:
+            stale = self.kept_paths.pop(0)
+            try:
+                os.unlink(stale)
+            except OSError:  # already gone: retention is best-effort
+                pass
 
     def on_epoch_end(self, trainer, logs: dict) -> None:
         if trainer.state.epoch % self.every == 0:
-            self.last_path = trainer.save_checkpoint(self.path)
+            self._save(trainer)
 
     def on_fit_end(self, trainer) -> None:
         if self.save_on_fit_end and trainer.state.epoch % self.every != 0:
-            self.last_path = trainer.save_checkpoint(self.path)
+            self._save(trainer)

@@ -40,12 +40,29 @@ per-batch stochastic stream derives from ``SeedSequence([seed, epoch,
 step])`` (:func:`derive_step_seed`), never from arrival order or producer
 identity — the pipelined loss curve is bit-identical at any producer count,
 and producers can grow/shrink between epochs without changing it.
+
+Self-healing (PR 9)
+-------------------
+Both pools accept a :class:`RestartPolicy`.  With one armed, a crashed
+producer or gradient worker is respawned (bounded restarts, exponential
+backoff with deterministic jitter) and the in-flight steps are replayed:
+producers re-run exactly the steps whose results were never consumed (their
+streams are step-keyed, so the replay is bit-identical), and a respawned
+gradient worker re-receives its shard message and reseeds per
+:func:`derive_worker_step_seed` before recomputing — the reduced gradient
+matches the no-crash run bit for bit.  Exhausting the restart budget raises
+:class:`WorkerError` as before (the trainer then degrades to the inline
+path).  Fault-injection sites ``producer.step`` and ``worker.reduce``
+(:mod:`repro.utils.faults`) sit inside the child step handlers so chaos
+tests can kill children at exact step indices.
 """
 
 from __future__ import annotations
 
 import atexit
 import pickle
+import random
+import time
 import traceback
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
@@ -53,6 +70,7 @@ from multiprocessing.shared_memory import SharedMemory
 import numpy as np
 
 from repro.nn.flat import FlatLayout
+from repro.utils.faults import fault_point
 
 #: spawn is the one start method that is safe everywhere (threads, BLAS);
 #: fork would duplicate the parent's whole heap including the render cache
@@ -66,9 +84,70 @@ class WorkerError(RuntimeError):
     """A gradient worker raised; carries the remote traceback."""
 
 
+class RestartPolicy:
+    """Bounded-restart policy with deterministic exponential backoff.
+
+    The delay before the ``k``-th restart (0-based) is ``backoff_base_s *
+    backoff_factor**k * (1 + jitter * u_k)`` where ``u_k`` is drawn from
+    ``random.Random(f"{seed}:{k}")`` — the backoff schedule is a pure function
+    of the policy, so chaos runs replay exactly.  ``sleep`` is injectable:
+    tier-1 chaos tests pass a recording fake so no real time is spent.
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 2,
+        *,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        sleep=None,
+    ):
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = int(max_restarts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_factor = float(backoff_factor)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.sleep = time.sleep if sleep is None else sleep
+
+    def delay_s(self, restart_index: int) -> float:
+        """Backoff delay before restart ``restart_index`` (deterministic)."""
+        fraction = random.Random(f"{self.seed}:{int(restart_index)}").random()
+        return (
+            self.backoff_base_s
+            * self.backoff_factor ** int(restart_index)
+            * (1.0 + self.jitter * fraction)
+        )
+
+    def pause(self, restart_index: int) -> float:
+        """Sleep out the backoff for ``restart_index``; returns the delay."""
+        delay = self.delay_s(restart_index)
+        self.sleep(delay)
+        return delay
+
+
 def derive_worker_seed(seed: int, worker_index: int, n_workers: int) -> np.random.SeedSequence:
     """The per-shard RNG root: deterministic in (seed, shard, worker count)."""
     return np.random.SeedSequence([int(seed), int(worker_index), int(n_workers)])
+
+
+def derive_worker_step_seed(
+    seed: int, worker_index: int, n_workers: int, epoch: int, step: int
+) -> np.random.SeedSequence:
+    """The per-(shard, step) RNG root of the sharded gradient path.
+
+    Replicas that expose ``reseed_for_step(epoch, step)`` re-derive their
+    stochastic streams from this key before every ``batch_loss`` — making
+    each sharded step a pure function of ``(seed, shard, worker count,
+    epoch, step)`` instead of the worker's stream *history*.  That is what
+    lets a respawned worker replay a step bit-identically.
+    """
+    return np.random.SeedSequence(
+        [int(seed), int(worker_index), int(n_workers), int(epoch), int(step)]
+    )
 
 
 def derive_step_seed(seed: int, epoch: int, step: int) -> np.random.SeedSequence:
@@ -430,7 +509,7 @@ def _worker_main(
             if kind == "stop":
                 break
             if kind == "step":
-                _, version, encoded, arena_name = message
+                _, version, encoded, arena_name, step_key = message
                 shm_buf = None
                 if arena_name is not None:
                     arena = arenas.get(arena_name)
@@ -447,6 +526,12 @@ def _worker_main(
                 if version != seen_version:  # params only move on optimizer steps
                     layout.unpack_data(param_block.arrays)
                     seen_version = version
+                if step_key is not None:
+                    # step-keyed streams (not stream history) — a respawned
+                    # worker replays this step bit-identically
+                    reseed = getattr(replica, "reseed_for_step", None)
+                    if reseed is not None:
+                        reseed(int(step_key[0]), int(step_key[1]))
                 batch = _decode_batch(encoded, shm_buf)
                 for param in layout.parameters:
                     param.grad = None
@@ -454,6 +539,7 @@ def _worker_main(
                 if isinstance(losses, Tensor):
                     losses = {"loss": losses}
                 losses["loss"].backward()
+                fault_point("worker.reduce")
                 layout.pack_grads(grad_block.arrays)
                 logs = {
                     key: float(value.item()) if isinstance(value, Tensor) else float(value)
@@ -496,6 +582,12 @@ class GradientWorkerPool:
         Tensor default dtype installed in every worker (the trainer's
         ``DtypePolicy.compute_dtype``), so shards compute in the same
         precision as the sequential path.
+    restart_policy:
+        Optional :class:`RestartPolicy`.  When set, a worker that dies (or
+        errors) mid-step is respawned under the same shard index and its
+        step message is re-sent; replicas exposing ``reseed_for_step`` then
+        recompute the identical gradient.  ``None`` keeps the historical
+        fail-fast behaviour.
     """
 
     def __init__(
@@ -507,6 +599,7 @@ class GradientWorkerPool:
         compute_dtype: str = "float64",
         start_method: str = DEFAULT_START_METHOD,
         timeout: float = DEFAULT_TIMEOUT,
+        restart_policy: RestartPolicy | None = None,
     ):
         if n_workers < 2:
             raise ValueError(f"GradientWorkerPool needs n_workers >= 2, got {n_workers}")
@@ -526,11 +619,20 @@ class GradientWorkerPool:
         self._param_version = 0
         self._closed = False
         self._broken = False
+        self._restart_policy = restart_policy
+        self._restarts_used = 0
+        #: workers respawned over the pool's lifetime (observability)
+        self.restart_count = 0
 
         context = get_context(start_method)
+        self._context = context
+        self._factory = factory
+        self._compute_dtype = str(compute_dtype)
+        self._nbytes = nbytes
         self._command_queues = [context.Queue() for _ in range(self.n_workers)]
         self._result_queue = context.Queue()
         signature = self._layout.signature()
+        self._signature = signature
         self._processes = []
         for index in range(self.n_workers):
             process = context.Process(
@@ -557,39 +659,122 @@ class GradientWorkerPool:
         atexit.register(self.close)
 
     # ----------------------------------------------------------------- plumbing
-    def _collect(self, expected: dict[int, str]) -> dict[int, object]:
-        """Gather one reply per expected worker, surfacing remote errors.
+    @property
+    def usable(self) -> bool:
+        """True while the pool can still run steps (not closed, not broken)."""
+        return not self._closed and not self._broken
 
-        Any failure marks the pool *broken*: replies from workers that were
-        still in flight stay in the result queue, so a later ``step`` could
-        otherwise pair a stale gradient with a new batch.
+    def _may_restart(self, count: int = 1) -> bool:
+        policy = self._restart_policy
+        return policy is not None and self._restarts_used + count <= policy.max_restarts
+
+    def _respawn_worker(self, index: int) -> None:
+        """Reap a dead worker and bring up a replacement under the same shard.
+
+        The replacement attaches to the same shared param/grad blocks and the
+        same command queue; its first step message re-broadcasts parameters
+        (``seen_version`` starts at -1), so no extra sync is needed.
         """
         import queue as queue_module
 
+        process = self._processes[index]
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - hung worker
+            process.terminate()
+            process.join(timeout=5.0)
+        # a worker that died before reading its command would leave the step
+        # message queued — drain so the replacement does not run it twice
+        while True:
+            try:
+                self._command_queues[index].get_nowait()
+            except (queue_module.Empty, OSError):
+                break
+        replacement = self._context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self.n_workers,
+                self._factory,
+                self._compute_dtype,
+                self._signature,
+                (self._param_block.name, self._nbytes),
+                (self._grad_blocks[index].name, self._nbytes),
+                self._command_queues[index],
+                self._result_queue,
+            ),
+            daemon=True,
+        )
+        replacement.start()
+        self._processes[index] = replacement
+        self.restart_count += 1
+
+    def _collect(
+        self, expected: dict[int, str], *, resend: dict[int, tuple] | None = None
+    ) -> dict[int, object]:
+        """Gather one reply per expected worker, surfacing remote errors.
+
+        Without ``resend`` (or without a restart policy) any failure marks
+        the pool *broken*: replies from workers that were still in flight
+        stay in the result queue, so a later ``step`` could otherwise pair a
+        stale gradient with a new batch.
+
+        With ``resend`` (the step path) a dead or errored worker is
+        respawned — backoff, same shard index — and its original step
+        message from ``resend`` is re-sent once the replacement reports
+        ready; collection then continues until every shard replied.
+        """
+        import queue as queue_module
+
+        remaining = dict(expected)
         replies: dict[int, object] = {}
-        while len(replies) < len(expected):
+        while remaining:
+            failed: list[int] = []
             try:
                 worker_index, kind, payload = self._result_queue.get(timeout=self.timeout)
             except queue_module.Empty:
-                self._broken = True
-                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
-                raise WorkerError(
-                    f"timed out waiting for gradient workers (dead: {dead or 'none'})"
-                ) from None
-            if kind == "error":
-                self._broken = True
-                raise WorkerError(f"gradient worker {worker_index} failed:\n{payload}")
-            if kind != expected.get(worker_index):
-                self._broken = True
-                raise WorkerError(
-                    f"protocol error: worker {worker_index} sent {kind!r}, "
-                    f"expected {expected.get(worker_index)!r}"
-                )
-            replies[worker_index] = payload
+                dead = [i for i in remaining if not self._processes[i].is_alive()]
+                if not dead or resend is None or not self._may_restart(len(dead)):
+                    self._broken = True
+                    raise WorkerError(
+                        f"timed out waiting for gradient workers (dead: {dead or 'none'})"
+                    ) from None
+                failed = dead
+            else:
+                if kind == "error":
+                    if (
+                        resend is None
+                        or worker_index not in resend
+                        or not self._may_restart()
+                    ):
+                        self._broken = True
+                        raise WorkerError(f"gradient worker {worker_index} failed:\n{payload}")
+                    failed = [worker_index]
+                elif kind != remaining.get(worker_index):
+                    self._broken = True
+                    raise WorkerError(
+                        f"protocol error: worker {worker_index} sent {kind!r}, "
+                        f"expected {remaining.get(worker_index)!r}"
+                    )
+                elif kind == "ready" and resend is not None and worker_index in resend:
+                    # replacement is up: replay its shard, then await the "ok"
+                    self._command_queues[worker_index].put(resend[worker_index])
+                    remaining[worker_index] = "ok"
+                    continue
+                else:
+                    replies[worker_index] = payload
+                    del remaining[worker_index]
+                    continue
+            for worker_index in failed:
+                self._restarts_used += 1
+                self._restart_policy.pause(self._restarts_used - 1)
+                self._respawn_worker(worker_index)
+                remaining[worker_index] = "ready"
         return replies
 
     # --------------------------------------------------------------------- step
-    def step(self, shards, *, accumulate: bool = False) -> dict[str, float]:
+    def step(
+        self, shards, *, accumulate: bool = False, step_key: tuple[int, int] | None = None
+    ) -> dict[str, float]:
         """Run one sharded forward/backward; deposit gradients on the parent.
 
         ``shards`` is ``[(batch, weight), ...]`` from ``TrainLoop.
@@ -597,6 +782,11 @@ class GradientWorkerPool:
         shard-weighted metric logs.  Gradients land in each parameter's
         ``.grad`` — reduced in fixed worker order — ready for callbacks and
         ``optimizer.step()`` exactly like a sequential backward.
+
+        ``step_key`` is the ``(epoch, step)`` schedule position: replicas
+        exposing ``reseed_for_step`` re-derive their streams from it each
+        step (:func:`derive_worker_step_seed`), which is what makes a
+        respawn-and-replay under a :class:`RestartPolicy` bit-identical.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
@@ -615,15 +805,19 @@ class GradientWorkerPool:
             # inside an accumulation window reuse the last broadcast
             self._layout.pack_data(self._param_block.arrays)
             self._param_version += 1
+        messages: dict[int, tuple] = {}
         for worker_index, (batch, _) in enumerate(shards):
             arena = self._arenas[worker_index]
             arena.ensure(_estimate_nbytes(batch))
             arena.reset()
             encoded = _encode_batch(batch, arena)
-            self._command_queues[worker_index].put(
-                ("step", self._param_version, encoded, arena.name)
-            )
-        replies = self._collect({index: "ok" for index in range(len(shards))})
+            message = ("step", self._param_version, encoded, arena.name, step_key)
+            messages[worker_index] = message
+            self._command_queues[worker_index].put(message)
+        replies = self._collect(
+            {index: "ok" for index in range(len(shards))},
+            resend=messages if self._restart_policy is not None else None,
+        )
 
         total_weight = sum(weight for _, weight in shards)
         weights = [weight / total_weight for _, weight in shards]
@@ -729,7 +923,8 @@ def _producer_main(producer_index, factory, compute_dtype, work_queue, result_qu
             message = work_queue.get()
             if message[0] == "stop":
                 break
-            _, epoch, step, slot, ring_spec, payload = message
+            _, generation, epoch, step, slot, ring_spec, payload = message
+            fault_point("producer.step")
             start = time_module.perf_counter()
             produced = producer.produce(epoch, step, payload)
             name, depth, slot_nbytes = ring_spec
@@ -745,7 +940,11 @@ def _producer_main(producer_index, factory, compute_dtype, work_queue, result_qu
             encoded = _encode_batch(produced, ring.writer(slot))
             seconds = time_module.perf_counter() - start
             result_queue.put(
-                (producer_index, "ok", (step, encoded, seconds, _count_pickled(encoded)))
+                (
+                    producer_index,
+                    "ok",
+                    (generation, step, encoded, seconds, _count_pickled(encoded)),
+                )
             )
     except Exception:  # pragma: no cover - exercised via WorkerError tests
         result_queue.put((producer_index, "error", traceback.format_exc()))
@@ -775,6 +974,13 @@ class ProducerPool:
     compute_dtype:
         Tensor default dtype installed in every producer, matching the
         consumer's precision policy.
+    restart_policy:
+        Optional :class:`RestartPolicy`.  When set, a producer crash during
+        :meth:`stream` triggers stop-the-world recovery: the remaining
+        producers are cycled, the generation counter fences off stale
+        results, and every in-flight step without a consumed result is
+        resubmitted — step-keyed streams make the replayed batches
+        bit-identical.  ``None`` keeps the historical fail-fast behaviour.
     """
 
     def __init__(
@@ -786,6 +992,7 @@ class ProducerPool:
         compute_dtype: str = "float64",
         start_method: str = DEFAULT_START_METHOD,
         timeout: float = DEFAULT_TIMEOUT,
+        restart_policy: RestartPolicy | None = None,
     ):
         if n_producers < 1:
             raise ValueError(f"ProducerPool needs n_producers >= 1, got {n_producers}")
@@ -811,6 +1018,15 @@ class ProducerPool:
         self._broken = False
         self._processes: dict[int, object] = {}
         self._next_index = 0
+        self._restart_policy = restart_policy
+        self._restarts_used = 0
+        self._target_producers = int(n_producers)
+        #: fence for results: bumped on every recovery, pre-crash results are
+        #: discarded by generation mismatch
+        self._generation = 0
+        #: recoveries and replayed steps over the pool's lifetime
+        self.restart_count = 0
+        self.replayed_steps = 0
         #: per-stream pipeline counters of the most recent epoch (see stream())
         self.last_stream_stats: dict[str, float] | None = None
         self._spawn(int(n_producers))
@@ -819,6 +1035,15 @@ class ProducerPool:
     @property
     def n_producers(self) -> int:
         return len(self._processes)
+
+    @property
+    def usable(self) -> bool:
+        """True while the pool can still stream (not closed, not broken)."""
+        return not self._closed and not self._broken
+
+    def _may_restart(self) -> bool:
+        policy = self._restart_policy
+        return policy is not None and self._restarts_used < policy.max_restarts
 
     # ----------------------------------------------------------------- spawn
     def _spawn(self, count: int) -> None:
@@ -843,12 +1068,60 @@ class ProducerPool:
         pending = set(fresh)
         while pending:
             index, kind, payload = self._wait_result()
+            if kind == "ok":
+                # a pre-recovery result that survived the drain; the
+                # generation fence would discard it anyway
+                continue
             if kind != "ready" or index not in pending:
                 self._broken = True
                 raise WorkerError(
                     f"protocol error: producer {index} sent {kind!r} during startup"
                 )
             pending.discard(index)
+
+    def _recover_producers(self) -> None:
+        """Stop-the-world producer recovery after a crash.
+
+        Producers are identity-free pullers on one shared work queue, so the
+        cheapest correct recovery is to cycle the whole set: drain the work
+        queue (no pre-crash produce message may reach a fresh producer),
+        stop/reap every process, discard queued results, bump the generation
+        fence and respawn to the target count.  The caller then resubmits
+        the in-flight steps it still needs.
+        """
+        import queue as queue_module
+
+        def drain_work_queue():
+            while True:
+                try:
+                    self._work_queue.get_nowait()
+                except (queue_module.Empty, OSError):
+                    return
+
+        drain_work_queue()
+        for process in self._processes.values():
+            if process.is_alive():
+                try:
+                    self._work_queue.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover - teardown race
+                    pass
+        for process in self._processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        self._processes.clear()
+        # a producer reaped mid-step may have left its stop unconsumed — a
+        # fresh producer must not eat it and exit
+        drain_work_queue()
+        while True:
+            try:
+                self._result_queue.get(timeout=0.05)
+            except (queue_module.Empty, OSError):
+                break
+        self._generation += 1
+        self._broken = False
+        self._spawn(self._target_producers)
 
     def _wait_result(self):
         """One result-queue message, with liveness-checked timeout.
@@ -921,6 +1194,13 @@ class ProducerPool:
         pickling).  On exhaustion (or abandonment) the in-flight tail is
         drained so the pool stays usable; ``last_stream_stats`` then holds
         the epoch's produce/stall/occupancy counters.
+
+        With a :class:`RestartPolicy`, a producer crash mid-epoch recovers
+        in place: the pool is cycled (:meth:`_recover_producers`) and every
+        in-flight step whose result was not yet received is resubmitted from
+        the retained payloads — the yielded batch sequence is unchanged and,
+        because produce is step-keyed, bit-identical.  Budget exhaustion
+        re-raises :class:`WorkerError` for the caller's degradation ladder.
         """
         import time as time_module
 
@@ -933,12 +1213,17 @@ class ProducerPool:
             "produce_seconds": 0.0,
             "stall_seconds": 0.0,
             "oversize_arrays": 0,
+            "restarts": 0,
+            "replayed_steps": 0,
             "n_producers": float(self.n_producers),
             "prefetch_depth": float(self.prefetch_depth),
         }
         submitted = consumed = 0
         exhausted = False
         pending: dict[int, tuple] = {}
+        # payloads of steps submitted but not yet consumed — the replay
+        # source after a recovery (bounded by prefetch_depth entries)
+        inflight_payloads: dict[int, object] = {}
         wall_start = time_module.perf_counter()
 
         def submit_next():
@@ -950,8 +1235,52 @@ class ProducerPool:
                 return
             slot = ring.acquire(submitted)
             assert slot is not None  # depth-bounded submission keeps slots free
-            self._work_queue.put(("produce", epoch, submitted, slot, ring.spec, payload))
+            inflight_payloads[submitted] = payload
+            self._work_queue.put(
+                ("produce", self._generation, epoch, submitted, slot, ring.spec, payload)
+            )
             submitted += 1
+
+        def recover_and_replay():
+            self._restarts_used += 1
+            self._restart_policy.pause(self._restarts_used - 1)
+            self._recover_producers()
+            replayed = 0
+            for step in range(consumed, submitted):
+                if step in pending:
+                    continue  # result arrived before the crash; still valid
+                self._work_queue.put(
+                    (
+                        "produce",
+                        self._generation,
+                        epoch,
+                        step,
+                        ring.slot_of(step),
+                        ring.spec,
+                        inflight_payloads[step],
+                    )
+                )
+                replayed += 1
+            stats["restarts"] += 1
+            stats["replayed_steps"] += replayed
+            self.restart_count += 1
+            self.replayed_steps += replayed
+
+        def wait_step_result():
+            """Fold one same-generation result into ``pending``; self-heal."""
+            while True:
+                try:
+                    _, _, payload = self._wait_result()
+                except WorkerError:
+                    if not self._may_restart():
+                        raise
+                    recover_and_replay()
+                    continue
+                generation, step, encoded, seconds, n_pickled = payload
+                if generation != self._generation:
+                    continue  # stale pre-recovery result
+                pending[step] = (encoded, seconds, n_pickled)
+                return
 
         try:
             while not exhausted and submitted - consumed < self.prefetch_depth:
@@ -959,8 +1288,7 @@ class ProducerPool:
             while consumed < submitted:
                 wait_start = time_module.perf_counter()
                 while consumed not in pending:
-                    _, _, (step, encoded, seconds, n_pickled) = self._wait_result()
-                    pending[step] = (encoded, seconds, n_pickled)
+                    wait_step_result()
                 stats["stall_seconds"] += time_module.perf_counter() - wait_start
                 encoded, seconds, n_pickled = pending.pop(consumed)
                 stats["produce_seconds"] += seconds
@@ -972,6 +1300,7 @@ class ProducerPool:
                     # runs on normal resume AND on mid-yield abandonment, so
                     # the outer drain never waits for an already-taken reply
                     ring.release(consumed)
+                    inflight_payloads.pop(consumed, None)
                     consumed += 1
                 if not exhausted:
                     submit_next()
@@ -981,13 +1310,16 @@ class ProducerPool:
             while consumed < submitted:
                 try:
                     if consumed not in pending:
-                        _, _, (step, encoded, seconds, n_pickled) = self._wait_result()
-                        pending[step] = (encoded, seconds, n_pickled)
+                        _, _, payload = self._wait_result()
+                        generation, step, encoded, seconds, n_pickled = payload
+                        if generation == self._generation:
+                            pending[step] = (encoded, seconds, n_pickled)
                         continue
                 except WorkerError:
                     break  # pool already marked broken
                 pending.pop(consumed)
                 ring.release(consumed)
+                inflight_payloads.pop(consumed, None)
                 consumed += 1
             wall = time_module.perf_counter() - wall_start
             stats["wall_seconds"] = wall
@@ -1009,6 +1341,7 @@ class ProducerPool:
         n_producers = int(n_producers)
         if n_producers < 1:
             raise ValueError(f"resize needs n_producers >= 1, got {n_producers}")
+        self._target_producers = n_producers
         current = len(self._processes)
         if n_producers > current:
             self._spawn(n_producers - current)

@@ -103,6 +103,14 @@ class Trainer:
         An already-running :class:`~repro.engine.parallel.ProducerPool` to
         borrow instead of spawning one per ``fit`` (estimators keep one alive
         across fits).  The caller owns and closes it.
+    restart_policy:
+        Optional :class:`~repro.engine.parallel.RestartPolicy` passed to
+        trainer-spawned pools: crashed producers/workers are respawned and
+        their steps replayed bit-identically (step-keyed streams).  When the
+        restart budget runs out, a pipelined fit *degrades* to the inline
+        sequential path with a ``RuntimeWarning`` (recorded in
+        ``degradation_events``) instead of raising — the curve is unchanged,
+        only the prefetch is lost.  ``None`` keeps fail-fast semantics.
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class Trainer:
         n_producers: int = 0,
         prefetch_depth: int = 2,
         producer_pool=None,
+        restart_policy=None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -152,6 +161,10 @@ class Trainer:
         #: :meth:`pipeline_summary`
         self.pipeline_stats: list[dict] = []
         self._inline_producer = None
+        self.restart_policy = restart_policy
+        #: one record per producer-pool degradation (epoch, restarts, error)
+        self.degradation_events: list[dict] = []
+        self._degraded = False
         self.callbacks: list[Callback] = list(callbacks)
         self.rng = rng
         self.dtype_policy = dtype_policy or DtypePolicy()
@@ -257,6 +270,7 @@ class Trainer:
             list(self.loop.parameters()),
             n_workers=self.n_workers,
             compute_dtype=self.dtype_policy.compute_dtype,
+            restart_policy=self.restart_policy,
         )
 
     def _make_producer_pool(self):
@@ -268,6 +282,7 @@ class Trainer:
             n_producers=self.n_producers,
             prefetch_depth=self.prefetch_depth,
             compute_dtype=self.dtype_policy.compute_dtype,
+            restart_policy=self.restart_policy,
         )
 
     def _producer_factory(self):
@@ -302,38 +317,89 @@ class Trainer:
             if own_producers is not None:
                 own_producers.close()
 
-    def _pipeline_epoch_batches(self, epoch: int, producers):
-        """Produced batches of one pipelined epoch, in schedule order."""
+    def _inline_epoch_batches(self, epoch: int, payloads, *, start_step: int = 0):
+        """Produce ``payloads`` synchronously on the parent, step-keyed.
+
+        Used for the ``prefetch_depth=0`` sequential reference *and* as the
+        degradation target when a producer pool exhausts its restart budget
+        — the step keying makes both bit-identical to the pipelined run.
+        """
         import time as time_module
 
+        if self._inline_producer is None:
+            self._inline_producer = self._producer_factory()(0)
+        stats = {"steps": 0, "produce_seconds": 0.0, "stall_seconds": 0.0,
+                 "oversize_arrays": 0, "restarts": 0, "replayed_steps": 0,
+                 "n_producers": 0.0, "prefetch_depth": 0.0}
+        wall_start = time_module.perf_counter()
+        try:
+            for offset, payload in enumerate(payloads):
+                start = time_module.perf_counter()
+                produced = self._inline_producer.produce(epoch, start_step + offset, payload)
+                stats["produce_seconds"] += time_module.perf_counter() - start
+                stats["steps"] += 1
+                yield produced
+        finally:
+            wall = time_module.perf_counter() - wall_start
+            stats["wall_seconds"] = wall
+            stats["occupancy"] = stats["produce_seconds"] / wall if wall > 0 else 0.0
+            self.pipeline_stats.append({"epoch": epoch, **stats})
+
+    def _degrade(self, epoch: int, producers, error) -> None:
+        """Record a producer-pool failure and switch this fit to inline mode."""
+        import warnings
+
+        restarts = int(getattr(producers, "restart_count", 0))
+        self._degraded = True
+        self.degradation_events.append(
+            {"epoch": int(epoch), "restarts": restarts, "error": str(error)}
+        )
+        warnings.warn(
+            f"batch producers unrecoverable after {restarts} restart(s); "
+            "continuing on the inline sequential path — the loss curve is "
+            "unchanged (step-keyed streams), only the prefetch overlap is lost",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def _pipeline_epoch_batches(self, epoch: int, producers):
+        """Produced batches of one pipelined epoch, in schedule order."""
+        from repro.engine.parallel import WorkerError
+
         payloads = self.loop.pipeline_batches(epoch)
-        if producers is None:  # inline sequential reference (prefetch_depth=0)
-            stats = {"steps": 0, "produce_seconds": 0.0, "stall_seconds": 0.0,
-                     "oversize_arrays": 0, "n_producers": 0.0, "prefetch_depth": 0.0}
-            wall_start = time_module.perf_counter()
-            try:
-                for step, payload in enumerate(payloads):
-                    start = time_module.perf_counter()
-                    produced = self._inline_producer.produce(epoch, step, payload)
-                    stats["produce_seconds"] += time_module.perf_counter() - start
-                    stats["steps"] += 1
-                    yield produced
-            finally:
-                wall = time_module.perf_counter() - wall_start
-                stats["wall_seconds"] = wall
-                stats["occupancy"] = stats["produce_seconds"] / wall if wall > 0 else 0.0
-                self.pipeline_stats.append({"epoch": epoch, **stats})
+        if producers is None or self._degraded:
+            # inline sequential reference (prefetch_depth=0) or degraded mode
+            yield from self._inline_epoch_batches(epoch, payloads)
             return
         if producers.n_producers != self.n_producers:
             # elastic producers: a callback moved the knob between epochs
             producers.resize(self.n_producers)
+        consumed = 0
+        failure = None
         try:
-            yield from producers.stream(
-                epoch, payloads, slot_nbytes=self.loop.pipeline_slot_nbytes()
-            )
-        finally:
-            if producers.last_stream_stats is not None:
-                self.pipeline_stats.append({"epoch": epoch, **producers.last_stream_stats})
+            try:
+                for batch in producers.stream(
+                    epoch, payloads, slot_nbytes=self.loop.pipeline_slot_nbytes()
+                ):
+                    yield batch
+                    consumed += 1
+            finally:
+                if producers.last_stream_stats is not None:
+                    self.pipeline_stats.append(
+                        {"epoch": epoch, **producers.last_stream_stats}
+                    )
+        except WorkerError as error:
+            failure = error
+        if failure is None:
+            return
+        # restart budget exhausted mid-epoch: the schedule is stateless, so
+        # regenerate it, skip the consumed prefix and continue inline — the
+        # remaining steps land bit-identically under their (epoch, step) keys
+        import itertools
+
+        self._degrade(epoch, producers, failure)
+        remaining = itertools.islice(iter(self.loop.pipeline_batches(epoch)), consumed, None)
+        yield from self._inline_epoch_batches(epoch, remaining, start_step=consumed)
 
     def pipeline_summary(self) -> dict[str, float]:
         """Aggregate produce/stall/occupancy stats over the recorded epochs."""
@@ -350,6 +416,10 @@ class Trainer:
             "producer_occupancy": sum(occupancies) / len(occupancies),
             "oversize_arrays": sum(entry["oversize_arrays"] for entry in self.pipeline_stats),
             "steps": sum(entry["steps"] for entry in self.pipeline_stats),
+            "restarts": sum(entry.get("restarts", 0) for entry in self.pipeline_stats),
+            "replayed_steps": sum(
+                entry.get("replayed_steps", 0) for entry in self.pipeline_stats
+            ),
         }
 
     def _fit_epochs(self, epochs: int, pool, producers=None) -> History:
@@ -372,13 +442,14 @@ class Trainer:
             n_batches = 0
             micro = 0
             aborted = False
-            for batch in batches:
+            for step_in_epoch, batch in enumerate(batches):
                 if micro == 0:
                     self.optimizer.zero_grad()
                 if pool is not None:
                     logs = pool.step(
                         self.loop.shard_batch(batch, pool.n_workers),
                         accumulate=micro > 0,
+                        step_key=(epoch, step_in_epoch),
                     )
                 else:
                     losses = self._normalize_losses(loss_fn(batch))

@@ -46,6 +46,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.imaging.line_chart import LineChartRenderer
+from repro.utils.faults import InjectedFault, fault_point
 
 
 def content_hash(sample: np.ndarray) -> bytes:
@@ -135,6 +136,7 @@ class RenderCache:
         self.spill_writes = 0
         self.disk_hits = 0
         self.readback_failures = 0
+        self.spill_retries = 0
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
@@ -170,6 +172,7 @@ class RenderCache:
             "spill_writes": self.spill_writes,
             "disk_hits": self.disk_hits,
             "readback_failures": self.readback_failures,
+            "spill_retries": self.spill_retries,
         }
 
     def clear(self) -> None:
@@ -261,8 +264,9 @@ class RenderCache:
         """Read one image back from the spill tier, or None on any mismatch.
 
         A stale series hash (the pool changed under the cache) silently drops
-        the entry; a read error or image-hash mismatch (disk corruption)
-        additionally counts a ``readback_failure``.  Either way the caller
+        the entry; a read error or image-hash mismatch (disk corruption) is
+        retried once (``spill_retries``) and then counts a
+        ``readback_failure``.  Either way the caller
         falls through to a re-render.  Indices this instance never spilled are
         discovered through their sidecar files, so sibling processes sharing
         the directory serve each other's renders.
@@ -280,11 +284,19 @@ class RenderCache:
                 return None  # a sibling's file for some other pool: leave it
             self._drop_spill(index)
             return None
-        try:
-            image = np.load(self._spill_path(index), allow_pickle=False)
-        except (OSError, ValueError):
-            image = None
-        if image is None or content_hash(image) != image_hash:
+        image = None
+        for attempt in range(2):  # one retry: a torn sibling write or a
+            try:  # transient I/O error often clears on the second read
+                fault_point("spill.readback")
+                candidate = np.load(self._spill_path(index), allow_pickle=False)
+            except (OSError, ValueError, InjectedFault):
+                candidate = None
+            if candidate is not None and content_hash(candidate) == image_hash:
+                image = candidate
+                break
+            if attempt == 0:
+                self.spill_retries += 1
+        if image is None:
             self.readback_failures += 1
             if adopted:
                 self._spill_meta[index] = meta  # register so the drop cleans up

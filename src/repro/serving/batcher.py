@@ -30,14 +30,15 @@ from repro.serving.transport import SlabPool
 class Request:
     """One accepted request: its payload handle plus the caller's future."""
 
-    __slots__ = ("op", "descriptor", "array", "future", "submitted_at")
+    __slots__ = ("op", "descriptor", "array", "future", "submitted_at", "deadline_at")
 
-    def __init__(self, op: str, descriptor, array, submitted_at: float):
+    def __init__(self, op: str, descriptor, array, submitted_at: float, deadline_at=None):
         self.op = op
         self.descriptor = descriptor  # slab descriptor (zero-copy path) ...
         self.array = array  # ... or a private copy (fallback path)
         self.future: Future = Future()
         self.submitted_at = submitted_at
+        self.deadline_at = deadline_at  # absolute clock time, or None = no deadline
 
 
 class MicroBatch:
@@ -55,10 +56,18 @@ class MicroBatch:
     def group(self) -> str:
         return self.key[0]
 
-    def materialize(self) -> np.ndarray:
-        """The ``(batch, ...)`` input array — a slab view when possible."""
+    def materialize(self, requests=None) -> np.ndarray:
+        """The ``(batch, ...)`` input array — a slab view when possible.
+
+        ``requests`` restricts the fused input to a subset (the live
+        requests after deadline expiry pruning); the default is the whole
+        batch.  A pruned subset loses the contiguous zero-copy fast path
+        but expired rows never reach the estimator.
+        """
+        if requests is None:
+            requests = self.requests
         if self.slab is not None:
-            descriptors = [request.descriptor for request in self.requests]
+            descriptors = [request.descriptor for request in requests]
             if all(descriptor is not None for descriptor in descriptors):
                 batch = self.slab.batch_view(descriptors)
                 if batch is not None:
@@ -67,10 +76,10 @@ class MicroBatch:
                 self.slab.view(request.descriptor)
                 if request.descriptor is not None
                 else request.array
-                for request in self.requests
+                for request in requests
             ]
         else:
-            parts = [request.array for request in self.requests]
+            parts = [request.array for request in requests]
         return np.stack(parts)
 
     def release(self, pool: SlabPool | None) -> None:
@@ -115,9 +124,17 @@ class MicroBatcher:
         self._ready: deque[MicroBatch] = deque()
         self._closed = False
 
-    def submit(self, key: tuple, op: str, sample: np.ndarray) -> Request:
-        """Enqueue one sample under ``key``; returns the pending request."""
+    def submit(
+        self, key: tuple, op: str, sample: np.ndarray, *, deadline_s: float | None = None
+    ) -> Request:
+        """Enqueue one sample under ``key``; returns the pending request.
+
+        ``deadline_s`` (relative, seconds) stamps an absolute expiry on the
+        request; the server's worker loop drops expired requests before the
+        fused call so they never occupy a batch slot.
+        """
         now = self._clock()
+        deadline_at = now + float(deadline_s) if deadline_s is not None else None
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed; no new requests accepted")
@@ -129,7 +146,7 @@ class MicroBatcher:
             descriptor = None
             if group.slab is not None:
                 descriptor = group.slab.append(sample, capacity_samples=self.max_batch)
-            request = Request(op, descriptor, None, now)
+            request = Request(op, descriptor, None, now, deadline_at)
             if descriptor is None:
                 request.array = np.ascontiguousarray(sample).copy()
                 self.stats.increment("fallback_requests")
@@ -142,6 +159,11 @@ class MicroBatcher:
                 self._seal(key, "size")
             self._cond.notify()
         return request
+
+    @property
+    def clock(self):
+        """The batcher's time source — deadlines must be judged by it."""
+        return self._clock
 
     def pending_count(self) -> int:
         """Requests accepted but not yet handed to a worker (caller holds lock

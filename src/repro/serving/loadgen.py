@@ -10,10 +10,12 @@ server pushes back) is charged to the server, not hidden.
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.serving.errors import DeadlineExceededError, ServerOverloadedError
 from repro.serving.stats import LatencySummary
 
 
@@ -29,6 +31,10 @@ class LoadReport:
     n_errors: int
     achieved_rps: float
     latency: LatencySummary
+    n_shed: int = 0
+    n_retries: int = 0
+    n_deadline_expired: int = 0
+    goodput_rps: float = field(default=0.0)
 
     def as_record(self) -> dict:
         """Flat dict for ``BENCH_serving.json`` records."""
@@ -40,6 +46,10 @@ class LoadReport:
             "n_completed": self.n_completed,
             "n_errors": self.n_errors,
             "requests_per_sec": self.achieved_rps,
+            "n_shed": self.n_shed,
+            "n_retries": self.n_retries,
+            "n_deadline_expired": self.n_deadline_expired,
+            "goodput_rps": self.goodput_rps,
         }
         record.update(self.latency.as_record())
         return record
@@ -54,6 +64,10 @@ def run_open_loop(
     op: str = "predict",
     n_submitters: int = 2,
     timeout_s: float = 120.0,
+    deadline_ms: float | None = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.002,
+    retry_seed: int = 0,
 ) -> LoadReport:
     """Offer single-sample requests at ``rate_rps`` for ``duration_s`` seconds.
 
@@ -61,32 +75,72 @@ def run_open_loop(
     round-robin.  ``n_submitters`` threads share the schedule, so the offered
     rate holds even when a single ``submit`` call occasionally blocks.
     Returns a :class:`LoadReport` with sustained requests/s (completions over
-    makespan) and the open-loop latency digest.
+    makespan), goodput (successful responses only) and the open-loop latency
+    digest.
+
+    When the server sheds (:class:`ServerOverloadedError`), each request is
+    retried up to ``max_retries`` times with deterministic jittered
+    exponential backoff (``retry_backoff_s * 2**attempt * (1 + u)`` where
+    ``u`` is seeded per ``(retry_seed, index, attempt)``); a request that
+    exhausts its retries counts as shed.  ``deadline_ms`` is forwarded to
+    every submit — deadline-expired responses are counted separately from
+    hard errors.
     """
     n_requests = max(1, int(rate_rps * duration_s))
     send_gap = 1.0 / rate_rps
     latencies: list[float | None] = [None] * n_requests
     lock = threading.Lock()
-    state = {"errors": 0, "remaining": n_requests, "last_done": 0.0}
+    state = {
+        "errors": 0,
+        "shed": 0,
+        "retries": 0,
+        "deadline_expired": 0,
+        "remaining": n_requests,
+        "last_done": 0.0,
+    }
     all_done = threading.Event()
     ticket = itertools.count()
     start = time.perf_counter() + 0.005  # small lead so ticket 0 isn't already late
 
+    def _finish(outcome: str, done: float) -> None:
+        # caller holds ``lock``
+        if outcome is not None:
+            state[outcome] += 1
+        state["last_done"] = max(state["last_done"], done)
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            all_done.set()
+
     def _completion(index: int, scheduled: float):
         def callback(future) -> None:
             done = time.perf_counter()
-            failed = future.cancelled() or future.exception() is not None
+            error = None if future.cancelled() else future.exception()
+            failed = future.cancelled() or error is not None
             with lock:
-                if failed:
-                    state["errors"] += 1
+                if isinstance(error, DeadlineExceededError):
+                    _finish("deadline_expired", done)
+                elif failed:
+                    _finish("errors", done)
                 else:
                     latencies[index] = done - scheduled
-                state["last_done"] = max(state["last_done"], done)
-                state["remaining"] -= 1
-                if state["remaining"] == 0:
-                    all_done.set()
+                    _finish(None, done)
 
         return callback
+
+    def _submit_with_retry(index: int):
+        """One submit, retrying shed responses; returns a future or None."""
+        submit_kwargs = {} if deadline_ms is None else {"deadline_ms": deadline_ms}
+        for attempt in range(max_retries + 1):
+            try:
+                return server.submit(samples[index % len(samples)], op=op, **submit_kwargs)
+            except ServerOverloadedError:
+                if attempt == max_retries:
+                    return None
+                fraction = random.Random(f"{retry_seed}:{index}:{attempt}").random()
+                time.sleep(retry_backoff_s * 2**attempt * (1.0 + fraction))
+                with lock:
+                    state["retries"] += 1
+        return None  # pragma: no cover - loop always returns
 
     def _submitter() -> None:
         while True:
@@ -98,14 +152,14 @@ def run_open_loop(
             if delay > 0:
                 time.sleep(delay)
             try:
-                future = server.submit(samples[index % len(samples)], op=op)
+                future = _submit_with_retry(index)
             except Exception:
                 with lock:
-                    state["errors"] += 1
-                    state["last_done"] = max(state["last_done"], time.perf_counter())
-                    state["remaining"] -= 1
-                    if state["remaining"] == 0:
-                        all_done.set()
+                    _finish("errors", time.perf_counter())
+                continue
+            if future is None:  # shed and retries exhausted
+                with lock:
+                    _finish("shed", time.perf_counter())
                 continue
             future.add_done_callback(_completion(index, scheduled))
 
@@ -121,9 +175,13 @@ def run_open_loop(
 
     with lock:
         n_errors = state["errors"]
+        n_shed = state["shed"]
+        n_retries = state["retries"]
+        n_deadline_expired = state["deadline_expired"]
         last_done = state["last_done"]
         n_completed = sum(1 for value in latencies if value is not None)
     makespan = max(last_done - start, 1e-9)
+    goodput = n_completed / makespan
     return LoadReport(
         op=op,
         offered_rps=float(rate_rps),
@@ -131,8 +189,12 @@ def run_open_loop(
         n_requests=n_requests,
         n_completed=n_completed,
         n_errors=n_errors,
-        achieved_rps=n_completed / makespan,
+        achieved_rps=goodput,
         latency=LatencySummary.from_seconds(latencies),
+        n_shed=n_shed,
+        n_retries=n_retries,
+        n_deadline_expired=n_deadline_expired,
+        goodput_rps=goodput,
     )
 
 

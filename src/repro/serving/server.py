@@ -15,6 +15,15 @@ workers overlap compute.  ``reload(path)`` loads a fresh bundle (Conv→BN
 folded once at load), builds new replicas, and swaps them in atomically;
 batches already in flight keep references to the old replicas, so nothing is
 dropped or reordered.
+
+Overload safety (PR 9): ``max_pending`` bounds the admission queue —
+``submit`` fast-fails with :class:`ServerOverloadedError` instead of letting
+the backlog grow without bound, and a per-request ``deadline_ms`` drops
+stale requests (:class:`DeadlineExceededError`) *before* the fused call is
+assembled, so expired work never occupies a batch slot.  A worker thread
+that dies (``fault_point("server.worker")`` in chaos runs) is detected and
+replaced on the next submit — accepted requests survive single-worker
+crashes.
 """
 
 from __future__ import annotations
@@ -28,8 +37,10 @@ import numpy as np
 
 from repro.nn.inference import DEFAULT_SERVING_BATCH_SIZE
 from repro.serving.batcher import MicroBatcher
+from repro.serving.errors import DeadlineExceededError, ServerOverloadedError
 from repro.serving.stats import ServerStats
 from repro.serving.transport import SlabPool
+from repro.utils.faults import fault_point
 
 #: default deadline trigger: a lone request waits at most this long for company
 DEFAULT_MAX_WAIT_MS = 2.0
@@ -64,6 +75,11 @@ class ModelServer:
     n_workers:
         Worker threads, each with its own estimator replica and warm
         workspace.  Defaults to usable cores, capped at 4.
+    max_pending:
+        Admission bound: with this many requests accepted but unanswered,
+        ``submit`` raises :class:`ServerOverloadedError` instead of
+        queueing.  ``None`` (the default) keeps the historical unbounded
+        queue.
     """
 
     def __init__(
@@ -75,28 +91,36 @@ class ModelServer:
         n_workers: int | None = None,
         slab_slots: int | None = None,
         eval_mode: bool = True,
+        max_pending: int | None = None,
+        clock=None,
     ):
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.n_workers = int(n_workers) if n_workers is not None else _default_workers()
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = int(max_pending) if max_pending is not None else None
         self._eval_mode = eval_mode
         self._stats = ServerStats()
         # enough slabs for every worker's in-flight batch plus a few pending
         # groups (proba/encode × shapes) before the copying fallback kicks in
         slots = slab_slots if slab_slots is not None else self.n_workers + 4
         self._pool = SlabPool(slots)
+        batcher_kwargs = {} if clock is None else {"clock": clock}
         self._batcher = MicroBatcher(
             max_batch=self.max_batch,
             max_wait_s=self.max_wait_ms / 1e3,
             slab_pool=self._pool,
             stats=self._stats,
+            **batcher_kwargs,
         )
         self._model_lock = threading.Lock()
         self._replicas = self._make_replicas(estimator)
         self._model_version = 0
         self._threads: list[threading.Thread] = []
+        self._thread_lock = threading.Lock()
         self._started = False
         self._closed = False
 
@@ -160,6 +184,7 @@ class ModelServer:
         """
         if self._closed:
             return
+        self._ensure_workers()  # a dead worker must not strand the drain
         self._closed = True
         atexit.unregister(self.close)
         self._batcher.close()
@@ -176,13 +201,20 @@ class ModelServer:
 
     # -- request path ------------------------------------------------------
 
-    def submit(self, sample, op: str = "predict"):
+    def submit(self, sample, op: str = "predict", *, deadline_ms: float | None = None):
         """Enqueue one sample; returns a future resolving to its result.
 
         ``sample`` is one series shaped ``(n_variables, length)`` (a 1-D
         array is promoted to one univariate sample).  ``op`` is one of
         ``"predict"`` (→ class id), ``"predict_proba"`` (→ probability row)
-        or ``"encode"`` (→ representation row).
+        or ``"encode"`` (→ representation row).  ``deadline_ms`` bounds the
+        request's total queueing + service time: an expired request resolves
+        exceptionally with :class:`DeadlineExceededError` and is pruned
+        before the fused call, never occupying a batch slot.
+
+        With ``max_pending`` set, a full queue raises
+        :class:`ServerOverloadedError` *here* — shedding is free for the
+        server and immediate for the caller.
         """
         group = _OP_GROUPS.get(op)
         if group is None:
@@ -191,6 +223,12 @@ class ModelServer:
             raise RuntimeError(
                 "server is not running; call start() or use it as a context manager"
             )
+        self._ensure_workers()
+        if self.max_pending is not None:
+            pending = self._batcher.pending_count()
+            if pending >= self.max_pending:
+                self._stats.increment("shed_requests")
+                raise ServerOverloadedError(pending, self.max_pending)
         sample = np.asarray(sample)
         if sample.ndim == 1:
             sample = sample[None, :]
@@ -199,7 +237,8 @@ class ModelServer:
                 f"submit() takes one (n_variables, length) sample; got shape {sample.shape}"
             )
         key = (group, sample.shape, sample.dtype.name)
-        return self._batcher.submit(key, op, sample).future
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        return self._batcher.submit(key, op, sample, deadline_s=deadline_s).future
 
     def _gather(self, X, op: str):
         X = np.asarray(X)
@@ -262,29 +301,86 @@ class ModelServer:
         snapshot["n_workers"] = self.n_workers
         snapshot["max_batch"] = self.max_batch
         snapshot["max_wait_ms"] = self.max_wait_ms
+        # reliability counters are part of the stable surface: report them
+        # even before the first shed / expiry / crash
+        for key in ("shed_requests", "deadline_expired", "worker_deaths", "worker_restarts"):
+            snapshot.setdefault(key, 0)
         return snapshot
 
     # -- worker side -------------------------------------------------------
 
+    def _ensure_workers(self) -> None:
+        """Replace dead worker threads (crash detection on the submit path).
+
+        A worker thread that died outside the normal shutdown path (chaos
+        faults, estimator segfault-adjacent bugs) would silently strand the
+        queue.  Every ``submit`` cheaply scans the thread list and respawns
+        dead entries under the thread lock, counting ``worker_restarts``.
+        """
+        if self._closed or not self._started:
+            return
+        if all(thread.is_alive() for thread in self._threads):
+            return
+        with self._thread_lock:
+            for slot, thread in enumerate(self._threads):
+                if thread.is_alive() or self._closed:
+                    continue
+                replacement = threading.Thread(
+                    target=self._worker_loop,
+                    args=(slot,),
+                    name=f"{thread.name}-r",
+                    daemon=True,
+                )
+                replacement.start()
+                self._threads[slot] = replacement
+                self._stats.increment("worker_restarts")
+
+    def _partition_expired(self, batch):
+        """Split a sealed batch into (live, expired) by request deadline."""
+        now = self._batcher.clock()
+        live, expired = [], []
+        for request in batch.requests:
+            if request.deadline_at is not None and now > request.deadline_at:
+                expired.append(request)
+            else:
+                live.append(request)
+        return live, expired
+
     def _worker_loop(self, index: int) -> None:
+        try:
+            self._serve_forever(index)
+        except Exception:  # thread death is detected + healed on submit
+            self._stats.increment("worker_deaths")
+
+    def _serve_forever(self, index: int) -> None:
         while True:
+            fault_point("server.worker")  # chaos: kills the thread between batches
             batch = self._batcher.next_batch()
             if batch is None:
                 return
             with self._model_lock:
                 estimator = self._replicas[index % len(self._replicas)]
             try:
-                X = batch.materialize()
+                live, expired = self._partition_expired(batch)
+                for request in expired:
+                    waited_ms = (self._batcher.clock() - request.submitted_at) * 1e3
+                    deadline_ms = (request.deadline_at - request.submitted_at) * 1e3
+                    _reject(request.future, DeadlineExceededError(deadline_ms, waited_ms))
+                if expired:
+                    self._stats.increment("deadline_expired", len(expired))
+                if not live:
+                    continue
+                X = batch.materialize(live)
                 if batch.group == "proba":
                     proba = estimator.predict_proba(X)
-                    for request, row in zip(batch.requests, proba):
+                    for request, row in zip(live, proba):
                         value = int(np.argmax(row)) if request.op == "predict" else row
                         _resolve(request.future, value)
                 else:
                     encoded = estimator.encode(X)
-                    for request, row in zip(batch.requests, encoded):
+                    for request, row in zip(live, encoded):
                         _resolve(request.future, row)
-                self._stats.increment("responses", len(batch.requests))
+                self._stats.increment("responses", len(live))
             except Exception as error:  # scatter the failure, keep serving
                 for request in batch.requests:
                     _reject(request.future, error)

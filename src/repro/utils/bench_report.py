@@ -50,8 +50,12 @@ METRIC_MARKERS = (
     "spilled_bytes",
     "disk_hits",
     "readback_failures",
+    "spill_retries",
     "producer_occupancy",
     "consumer_stall_seconds",
+    "goodput_rps",
+    "n_shed",
+    "n_deadline_expired",
 )
 
 

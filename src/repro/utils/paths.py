@@ -1,15 +1,24 @@
-"""Shared ``.npz`` path conventions of the save/load surfaces.
+"""Shared ``.npz`` path conventions and atomic-write helpers.
 
 Every archive writer in the library (:mod:`repro.api.bundle`,
 :func:`repro.data.io.save_dataset`) follows the same contract: a missing
 ``.npz`` suffix is appended (case-insensitively, so ``model.NPZ`` is not
 double-suffixed to ``model.NPZ.npz``), and the matching loader accepts the
 same path string the saver was given — suffixed or not.
+
+Durable writers (bundles, checkpoints, corpus manifests) go through
+:func:`atomic_write` / :func:`atomic_write_npz`: the payload lands in a
+same-directory temp file first and is published with one ``os.replace``, so
+a crash mid-save leaves either the old file or the new one on disk — never
+a truncated hybrid.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+
+from repro.utils.faults import fault_point
 
 
 def normalize_npz_path(path: str | os.PathLike) -> str:
@@ -31,3 +40,57 @@ def resolve_npz_read_path(path: str | os.PathLike) -> str:
     if not os.path.exists(path):
         return normalize_npz_path(path)
     return path
+
+
+def atomic_write(path: str | os.PathLike, write, *, mode: str = "wb", encoding: str | None = None) -> str:
+    """Write ``path`` atomically through the callable ``write(handle)``.
+
+    The payload is written to a ``NamedTemporaryFile`` in the destination
+    directory, flushed and fsynced, then published with ``os.replace`` —
+    atomic on POSIX when source and target share a filesystem (which a
+    same-directory temp file guarantees).  If ``write`` raises, the temp
+    file is removed and the previous ``path`` (if any) is untouched.
+
+    The ``checkpoint.write`` fault site sits between the finished temp write
+    and the rename: an injected crash there is the worst case an atomic
+    writer must survive, and the old file must still be intact.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    if encoding is None and "b" not in mode:
+        encoding = "utf-8"
+    handle = tempfile.NamedTemporaryFile(
+        mode=mode,
+        encoding=encoding,
+        dir=directory,
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    tmp_path = handle.name
+    try:
+        with handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("checkpoint.write")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_npz(path: str | os.PathLike, arrays: dict) -> str:
+    """Atomically save ``arrays`` as an uncompressed ``.npz`` at ``path``.
+
+    The ``.npz`` suffix is appended per :func:`normalize_npz_path`; returns
+    the path actually written.
+    """
+    import numpy as np
+
+    path = normalize_npz_path(path)
+    return atomic_write(path, lambda handle: np.savez(handle, **arrays))
