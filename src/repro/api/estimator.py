@@ -150,6 +150,28 @@ class FineTunedPredictorMixin:
             X, batch_size=batch_size or self._serving_batch_size()
         )
 
+    def workspace_stats(self) -> dict[str, int]:
+        """Merged buffer-arena counters of the estimator's inference workspaces.
+
+        Sums ``hits`` / ``misses`` / ``nbytes`` / ``peak_bytes`` / ``buffers``
+        over every :class:`~repro.nn.inference.Workspace` the estimator owns
+        (the fine-tuner's prediction arena, the pre-trainer's / baseline's
+        ``encode`` arena).  ``ModelServer.stats()`` aggregates this across
+        replicas so operators can verify steady-state serving allocates
+        nothing.
+        """
+        merged = {"hits": 0, "misses": 0, "nbytes": 0, "peak_bytes": 0, "buffers": 0}
+        seen: set[int] = set()
+        owners = (self._finetuner, getattr(self, "pretrainer", None), self)
+        for owner in owners:
+            workspace = getattr(owner, "_workspace", None)
+            if workspace is None or id(workspace) in seen:
+                continue
+            seen.add(id(workspace))
+            for key, value in workspace.stats().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
     # --------------------------------------------------- bundle (de)serialization
     def _pack_finetuner(self, arrays: dict, manifest: dict) -> None:
         """Add the fitted fine-tuner's weights + metadata to a bundle in place.

@@ -215,9 +215,11 @@ def _fold_targets(estimator) -> list:
             targets.append(module)
     finetuner = getattr(estimator, "_finetuner", None)
     if finetuner is not None:
-        for module in (finetuner.encoder, finetuner.classifier):
-            if isinstance(module, Module):
-                targets.append(module)
+        targets.extend(
+            module
+            for module in (finetuner.encoder, finetuner.classifier)
+            if isinstance(module, Module)
+        )
     return targets
 
 

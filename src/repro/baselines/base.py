@@ -75,6 +75,10 @@ class BaselineConfig:
     #: 0 keeps the classic bit-exact path; prefetch_depth 0 = inline reference.
     n_producers: int = 0
     prefetch_depth: int = 2
+    #: pooled autograd workspaces across training steps (StepArena),
+    #: mirroring AimTSConfig: values are bit-identical either way; False
+    #: restores per-step allocation.
+    step_arena: bool = True
 
     def __post_init__(self) -> None:
         from repro.core.config import _check_pipeline_knobs
@@ -302,6 +306,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
                 n_workers=self.config.n_workers,
                 compute_dtype=self.dtype_policy.compute_dtype,
                 restart_policy=self.restart_policy,
+                step_arena=self.config.step_arena,
             )
         if (
             self.config.n_producers >= 1
@@ -335,6 +340,7 @@ class SelfSupervisedBaseline(FineTunedPredictorMixin):
             prefetch_depth=self.config.prefetch_depth,
             producer_pool=self._producer_pool,
             restart_policy=self.restart_policy,
+            step_arena=self.config.step_arena,
         )
         self.trainer.fit(epochs)
         self._pretrained = True

@@ -111,11 +111,12 @@ class SupervisedCNN(FineTunedPredictorMixin):
         self._require_fitted()
         encoder = self._finetuner.encoder
         X = z_normalize(np.asarray(X, dtype=np.float64))
-        outputs = []
         encoder.eval()
         with no_grad():
-            for start in range(0, X.shape[0], batch_size):
-                outputs.append(encoder(X[start : start + batch_size]).data)
+            outputs = [
+                encoder(X[start : start + batch_size]).data
+                for start in range(0, X.shape[0], batch_size)
+            ]
         encoder.train()
         return np.concatenate(outputs, axis=0)
 

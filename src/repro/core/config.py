@@ -100,6 +100,12 @@ class AimTSConfig:
         Route the augmentation bank through the vectorized batch kernels
         (bit-identical to the per-sample reference loops under the same RNG
         streams; ``False`` forces the reference paths for debugging).
+    step_arena:
+        Pool autograd workspaces across training steps through a
+        :class:`~repro.nn.arena.StepArena` (default on).  After a warm-up
+        step the hot training loop allocates no fresh large buffers; values
+        are bit-identical either way.  ``False`` restores per-step
+        allocation (the debugging reference).
     series_length, n_variables:
         Common shape every pre-training sample is resampled to.
     alpha:
@@ -138,6 +144,7 @@ class AimTSConfig:
     # pre-training parallelism (see repro.engine.parallel)
     n_workers: int = 1
     augment_batched: bool = True
+    step_arena: bool = True
     # pipelined pre-training (producer processes + ring prefetch)
     n_producers: int = 0
     prefetch_depth: int = 2
@@ -219,7 +226,12 @@ class AimTSConfig:
 
 @dataclass
 class FineTuneConfig:
-    """Hyper-parameters of downstream fine-tuning (paper Section V-A3)."""
+    """Hyper-parameters of downstream fine-tuning (paper Section V-A3).
+
+    ``step_arena`` mirrors :attr:`AimTSConfig.step_arena`: pool autograd
+    workspaces across fine-tuning steps (bit-identical values; ``False`` =
+    per-step allocation).
+    """
 
     learning_rate: float = 1e-3
     epochs: int = 20
@@ -227,6 +239,7 @@ class FineTuneConfig:
     classifier_hidden_dim: int | None = 64
     dropout: float = 0.1
     freeze_encoder: bool = False
+    step_arena: bool = True
     seed: int = 3407
 
     def __post_init__(self) -> None:

@@ -148,6 +148,7 @@ class FineTuner:
             history=history,
             rng=self._rng,
             dtype_policy=DtypePolicy(compute_dtype=compute_dtype.name),
+            step_arena=self.config.step_arena,
         )
         self.trainer.fit(self.config.epochs)
         return LossCurve(history.curve("loss"), history)

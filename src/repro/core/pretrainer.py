@@ -32,6 +32,7 @@ from repro.engine import (
     Trainer,
     TrainLoop,
 )
+from repro.engine.profiler import profiled_phase
 from repro.imaging import LineChartRenderer, RenderCache
 from repro.nn import Adam, StepLR, Tensor, Workspace
 from repro.nn import functional as F
@@ -268,6 +269,11 @@ class AimTSPretrainer:
         #: Kept off the config so injectable test clocks never travel to
         #: spawn children with the pickled config.
         self.restart_policy = None
+        #: time the training-step phases (render / augment / forward /
+        #: backward / optimizer) of the next fit(); per-epoch exclusive
+        #: seconds land in the history as ``profile_<phase>_seconds`` columns
+        #: and in ``trainer.pipeline_summary()``.  Set it before fit().
+        self.profile = False
 
     # ------------------------------------------------------------------ parts
     def _trainable_modules(self):
@@ -327,7 +333,11 @@ class AimTSPretrainer:
         losses: dict[str, Tensor] = {}
 
         if cfg.use_prototype_loss:
-            views_a, views_b = views if views is not None else self.bank.two_views(batch)
+            if views is not None:
+                views_a, views_b = views
+            else:
+                with profiled_phase("augment"):
+                    views_a, views_b = self.bank.two_views(batch)
             proj_a, reps_a = self._encode_views(views_a)
             proj_b, reps_b = self._encode_views(views_b)
             prototypes_a = self.prototype_projection(
@@ -353,7 +363,8 @@ class AimTSPretrainer:
 
         if cfg.use_series_image_loss:
             if images is None:
-                images = self.renderer.render_batch(batch)
+                with profiled_phase("render"):
+                    images = self.renderer.render_batch(batch)
             series_repr = self.ts_encoder(batch)
             image_repr = self.image_encoder(images)
             series_proj = self.series_projection(series_repr)
@@ -492,6 +503,7 @@ class AimTSPretrainer:
                 n_workers=cfg.n_workers,
                 compute_dtype=self.dtype_policy.compute_dtype,
                 restart_policy=self.restart_policy,
+                step_arena=cfg.step_arena,
             )
         if pipelined and cfg.prefetch_depth >= 2 and self._producer_pool is None:
             from repro.engine.parallel import ProducerPool
@@ -528,6 +540,8 @@ class AimTSPretrainer:
             prefetch_depth=cfg.prefetch_depth,
             producer_pool=self._producer_pool,
             restart_policy=self.restart_policy,
+            step_arena=cfg.step_arena,
+            profile=self.profile,
         )
         if resume_from is not None:
             self.trainer.load_checkpoint(resume_from)
@@ -721,11 +735,11 @@ class _PretrainLoop(TrainLoop):
         for batch, _, batch_indices in self.iterator:
             if batch.shape[0] < 2:
                 continue  # contrastive losses need at least two samples
-            images = (
-                self.pretrainer.render_cache.get_batch(batch, batch_indices)
-                if self.use_cache
-                else None
-            )
+            if self.use_cache:
+                with profiled_phase("render"):
+                    images = self.pretrainer.render_cache.get_batch(batch, batch_indices)
+            else:
+                images = None
             yield batch, images
 
     def batch_loss(self, batch) -> dict:

@@ -33,8 +33,18 @@ class DilatedConvBlock(nn.Module):
         self.conv2 = nn.Conv1d(
             channels, channels, kernel_size, padding=padding, dilation=dilation, rng=rng
         )
+        #: fused conv+relu / add+relu autograd nodes (bit-identical to the
+        #: decomposed graph; False = the reference graph, for A/B runs)
+        self.fused = True
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused:
+            # fused conv+relu and add+relu nodes: bit-identical to the
+            # decomposed conv().relu() / (hidden + x).relu() graphs, half
+            # the autograd nodes
+            hidden = self.conv1(x, relu=True)
+            hidden = self.conv2(hidden)
+            return hidden.add_relu(x)
         hidden = self.conv1(x).relu()
         hidden = self.conv2(hidden)
         return (hidden + x).relu()
@@ -128,6 +138,8 @@ class TSEncoder(nn.Module):
         ]
         self.blocks = nn.Sequential(*blocks)
         self.head = nn.Linear(hidden_channels, repr_dim, rng=rng)
+        #: fused conv+relu input node (see :class:`DilatedConvBlock`)
+        self.fused = True
 
     def output_dim(self, n_variables: int = 1) -> int:
         """Dimension of the representation produced for ``n_variables`` inputs."""
@@ -137,7 +149,10 @@ class TSEncoder(nn.Module):
 
     def _encode_channels(self, x: Tensor) -> Tensor:
         """Run the convolutional trunk on ``(N, C, T)`` and pool over time."""
-        hidden = self.input_conv(x).relu()
+        if self.fused:
+            hidden = self.input_conv(x, relu=True)
+        else:
+            hidden = self.input_conv(x).relu()
         hidden = self.blocks(hidden)
         pooled = F.adaptive_avg_pool1d(hidden, 1).squeeze(2)  # (N, hidden)
         return self.head(pooled)

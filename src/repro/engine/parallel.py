@@ -484,14 +484,21 @@ def _worker_main(
     grad_block_spec,
     command_queue,
     result_queue,
+    step_arena: bool = True,
 ) -> None:
     """Entry point of one gradient worker process."""
+    from repro.nn.arena import StepArena, set_active_arena
     from repro.nn.tensor import Tensor, set_default_dtype
 
     arenas: dict[str, SharedMemory] = {}
     param_block = grad_block = None
     try:
         set_default_dtype(np.dtype(compute_dtype))
+        # each replica owns a private training-step buffer pool — arenas are
+        # process-local, so shards pool independently and stay bit-identical
+        # to the sequential path (pooling never changes values)
+        buffer_pool = StepArena() if step_arena else None
+        set_active_arena(buffer_pool)
         replica = factory(worker_index, n_workers)
         layout = FlatLayout(replica.parameters())
         if layout.signature() != signature:
@@ -545,6 +552,8 @@ def _worker_main(
                     key: float(value.item()) if isinstance(value, Tensor) else float(value)
                     for key, value in losses.items()
                 }
+                if buffer_pool is not None:
+                    buffer_pool.advance()
                 result_queue.put((worker_index, "ok", logs))
             elif kind == "buffers":
                 result_queue.put(
@@ -588,6 +597,11 @@ class GradientWorkerPool:
         step message is re-sent; replicas exposing ``reseed_for_step`` then
         recompute the identical gradient.  ``None`` keeps the historical
         fail-fast behaviour.
+    step_arena:
+        Give every worker replica a private
+        :class:`~repro.nn.arena.StepArena` so its forward/backward passes
+        pool buffers like the sequential trainer's (default on; values are
+        unchanged either way).
     """
 
     def __init__(
@@ -600,6 +614,7 @@ class GradientWorkerPool:
         start_method: str = DEFAULT_START_METHOD,
         timeout: float = DEFAULT_TIMEOUT,
         restart_policy: RestartPolicy | None = None,
+        step_arena: bool = True,
     ):
         if n_workers < 2:
             raise ValueError(f"GradientWorkerPool needs n_workers >= 2, got {n_workers}")
@@ -628,6 +643,7 @@ class GradientWorkerPool:
         self._context = context
         self._factory = factory
         self._compute_dtype = str(compute_dtype)
+        self._step_arena = bool(step_arena)
         self._nbytes = nbytes
         self._command_queues = [context.Queue() for _ in range(self.n_workers)]
         self._result_queue = context.Queue()
@@ -647,6 +663,7 @@ class GradientWorkerPool:
                     (self._grad_blocks[index].name, nbytes),
                     self._command_queues[index],
                     self._result_queue,
+                    self._step_arena,
                 ),
                 daemon=True,
             )
@@ -701,6 +718,7 @@ class GradientWorkerPool:
                 (self._grad_blocks[index].name, self._nbytes),
                 self._command_queues[index],
                 self._result_queue,
+                self._step_arena,
             ),
             daemon=True,
         )

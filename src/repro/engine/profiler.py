@@ -1,0 +1,115 @@
+"""Per-step phase profiling for the training engine.
+
+:class:`PhaseProfiler` attributes wall time to named phases of the training
+step (``fetch`` / ``render`` / ``augment`` / ``forward`` / ``backward`` /
+``optimizer``) with *exclusive* accounting: entering a nested phase pauses
+the enclosing one, so a ``render`` interval timed inside ``forward`` is
+charged to ``render`` only and the per-epoch phase columns sum to the
+instrumented wall time without double counting.
+
+The profiler reaches the instrumented code the same way the
+:class:`~repro.nn.arena.StepArena` does — through a scoped module global.
+Instrumentation sites call :func:`profiled_phase`, which is a no-op (one
+``None`` check) when no profiler is active, so the default training path
+pays nothing.  The :class:`~repro.engine.trainer.Trainer` enters
+:func:`use_profiler` around ``fit`` when constructed with ``profile=True``
+and surfaces per-epoch deltas as ``profile_<phase>_seconds`` history
+columns.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+_ACTIVE_PROFILER: "PhaseProfiler | None" = None
+
+
+def active_profiler() -> "PhaseProfiler | None":
+    """The profiler timing the current training scope (None = disabled)."""
+    return _ACTIVE_PROFILER
+
+
+def set_active_profiler(profiler: "PhaseProfiler | None") -> "PhaseProfiler | None":
+    """Install ``profiler`` as the ambient phase timer; returns the previous one."""
+    global _ACTIVE_PROFILER
+    previous = _ACTIVE_PROFILER
+    _ACTIVE_PROFILER = profiler
+    return previous
+
+
+@contextlib.contextmanager
+def use_profiler(profiler: "PhaseProfiler | None"):
+    """Scope within which :func:`profiled_phase` reports to ``profiler``.
+
+    ``None`` is valid and keeps phase timing disabled, so callers can thread
+    an optional profiler without branching.
+    """
+    previous = set_active_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_active_profiler(previous)
+
+
+@contextlib.contextmanager
+def profiled_phase(name: str):
+    """Attribute the enclosed wall time to phase ``name`` (no-op when idle)."""
+    profiler = _ACTIVE_PROFILER
+    if profiler is None:
+        yield
+        return
+    profiler.enter(name)
+    try:
+        yield
+    finally:
+        profiler.exit()
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall time per named phase.
+
+    Attributes
+    ----------
+    totals:
+        Phase name → cumulative exclusive seconds.
+    counts:
+        Phase name → number of completed intervals.
+    """
+
+    __slots__ = ("totals", "counts", "_stack")
+
+    def __init__(self):
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[list] = []
+
+    def enter(self, name: str) -> None:
+        """Start a phase; pauses the enclosing phase's clock."""
+        now = time.perf_counter()
+        if self._stack:
+            parent = self._stack[-1]
+            self.totals[parent[0]] = self.totals.get(parent[0], 0.0) + (now - parent[1])
+        self._stack.append([name, now])
+
+    def exit(self) -> None:
+        """Finish the innermost phase; resumes the enclosing phase's clock."""
+        now = time.perf_counter()
+        name, started = self._stack.pop()
+        self.totals[name] = self.totals.get(name, 0.0) + (now - started)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1][1] = now
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the cumulative phase totals (plain floats, JSON-safe)."""
+        return {name: float(seconds) for name, seconds in self.totals.items()}
+
+    def reset(self) -> None:
+        """Drop all accumulated totals (open phases keep running)."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.totals.items()))
+        return f"PhaseProfiler({inner})"

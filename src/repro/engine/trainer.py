@@ -27,7 +27,9 @@ from repro.engine.callbacks import (
 )
 from repro.engine.history import History
 from repro.engine.loop import TrainLoop
+from repro.engine.profiler import PhaseProfiler, profiled_phase, use_profiler
 from repro.engine.state import DtypePolicy, TrainState, get_rng_state, set_rng_state
+from repro.nn.arena import StepArena, use_arena
 from repro.nn.optim import Optimizer
 from repro.nn.schedulers import LRScheduler
 from repro.nn.tensor import Tensor, default_dtype
@@ -111,6 +113,24 @@ class Trainer:
         sequential path with a ``RuntimeWarning`` (recorded in
         ``degradation_events``) instead of raising — the curve is unchanged,
         only the prefetch is lost.  ``None`` keeps fail-fast semantics.
+    step_arena:
+        Pools every steady-state training allocation in a
+        :class:`~repro.nn.arena.StepArena` (default ``True``): forward
+        intermediates, im2col patch matrices, gradient buffers and VJP
+        scratch all reuse plan-once buffers, keyed per step by a generation
+        counter that the trainer advances after every batch.  Bit-identical
+        to the allocate-fresh path (the arena only changes *where* arrays
+        live, never their values).  Pass ``None``/``False`` for the
+        allocate-fresh escape hatch, or a ready ``StepArena`` to share one.
+        Sharded workers build a private arena per replica (see
+        :class:`~repro.engine.parallel.GradientWorkerPool`).
+    profile:
+        Time the phases of every training step (``fetch`` / ``forward`` /
+        ``backward`` / ``optimizer``, plus loop-reported phases such as
+        ``render`` and ``augment``) with exclusive accounting and record the
+        per-epoch seconds as ``profile_<phase>_seconds`` history columns;
+        totals also appear in :meth:`pipeline_summary`.  Off by default —
+        the instrumented sites cost one ``None`` check when disabled.
     """
 
     def __init__(
@@ -130,6 +150,8 @@ class Trainer:
         prefetch_depth: int = 2,
         producer_pool=None,
         restart_policy=None,
+        step_arena: StepArena | bool | None = True,
+        profile: bool = False,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -165,6 +187,14 @@ class Trainer:
         #: one record per producer-pool degradation (epoch, restarts, error)
         self.degradation_events: list[dict] = []
         self._degraded = False
+        if step_arena is True:
+            step_arena = StepArena()
+        elif step_arena is False:
+            step_arena = None
+        #: the training-step buffer pool (None = allocate-fresh reference)
+        self.step_arena: StepArena | None = step_arena
+        #: per-phase wall-time accounting (None unless ``profile=True``)
+        self.profiler: PhaseProfiler | None = PhaseProfiler() if profile else None
         self.callbacks: list[Callback] = list(callbacks)
         self.rng = rng
         self.dtype_policy = dtype_policy or DtypePolicy()
@@ -229,7 +259,8 @@ class Trainer:
                 if param.grad is not None:
                     param.grad /= window
         self._emit("on_backward_end")
-        self.optimizer.step()
+        with profiled_phase("optimizer"):
+            self.optimizer.step()
         self.state.step += 1
 
     def fit(self, epochs: int) -> History:
@@ -252,7 +283,11 @@ class Trainer:
         """
         if epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {epochs}")
-        with default_dtype(self.dtype_policy.np_compute_dtype):
+        with (
+            default_dtype(self.dtype_policy.np_compute_dtype),
+            use_arena(self.step_arena),
+            use_profiler(self.profiler),
+        ):
             return self._fit(int(epochs))
 
     def _make_worker_pool(self):
@@ -271,6 +306,7 @@ class Trainer:
             n_workers=self.n_workers,
             compute_dtype=self.dtype_policy.compute_dtype,
             restart_policy=self.restart_policy,
+            step_arena=self.step_arena is not None,
         )
 
     def _make_producer_pool(self):
@@ -402,25 +438,41 @@ class Trainer:
         yield from self._inline_epoch_batches(epoch, remaining, start_step=consumed)
 
     def pipeline_summary(self) -> dict[str, float]:
-        """Aggregate produce/stall/occupancy stats over the recorded epochs."""
-        if not self.pipeline_stats:
+        """Aggregate produce/stall/occupancy stats over the recorded epochs.
+
+        When the trainer was built with ``profile=True`` the cumulative
+        per-phase seconds are appended as ``profile_<phase>_seconds`` keys.
+        """
+        summary: dict[str, float] = {}
+        if self.pipeline_stats:
+            produce = sum(entry["produce_seconds"] for entry in self.pipeline_stats)
+            stall = sum(entry["stall_seconds"] for entry in self.pipeline_stats)
+            wall = sum(entry["wall_seconds"] for entry in self.pipeline_stats)
+            occupancies = [entry["occupancy"] for entry in self.pipeline_stats]
+            summary = {
+                "produce_seconds": produce,
+                "consumer_stall_seconds": stall,
+                "wall_seconds": wall,
+                "producer_occupancy": sum(occupancies) / len(occupancies),
+                "oversize_arrays": sum(
+                    entry["oversize_arrays"] for entry in self.pipeline_stats
+                ),
+                "steps": sum(entry["steps"] for entry in self.pipeline_stats),
+                "restarts": sum(entry.get("restarts", 0) for entry in self.pipeline_stats),
+                "replayed_steps": sum(
+                    entry.get("replayed_steps", 0) for entry in self.pipeline_stats
+                ),
+            }
+        if self.profiler is not None:
+            for phase, seconds in self.profiler.snapshot().items():
+                summary[f"profile_{phase}_seconds"] = seconds
+        return summary
+
+    def arena_stats(self) -> dict[str, int]:
+        """Hit/miss/bytes counters of the step arena ({} when disabled)."""
+        if self.step_arena is None:
             return {}
-        produce = sum(entry["produce_seconds"] for entry in self.pipeline_stats)
-        stall = sum(entry["stall_seconds"] for entry in self.pipeline_stats)
-        wall = sum(entry["wall_seconds"] for entry in self.pipeline_stats)
-        occupancies = [entry["occupancy"] for entry in self.pipeline_stats]
-        return {
-            "produce_seconds": produce,
-            "consumer_stall_seconds": stall,
-            "wall_seconds": wall,
-            "producer_occupancy": sum(occupancies) / len(occupancies),
-            "oversize_arrays": sum(entry["oversize_arrays"] for entry in self.pipeline_stats),
-            "steps": sum(entry["steps"] for entry in self.pipeline_stats),
-            "restarts": sum(entry.get("restarts", 0) for entry in self.pipeline_stats),
-            "replayed_steps": sum(
-                entry.get("replayed_steps", 0) for entry in self.pipeline_stats
-            ),
-        }
+        return self.step_arena.stats()
 
     def _fit_epochs(self, epochs: int, pool, producers=None) -> History:
         accumulation = next(
@@ -442,18 +494,30 @@ class Trainer:
             n_batches = 0
             micro = 0
             aborted = False
-            for step_in_epoch, batch in enumerate(batches):
+            profile_start = (
+                self.profiler.snapshot() if self.profiler is not None else None
+            )
+            batch_iter = enumerate(batches)
+            while True:
+                with profiled_phase("fetch"):
+                    try:
+                        step_in_epoch, batch = next(batch_iter)
+                    except StopIteration:
+                        break
                 if micro == 0:
                     self.optimizer.zero_grad()
                 if pool is not None:
-                    logs = pool.step(
-                        self.loop.shard_batch(batch, pool.n_workers),
-                        accumulate=micro > 0,
-                        step_key=(epoch, step_in_epoch),
-                    )
+                    with profiled_phase("workers"):
+                        logs = pool.step(
+                            self.loop.shard_batch(batch, pool.n_workers),
+                            accumulate=micro > 0,
+                            step_key=(epoch, step_in_epoch),
+                        )
                 else:
-                    losses = self._normalize_losses(loss_fn(batch))
-                    losses["loss"].backward()
+                    with profiled_phase("forward"):
+                        losses = self._normalize_losses(loss_fn(batch))
+                    with profiled_phase("backward"):
+                        losses["loss"].backward()
                     logs = {
                         key: float(value.item()) if isinstance(value, Tensor) else float(value)
                         for key, value in losses.items()
@@ -467,6 +531,11 @@ class Trainer:
                     totals[key] = totals.get(key, 0.0) + value
                 n_batches += 1
                 self._emit("on_batch_end", logs)
+                if self.step_arena is not None:
+                    # roll the pool generation: every per-step buffer becomes
+                    # reusable (parameter gradients live in private buffers
+                    # and survive accumulation windows)
+                    self.step_arena.advance()
                 if self.state.stop_training:
                     aborted = True
                     break
@@ -487,6 +556,11 @@ class Trainer:
                 key: value / max(n_batches, 1) for key, value in totals.items()
             }
             epoch_logs["learning_rate"] = self.optimizer.lr
+            if self.profiler is not None:
+                for phase, seconds in self.profiler.snapshot().items():
+                    epoch_logs[f"profile_{phase}_seconds"] = seconds - profile_start.get(
+                        phase, 0.0
+                    )
             for name in self.loop.metric_names():
                 # an epoch with zero usable batches still records every
                 # declared metric (as 0.0), keeping the seed loops' fixed

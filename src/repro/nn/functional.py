@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.arena import active_arena, result_template
+from repro.nn.tensor import Tensor, _unbroadcast, get_default_dtype
 
 
 # --------------------------------------------------------------------------- #
@@ -91,15 +92,31 @@ def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
 # --------------------------------------------------------------------------- #
 # im2col helpers (1-D)
 # --------------------------------------------------------------------------- #
-def _im2col_1d(x: np.ndarray, kernel: int, stride: int, dilation: int) -> np.ndarray:
-    """Turn ``(B, C, T_padded)`` into ``(B, out_t, C*kernel)`` patches."""
+def _im2col_1d(
+    x: np.ndarray, kernel: int, stride: int, dilation: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Turn ``(B, C, T_padded)`` into ``(B, out_t, C*kernel)`` patches.
+
+    ``out`` optionally receives the patch matrix (an arena buffer of shape
+    ``(B, out_t, C*kernel)``); the copy into it materialises the identical
+    element order the ``ascontiguousarray`` path produces.
+    """
     batch, channels, length = x.shape
     span = (kernel - 1) * dilation + 1
     out_t = (length - span) // stride + 1
-    windows = np.lib.stride_tricks.sliding_window_view(x, span, axis=2)
-    windows = windows[:, :, ::stride, ::dilation]  # (B, C, out_t, kernel)
-    cols = windows.transpose(0, 2, 1, 3).reshape(batch, out_t, channels * kernel)
-    return np.ascontiguousarray(cols)
+    if out is None:
+        out = np.empty((batch, out_t, channels * kernel), dtype=x.dtype)
+    # fill tap by tap: each tap is one long strided slice of x, so the copy
+    # runs K large memmoves instead of one gather with a K-element inner
+    # loop (3-4x faster for the K=3 trunk convs); a copy is a copy — the
+    # element values (and the C-contiguous patch layout) are identical to
+    # the old transpose-gather
+    taps = out.reshape(batch, out_t, channels, kernel)
+    end = (out_t - 1) * stride + 1
+    for k in range(kernel):
+        offset = k * dilation
+        taps[:, :, :, k] = x[:, :, offset : offset + end : stride].transpose(0, 2, 1)
+    return out
 
 
 def _col2im_1d_reference(
@@ -148,14 +165,31 @@ def _col2im_1d(
 ) -> np.ndarray:
     """Scatter ``(B, out_t, C*kernel)`` gradients back to ``(B, C, T_padded)``.
 
-    One ``np.bincount`` scatter over all kernel taps at once replaces the
-    per-tap ``np.add.at`` loop of :func:`_col2im_1d_reference`.  The flatten
-    order is tap-major, so overlapping contributions accumulate in exactly
-    the reference order and the float64 result is bit-identical to it.
+    float64 keeps the documented ``np.bincount`` scatter over all kernel taps
+    at once (tap-major flatten order, bit-identical to
+    :func:`_col2im_1d_reference`).  float32 takes a native per-tap strided-add
+    path: positions within one tap are unique, so a basic-slicing ``+=`` per
+    tap accumulates in the same tap order the reference does — bit-identical
+    to the reference *in float32*, with no full-size float64 round trip (the
+    old path accumulated in float64 and cast back every backward).
     """
     batch, channels, length = x_shape
     span = (kernel - 1) * dilation + 1
     out_t = (length - span) // stride + 1
+
+    if cols.dtype != np.float64:
+        arena = active_arena()
+        if arena is not None:
+            grad_x = arena.scratch("col2im1d", x_shape, cols.dtype)
+            grad_x[...] = 0
+        else:
+            grad_x = np.zeros(x_shape, dtype=cols.dtype)
+        taps = cols.reshape(batch, out_t, channels, kernel)
+        end = (out_t - 1) * stride + 1
+        for k in range(kernel):
+            offset = k * dilation
+            grad_x[:, :, offset : offset + end : stride] += taps[:, :, :, k].transpose(0, 2, 1)
+        return grad_x
 
     def build() -> np.ndarray:
         positions = (
@@ -168,7 +202,6 @@ def _col2im_1d(
     taps = cols.reshape(batch, out_t, channels, kernel)
     values = taps.transpose(0, 2, 3, 1).reshape(-1)
     flat = np.bincount(index, weights=values, minlength=batch * channels * length)
-    # bincount accumulates in float64; cast back for float32 pipelines
     return flat.reshape(x_shape).astype(cols.dtype, copy=False)
 
 
@@ -180,6 +213,7 @@ def conv1d(
     stride: int = 1,
     padding: int = 0,
     dilation: int = 1,
+    relu: bool = False,
 ) -> Tensor:
     """1-D convolution.
 
@@ -191,6 +225,16 @@ def conv1d(
         Kernel of shape ``(C_out, C_in, K)``.
     bias:
         Optional bias of shape ``(C_out,)``.
+    relu:
+        Fuse a ReLU into this node.  Bit-identical to ``conv1d(...).relu()``:
+        the forward applies the same ``out * (out > 0)`` product and the
+        backward masks the incoming gradient in the same layout the
+        decomposed relu node would before the convolution VJPs run.
+
+    When a :class:`~repro.nn.arena.StepArena` is active, the padded input,
+    patch matrix, output and relu mask all come from pooled buffers and the
+    matmuls write through ``out=`` — the same arithmetic, no steady-state
+    allocations.
     """
     if x.ndim != 3:
         raise ValueError(f"conv1d expects (B, C, T) input, got shape {x.shape}")
@@ -199,49 +243,145 @@ def conv1d(
         raise ValueError(
             f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
         )
-    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
-    cols = _im2col_1d(x_padded, kernel, stride, dilation)  # (B, out_t, C_in*K)
+    arena = active_arena()
+    batch = x.shape[0]
+    if padding:
+        if arena is not None:
+            padded_shape = (batch, in_channels, x.shape[2] + 2 * padding)
+            x_padded = arena.scratch("conv1d.pad", padded_shape, x.data.dtype)
+            x_padded[...] = 0
+            x_padded[:, :, padding : padding + x.shape[2]] = x.data
+        else:
+            x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)))
+    else:
+        x_padded = x.data
+    span = (kernel - 1) * dilation + 1
+    out_t = (x_padded.shape[2] - span) // stride + 1
     w_flat = weight.data.reshape(out_channels, -1)  # (C_out, C_in*K)
-    out_data = cols @ w_flat.T  # (B, out_t, C_out)
+    if arena is not None:
+        cols = _im2col_1d(
+            x_padded,
+            kernel,
+            stride,
+            dilation,
+            out=arena.buffer("conv1d.cols", (batch, out_t, in_channels * kernel), x_padded.dtype),
+        )
+    else:
+        cols = _im2col_1d(x_padded, kernel, stride, dilation)  # (B, out_t, C_in*K)
+    if arena is not None and cols.dtype == w_flat.dtype:
+        out_data = np.matmul(
+            cols, w_flat.T, out=arena.buffer("conv1d.out", (batch, out_t, out_channels), cols.dtype)
+        )
+    else:
+        out_data = cols @ w_flat.T  # (B, out_t, C_out)
     if bias is not None:
-        out_data = out_data + bias.data
-    out_data = out_data.transpose(0, 2, 1)  # (B, C_out, out_t)
+        if bias.data.dtype == out_data.dtype:
+            out_data += bias.data
+        else:
+            out_data = out_data + bias.data
+    mask = None
+    if relu:
+        # mask kept in the pre-transpose (B, out_t, C_out) layout; the
+        # elementwise product is layout-independent, so this matches the
+        # decomposed relu applied after the transpose bit for bit
+        if arena is not None:
+            mask = np.greater(out_data, 0, out=arena.buffer("conv1d.mask", out_data.shape, np.bool_))
+        else:
+            mask = out_data > 0
+        np.multiply(out_data, mask, out=out_data)
+    out_view = out_data.transpose(0, 2, 1)  # (B, C_out, out_t)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    x_padded_shape = x_padded.shape
 
     def backward(grad):
+        pool = active_arena()
+        if mask is not None:
+            mask_t = mask.transpose(0, 2, 1)
+            if pool is not None and grad.shape == mask_t.shape:
+                grad = np.multiply(
+                    grad,
+                    mask_t,
+                    out=pool.scratch(
+                        "conv1d.gmask",
+                        grad.shape,
+                        grad.dtype,
+                        like=result_template(grad.shape, grad, mask_t),
+                    ),
+                )
+            else:
+                grad = grad * mask_t
         grad_out = grad.transpose(0, 2, 1)  # (B, out_t, C_out)
         if weight.requires_grad:
             if grad_out.dtype == np.float32 and cols.dtype == np.float32:
                 # BLAS sgemm beats c_einsum on the float32 fast path; the
                 # float64 reference keeps einsum's bit-exact accumulation
-                flat_grad = grad_out.reshape(-1, out_channels)
-                grad_w = (flat_grad.T @ cols.reshape(flat_grad.shape[0], -1)).reshape(weight.shape)
+                rows = grad_out.shape[0] * grad_out.shape[1]
+                if pool is not None:
+                    flat_grad = pool.scratch("conv1d.gflat", (rows, out_channels), grad_out.dtype)
+                    np.copyto(flat_grad.reshape(grad_out.shape), grad_out)
+                else:
+                    flat_grad = grad_out.reshape(rows, out_channels)
+                cols_flat = cols.reshape(rows, -1)
+                if pool is not None:
+                    grad_w = np.matmul(
+                        flat_grad.T,
+                        cols_flat,
+                        out=pool.scratch(
+                            "conv1d.gw", (out_channels, cols_flat.shape[1]), grad_out.dtype
+                        ),
+                    )
+                else:
+                    grad_w = flat_grad.T @ cols_flat
+                weight._accumulate(grad_w.reshape(weight.shape))
             else:
                 grad_w = np.einsum("bto,btk->ok", grad_out, cols).reshape(weight.shape)
-            weight._accumulate(grad_w)
+                weight._accumulate(grad_w)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_out.sum(axis=(0, 1)))
         if x.requires_grad:
-            grad_cols = grad_out @ w_flat  # (B, out_t, C_in*K)
-            grad_padded = _col2im_1d(grad_cols, x_padded.shape, kernel, stride, dilation)
+            if pool is not None and grad_out.dtype == w_flat.dtype:
+                grad_cols = np.matmul(
+                    grad_out,
+                    w_flat,
+                    out=pool.scratch(
+                        "conv1d.gcols", (batch, out_t, in_channels * kernel), grad_out.dtype
+                    ),
+                )
+            else:
+                grad_cols = grad_out @ w_flat  # (B, out_t, C_in*K)
+            grad_padded = _col2im_1d(grad_cols, x_padded_shape, kernel, stride, dilation)
             if padding:
                 grad_padded = grad_padded[:, :, padding:-padding]
             x._accumulate(grad_padded)
 
-    return Tensor._make(out_data, parents, backward)
+    return Tensor._make(out_view, parents, backward)
 
 
 # --------------------------------------------------------------------------- #
 # im2col helpers (2-D)
 # --------------------------------------------------------------------------- #
-def _im2col_2d(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int]) -> np.ndarray:
-    """Turn ``(B, C, H, W)`` into ``(B, out_h, out_w, C*kh*kw)`` patches."""
+def _im2col_2d(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Turn ``(B, C, H, W)`` into ``(B, out_h, out_w, C*kh*kw)`` patches.
+
+    ``out`` optionally receives the patch matrix (see :func:`_im2col_1d`).
+    """
     kh, kw = kernel
     sh, sw = stride
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::sh, ::sw]  # (B, C, out_h, out_w, kh, kw)
     batch, channels, out_h, out_w = windows.shape[:4]
+    if out is not None:
+        np.copyto(
+            out.reshape(batch, out_h, out_w, channels, kh, kw),
+            windows.transpose(0, 2, 3, 1, 4, 5),
+        )
+        return out
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h, out_w, channels * kh * kw)
     return np.ascontiguousarray(cols)
 
@@ -278,15 +418,34 @@ def _col2im_2d(
 ) -> np.ndarray:
     """Scatter patch gradients back onto the padded input image.
 
-    Single ``np.bincount`` scatter over all ``kh*kw`` taps, replacing the
-    nested per-tap Python loops of :func:`_col2im_2d_reference`; tap-major
-    flatten order keeps the float64 result bit-identical to the reference.
+    float64: single ``np.bincount`` scatter over all ``kh*kw`` taps
+    (tap-major flatten order, bit-identical to
+    :func:`_col2im_2d_reference`).  float32: native per-tap strided adds in
+    the reference's ``(i, j)`` tap order — bit-identical to the reference in
+    float32 and free of the full-size float64 accumulate + cast.
     """
     batch, channels, height, width = x_shape
     kh, kw = kernel
     sh, sw = stride
     out_h = (height - kh) // sh + 1
     out_w = (width - kw) // sw + 1
+
+    if cols.dtype != np.float64:
+        arena = active_arena()
+        if arena is not None:
+            grad_x = arena.scratch("col2im2d", x_shape, cols.dtype)
+            grad_x[...] = 0
+        else:
+            grad_x = np.zeros(x_shape, dtype=cols.dtype)
+        taps = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+        end_h = (out_h - 1) * sh + 1
+        end_w = (out_w - 1) * sw + 1
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i : i + end_h : sh, j : j + end_w : sw] += taps[
+                    :, :, :, :, i, j
+                ].transpose(0, 3, 1, 2)
+        return grad_x
 
     def build() -> np.ndarray:
         positions = (
@@ -312,8 +471,14 @@ def conv2d(
     *,
     stride: int | tuple[int, int] = 1,
     padding: int | tuple[int, int] = 0,
+    relu: bool = False,
 ) -> Tensor:
-    """2-D convolution over ``(B, C_in, H, W)`` input with ``(C_out, C_in, kh, kw)`` kernels."""
+    """2-D convolution over ``(B, C_in, H, W)`` input with ``(C_out, C_in, kh, kw)`` kernels.
+
+    ``relu`` fuses a ReLU into this node and an active
+    :class:`~repro.nn.arena.StepArena` pools every intermediate, exactly as
+    in :func:`conv1d`.
+    """
     if x.ndim != 4:
         raise ValueError(f"conv2d expects (B, C, H, W) input, got shape {x.shape}")
     stride = (stride, stride) if isinstance(stride, int) else tuple(stride)
@@ -324,39 +489,266 @@ def conv2d(
             f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
         )
     ph, pw = padding
-    x_padded = (
-        np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
-    )
-    cols = _im2col_2d(x_padded, (kh, kw), stride)  # (B, oh, ow, C*kh*kw)
+    arena = active_arena()
+    batch = x.shape[0]
+    if ph or pw:
+        if arena is not None:
+            padded_shape = (batch, in_channels, x.shape[2] + 2 * ph, x.shape[3] + 2 * pw)
+            x_padded = arena.scratch("conv2d.pad", padded_shape, x.data.dtype)
+            x_padded[...] = 0
+            x_padded[:, :, ph : ph + x.shape[2], pw : pw + x.shape[3]] = x.data
+        else:
+            x_padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        x_padded = x.data
+    sh, sw = stride
+    out_h = (x_padded.shape[2] - kh) // sh + 1
+    out_w = (x_padded.shape[3] - kw) // sw + 1
     w_flat = weight.data.reshape(out_channels, -1)
-    out_data = cols @ w_flat.T  # (B, oh, ow, C_out)
+    patch = in_channels * kh * kw
+    if arena is not None:
+        cols = _im2col_2d(
+            x_padded,
+            (kh, kw),
+            stride,
+            out=arena.buffer("conv2d.cols", (batch, out_h, out_w, patch), x_padded.dtype),
+        )
+    else:
+        cols = _im2col_2d(x_padded, (kh, kw), stride)  # (B, oh, ow, C*kh*kw)
+    if arena is not None and cols.dtype == w_flat.dtype:
+        out_data = np.matmul(
+            cols,
+            w_flat.T,
+            out=arena.buffer("conv2d.out", (batch, out_h, out_w, out_channels), cols.dtype),
+        )
+    else:
+        out_data = cols @ w_flat.T  # (B, oh, ow, C_out)
     if bias is not None:
-        out_data = out_data + bias.data
-    out_data = out_data.transpose(0, 3, 1, 2)
+        if bias.data.dtype == out_data.dtype:
+            out_data += bias.data
+        else:
+            out_data = out_data + bias.data
+    mask = None
+    if relu:
+        if arena is not None:
+            mask = np.greater(out_data, 0, out=arena.buffer("conv2d.mask", out_data.shape, np.bool_))
+        else:
+            mask = out_data > 0
+        np.multiply(out_data, mask, out=out_data)
+    out_view = out_data.transpose(0, 3, 1, 2)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    x_padded_shape = x_padded.shape
 
     def backward(grad):
+        pool = active_arena()
+        if mask is not None:
+            mask_t = mask.transpose(0, 3, 1, 2)
+            if pool is not None and grad.shape == mask_t.shape:
+                grad = np.multiply(
+                    grad,
+                    mask_t,
+                    out=pool.scratch(
+                        "conv2d.gmask",
+                        grad.shape,
+                        grad.dtype,
+                        like=result_template(grad.shape, grad, mask_t),
+                    ),
+                )
+            else:
+                grad = grad * mask_t
         grad_out = grad.transpose(0, 2, 3, 1)  # (B, oh, ow, C_out)
         if weight.requires_grad:
             if grad_out.dtype == np.float32 and cols.dtype == np.float32:
-                flat_grad = grad_out.reshape(-1, out_channels)
-                grad_w = (flat_grad.T @ cols.reshape(flat_grad.shape[0], -1)).reshape(weight.shape)
+                rows = grad_out.shape[0] * grad_out.shape[1] * grad_out.shape[2]
+                if pool is not None:
+                    flat_grad = pool.scratch("conv2d.gflat", (rows, out_channels), grad_out.dtype)
+                    np.copyto(flat_grad.reshape(grad_out.shape), grad_out)
+                else:
+                    flat_grad = grad_out.reshape(rows, out_channels)
+                cols_flat = cols.reshape(rows, -1)
+                if pool is not None:
+                    grad_w = np.matmul(
+                        flat_grad.T,
+                        cols_flat,
+                        out=pool.scratch(
+                            "conv2d.gw", (out_channels, cols_flat.shape[1]), grad_out.dtype
+                        ),
+                    )
+                else:
+                    grad_w = flat_grad.T @ cols_flat
+                weight._accumulate(grad_w.reshape(weight.shape))
             else:
                 grad_w = np.einsum("bhwo,bhwk->ok", grad_out, cols).reshape(weight.shape)
-            weight._accumulate(grad_w)
+                weight._accumulate(grad_w)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_out.sum(axis=(0, 1, 2)))
         if x.requires_grad:
-            grad_cols = grad_out @ w_flat
-            grad_padded = _col2im_2d(grad_cols, x_padded.shape, (kh, kw), stride)
+            if pool is not None and grad_out.dtype == w_flat.dtype:
+                grad_cols = np.matmul(
+                    grad_out,
+                    w_flat,
+                    out=pool.scratch(
+                        "conv2d.gcols", (batch, out_h, out_w, patch), grad_out.dtype
+                    ),
+                )
+            else:
+                grad_cols = grad_out @ w_flat
+            grad_padded = _col2im_2d(grad_cols, x_padded_shape, (kh, kw), stride)
             if ph or pw:
                 grad_padded = grad_padded[
                     :, :, ph : grad_padded.shape[2] - ph or None, pw : grad_padded.shape[3] - pw or None
                 ]
             x._accumulate(grad_padded)
 
-    return Tensor._make(out_data, parents, backward)
+    return Tensor._make(out_view, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# Batch normalisation (fused training node)
+# --------------------------------------------------------------------------- #
+def batch_norm_train(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    *,
+    axes: tuple[int, ...],
+    shape: tuple[int, ...],
+    eps: float,
+) -> tuple[Tensor, np.ndarray, np.ndarray]:
+    """Fused training-mode batch norm: normalise + affine as one autograd node.
+
+    Bit-identical — outputs *and* accumulated gradients — to the decomposed
+    graph the ``BatchNorm*d`` layers used to build::
+
+        mean = x.mean(axes, keepdims=True)
+        var = x.var(axes, keepdims=True)
+        (x - mean) / ((var + eps) ** 0.5) * w.reshape(shape) + b.reshape(shape)
+
+    The forward replays the same expression sequence (including the
+    reciprocal-count and ``eps`` scalars coerced to the ambient default
+    dtype, exactly as ``Tensor._coerce`` would).  The backward replays the
+    decomposed graph's DFS execution order: ``x`` receives its four
+    contributions in the same sequence (normalised branch, its mean
+    reduction, the variance square node's doubled product, the variance mean
+    reduction), the square node's gradient is formed as ``p + p`` like the
+    double accumulation of ``centered * centered``, and every reduction goes
+    through the same sequential per-axis sums as ``_unbroadcast``.  With an
+    active :class:`~repro.nn.arena.StepArena` the full-size intermediates
+    are pooled; only the tiny per-channel statistics allocate.
+
+    Returns ``(out, mean, var)`` with the batch statistics as raw keepdims
+    arrays for the layer's running-average update.
+    """
+    count = 1
+    for axis in axes:
+        count *= x.shape[axis]
+    c_arr = np.asarray(1.0 / count, dtype=get_default_dtype())
+    eps_arr = np.asarray(eps, dtype=get_default_dtype())
+    xd = x.data
+    arena = active_arena()
+    mean = xd.sum(axis=axes, keepdims=True) * c_arr
+    w_r = weight.data.reshape(shape)
+    b_r = bias.data.reshape(shape)
+    pooled = (
+        arena is not None
+        and mean.dtype == xd.dtype
+        and w_r.dtype == xd.dtype
+        and b_r.dtype == xd.dtype
+    )
+    if pooled:
+        # buffers take the layout the allocate-fresh expressions would: every
+        # node here follows ``xd`` (``mean`` / ``std`` / ``w_r`` broadcast and
+        # so don't constrain the result layout), and reductions over these
+        # arrays must iterate exactly like the reference's
+        like = result_template(xd.shape, xd)
+        centered = np.subtract(
+            xd, mean, out=arena.buffer("bn.centered", xd.shape, xd.dtype, like=like)
+        )
+        square = np.multiply(
+            centered, centered, out=arena.scratch("bn.sq", xd.shape, xd.dtype, like=centered)
+        )
+    else:
+        centered = xd - mean
+        square = centered * centered
+    var = square.sum(axis=axes, keepdims=True) * c_arr
+    a3 = var + eps_arr
+    std = a3**0.5
+    if pooled:
+        normalised = np.divide(
+            centered, std, out=arena.buffer("bn.norm", xd.shape, xd.dtype, like=centered)
+        )
+        out_data = np.multiply(
+            normalised, w_r, out=arena.buffer("bn.out", xd.shape, xd.dtype, like=normalised)
+        )
+        np.add(out_data, b_r, out=out_data)
+    else:
+        normalised = centered / std
+        out_data = normalised * w_r + b_r
+
+    def backward(g):
+        pool = active_arena()
+        # the pooled backward is layout-faithful only for a C-contiguous
+        # incoming gradient: the reference's ``broadcast_to(...).astype``
+        # addends are C, so every fresh intermediate below lands in C order
+        # exactly when ``g`` starts there (mixed-layout products fall back to
+        # C).  A permuted ``g`` takes the allocate-fresh reference branch.
+        use_pool = (
+            pool is not None
+            and g.dtype == xd.dtype
+            and mean.dtype == xd.dtype
+            and g.flags.c_contiguous
+        )
+        std2 = std**2
+        if x.requires_grad:
+            if use_pool:
+                gd = np.multiply(g, w_r, out=pool.scratch("bn.gd", xd.shape, g.dtype))
+                gx = np.divide(gd, std, out=pool.scratch("bn.gx", xd.shape, g.dtype))
+            else:
+                gd = g * w_r
+                gx = gd / std
+            # contribution 2: through the normalised branch's mean node
+            gs1 = -_unbroadcast(gx, mean.shape) * c_arr
+            if use_pool:
+                np.add(gx, gs1, out=gx)
+            else:
+                gx = gx + np.broadcast_to(gs1, xd.shape).astype(xd.dtype)
+            # variance branch: divide node -> pow node -> mean -> square
+            if use_pool:
+                tmp = np.negative(gd, out=pool.scratch("bn.tmp", xd.shape, g.dtype))
+                np.multiply(tmp, centered, out=tmp)
+                np.divide(tmp, std2, out=tmp)
+            else:
+                tmp = -gd * centered / std2
+            gp1 = _unbroadcast(tmp, mean.shape)
+            ga3 = gp1 * 0.5 * a3 ** (-0.5)
+            gs2 = ga3 * c_arr
+            # contribution 3: the square node accumulates its product twice
+            if use_pool:
+                prod = np.multiply(gs2, centered, out=pool.scratch("bn.p", xd.shape, g.dtype))
+                np.add(prod, prod, out=prod)
+                np.add(gx, prod, out=gx)
+                gs1b = -_unbroadcast(prod, mean.shape) * c_arr
+                np.add(gx, gs1b, out=gx)
+            else:
+                spread = np.broadcast_to(gs2, xd.shape).astype(xd.dtype)
+                prod = spread * centered
+                ga1 = prod + prod
+                gx = gx + ga1
+                gs1b = -_unbroadcast(ga1, mean.shape) * c_arr
+                gx = gx + np.broadcast_to(gs1b, xd.shape).astype(xd.dtype)
+            x._accumulate(gx)
+        if weight.requires_grad:
+            if use_pool:
+                tw = np.multiply(g, normalised, out=pool.scratch("bn.tmp", xd.shape, g.dtype))
+            else:
+                tw = g * normalised
+            weight._accumulate(_unbroadcast(tw, mean.shape).reshape(weight.shape))
+        if bias.requires_grad:
+            bias._accumulate(_unbroadcast(g, mean.shape).reshape(bias.shape))
+
+    out = Tensor._make(out_data, (x, weight, bias), backward)
+    return out, mean, var
 
 
 # --------------------------------------------------------------------------- #

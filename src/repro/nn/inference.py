@@ -53,15 +53,20 @@ class Workspace:
     last micro-batch is smaller than the rest (``n % batch_size != 0``) keeps
     one buffer per shape instead of reallocating on every size flip.
     :attr:`hits` / :attr:`misses` count reuses and allocations, which the
-    perf suite uses to assert that steady-state serving allocates nothing.
+    perf suite uses to assert that steady-state serving allocates nothing;
+    :attr:`peak_bytes` is the high-water mark of the pooled footprint.  The
+    counters surface through :meth:`stats` (and from there through
+    ``ModelServer.stats()`` and ``bench_report``).
     """
 
-    __slots__ = ("_buffers", "hits", "misses")
+    __slots__ = ("_buffers", "_nbytes", "hits", "misses", "peak_bytes")
 
     def __init__(self):
         self._buffers: dict[tuple, np.ndarray] = {}
+        self._nbytes = 0
         self.hits = 0
         self.misses = 0
+        self.peak_bytes = 0
 
     def buffer(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """Return an uninitialised buffer of ``shape``/``dtype`` for ``tag``."""
@@ -71,17 +76,31 @@ class Workspace:
             buf = np.empty(shape, dtype=dtype)
             self._buffers[key] = buf
             self.misses += 1
+            self._nbytes += buf.nbytes
+            if self._nbytes > self.peak_bytes:
+                self.peak_bytes = self._nbytes
         else:
             self.hits += 1
         return buf
 
     def nbytes(self) -> int:
         """Total bytes currently held by the arena."""
-        return sum(buf.nbytes for buf in self._buffers.values())
+        return self._nbytes
 
     def clear(self) -> None:
         """Drop every buffer (e.g. after a one-off oversized batch)."""
         self._buffers.clear()
+        self._nbytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (plain ints, JSON-safe) for reports and tests."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "nbytes": int(self._nbytes),
+            "peak_bytes": int(self.peak_bytes),
+            "buffers": len(self._buffers),
+        }
 
 
 def _buffer(workspace: Workspace | None, tag: str, shape, dtype) -> np.ndarray:

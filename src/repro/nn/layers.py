@@ -67,7 +67,7 @@ class Conv1d(Module):
         self.weight = Parameter(init.kaiming_uniform((out_channels, in_channels, kernel_size), rng))
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, relu: bool = False) -> Tensor:
         return F.conv1d(
             x,
             self.weight,
@@ -75,6 +75,7 @@ class Conv1d(Module):
             stride=self.stride,
             padding=self.padding,
             dilation=self.dilation,
+            relu=relu,
         )
 
     def __repr__(self) -> str:
@@ -110,18 +111,27 @@ class Conv2d(Module):
         )
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+    def forward(self, x: Tensor, relu: bool = False) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding, relu=relu
+        )
 
 
 class BatchNorm1d(Module):
-    """Batch normalisation over ``(B, C)`` or ``(B, C, T)`` tensors."""
+    """Batch normalisation over ``(B, C)`` or ``(B, C, T)`` tensors.
+
+    Training-mode normalisation runs through the fused
+    :func:`repro.nn.functional.batch_norm_train` node (bit-identical to the
+    decomposed graph); set ``fused = False`` to fall back to the closure
+    reference, which the precision tests use as the comparison baseline.
+    """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
         super().__init__()
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
+        self.fused = True
         self.weight = Parameter(init.ones((num_features,)))
         self.bias = Parameter(init.zeros((num_features,)))
         self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
@@ -129,6 +139,14 @@ class BatchNorm1d(Module):
 
     def _buffers(self):
         return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def _update_running(self, mean_data: np.ndarray, var_data: np.ndarray) -> None:
+        self.running_mean = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean_data.reshape(-1)
+        )
+        self.running_var = (
+            (1 - self.momentum) * self.running_var + self.momentum * var_data.reshape(-1)
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim == 2:
@@ -138,14 +156,15 @@ class BatchNorm1d(Module):
         else:
             raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got shape {x.shape}")
         if self.training:
+            if self.fused:
+                out, mean_data, var_data = F.batch_norm_train(
+                    x, self.weight, self.bias, axes=axes, shape=shape, eps=self.eps
+                )
+                self._update_running(mean_data, var_data)
+                return out
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
-            )
+            self._update_running(mean.data, var.data)
         else:
             mean = Tensor(self.running_mean.reshape(shape))
             var = Tensor(self.running_var.reshape(shape))
@@ -154,13 +173,18 @@ class BatchNorm1d(Module):
 
 
 class BatchNorm2d(Module):
-    """Batch normalisation over ``(B, C, H, W)`` tensors."""
+    """Batch normalisation over ``(B, C, H, W)`` tensors.
+
+    Uses the same fused training node (and ``fused`` escape hatch) as
+    :class:`BatchNorm1d`.
+    """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
         super().__init__()
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
+        self.fused = True
         self.weight = Parameter(init.ones((num_features,)))
         self.bias = Parameter(init.zeros((num_features,)))
         self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
@@ -169,19 +193,28 @@ class BatchNorm2d(Module):
     def _buffers(self):
         return {"running_mean": self.running_mean, "running_var": self.running_var}
 
+    def _update_running(self, mean_data: np.ndarray, var_data: np.ndarray) -> None:
+        self.running_mean = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean_data.reshape(-1)
+        )
+        self.running_var = (
+            (1 - self.momentum) * self.running_var + self.momentum * var_data.reshape(-1)
+        )
+
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects 4-D input, got shape {x.shape}")
         shape = (1, self.num_features, 1, 1)
         if self.training:
+            if self.fused:
+                out, mean_data, var_data = F.batch_norm_train(
+                    x, self.weight, self.bias, axes=(0, 2, 3), shape=shape, eps=self.eps
+                )
+                self._update_running(mean_data, var_data)
+                return out
             mean = x.mean(axis=(0, 2, 3), keepdims=True)
             var = x.var(axis=(0, 2, 3), keepdims=True)
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
-            )
+            self._update_running(mean.data, var.data)
         else:
             mean = Tensor(self.running_mean.reshape(shape))
             var = Tensor(self.running_var.reshape(shape))

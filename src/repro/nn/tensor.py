@@ -18,6 +18,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.arena import _normalized_strides, active_arena, result_template
+
 _GRAD_ENABLED = True
 
 #: dtypes the compute core supports (see ``repro.engine.DtypePolicy``)
@@ -113,7 +115,16 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_buf",
+        "_grad_owned",
+        "name",
+    )
     __array_priority__ = 1000  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
@@ -124,6 +135,11 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
+        #: private persistent gradient buffer of a leaf tensor (parameters):
+        #: allocated on the first arena-scoped accumulate, reused every step
+        self._grad_buf: np.ndarray | None = None
+        #: whether ``grad`` is a buffer this tensor may mutate in place
+        self._grad_owned = False
         self.name = name
 
     # ------------------------------------------------------------------ utils
@@ -162,8 +178,9 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
+        """Reset the accumulated gradient (a pooled buffer is kept for reuse)."""
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------- graph core
     @staticmethod
@@ -183,9 +200,48 @@ class Tensor:
         if self.grad is None:
             # gradients live in the tensor's own dtype, so float32 parameters
             # keep float32 optimizer state end to end
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            arena = active_arena()
+            if arena is not None and grad.shape == self.data.shape:
+                # buffers mirror the layout ``grad.astype(..., copy=True)``
+                # (order 'K') would produce, so later reductions over this
+                # gradient iterate exactly like the allocate-fresh path
+                if self._backward is None:
+                    # leaf (parameter) gradients outlive the step (gradient
+                    # accumulation windows, optimizer reads), so they get a
+                    # private per-tensor buffer instead of a pooled slot
+                    buf = self._grad_buf
+                    if (
+                        buf is None
+                        or buf.shape != self.data.shape
+                        or buf.dtype != self.data.dtype
+                        or _normalized_strides(buf) != _normalized_strides(grad)
+                    ):
+                        buf = self._grad_buf = np.empty_like(grad, dtype=self.data.dtype)
+                else:
+                    buf = arena.buffer("grad", self.data.shape, self.data.dtype, like=grad)
+                np.copyto(buf, grad)
+                self.grad = buf
+                self._grad_owned = True
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
+                self._grad_owned = True
+        elif (
+            self._grad_owned
+            and grad.dtype == self.grad.dtype
+            and grad.shape == self.grad.shape
+            and (
+                self.grad.flags["C_CONTIGUOUS"]
+                or self.grad.strides == grad.strides
+            )
+        ):
+            # in-place accumulation: bit-identical to ``self.grad + grad``,
+            # and layout-identical too — the fresh sum would follow
+            # ``self.grad``'s layout when the strides agree and fall back to
+            # C order (= an already-C ``self.grad``) when they don't
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor.
@@ -217,9 +273,11 @@ class Tensor:
                 continue
             visited.add(id(node))
             stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+            stack.extend(
+                (parent, False)
+                for parent in node._parents
+                if parent.requires_grad and id(parent) not in visited
+            )
 
         self._accumulate(grad)
         for node in reversed(topo):
@@ -263,10 +321,40 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(grad):
+            # the VJP products go through a pooled scratch (consumed by
+            # _accumulate before the next request) when an arena is active;
+            # np.multiply(..., out=) is bit-identical to the * expression
+            arena = active_arena()
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                if arena is not None and other.data.dtype == grad.dtype:
+                    product = np.multiply(
+                        grad,
+                        other.data,
+                        out=arena.scratch(
+                            "mul.vjp",
+                            grad.shape,
+                            grad.dtype,
+                            like=result_template(grad.shape, grad, other.data),
+                        ),
+                    )
+                else:
+                    product = grad * other.data
+                self._accumulate(_unbroadcast(product, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                if arena is not None and self.data.dtype == grad.dtype:
+                    product = np.multiply(
+                        grad,
+                        self.data,
+                        out=arena.scratch(
+                            "mul.vjp",
+                            grad.shape,
+                            grad.dtype,
+                            like=result_template(grad.shape, grad, self.data),
+                        ),
+                    )
+                else:
+                    product = grad * self.data
+                other._accumulate(_unbroadcast(product, other.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -363,14 +451,104 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
+        # ``x * mask`` (not np.maximum) so -0.0 inputs keep their sign bit,
+        # matching the backward's mask arithmetic exactly
+        arena = active_arena()
+        if arena is not None:
+            mask = np.greater(
+                self.data,
+                0,
+                out=arena.buffer("relu.mask", self.data.shape, np.bool_, like=self.data),
+            )
+            out_data = np.multiply(
+                self.data,
+                mask,
+                out=arena.buffer("relu.out", self.data.shape, self.data.dtype, like=self.data),
+            )
+        else:
+            mask = self.data > 0
+            out_data = self.data * mask
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                pool = active_arena()
+                if pool is not None and grad.shape == mask.shape:
+                    self._accumulate(
+                        np.multiply(
+                            grad,
+                            mask,
+                            out=pool.scratch(
+                                "relu.vjp",
+                                grad.shape,
+                                grad.dtype,
+                                like=result_template(grad.shape, grad, mask),
+                            ),
+                        )
+                    )
+                else:
+                    self._accumulate(grad * mask)
 
         return Tensor._make(out_data, (self,), backward)
+
+    def add_relu(self, other) -> "Tensor":
+        """Fused ``(self + other).relu()`` — one autograd node instead of two.
+
+        Bit-identical to the composition: the forward computes the same
+        ``sum * mask`` product, and the backward applies the relu mask once
+        and then accumulates into both operands in the same order the
+        decomposed add node would.  Used by the residual blocks of the TS
+        encoder, where it removes a node, a gradient copy and two
+        intermediate arrays per block per step.
+        """
+        other = self._coerce(other)
+        arena = active_arena()
+        if arena is not None:
+            shape = np.broadcast_shapes(self.data.shape, other.data.shape)
+            dtype = np.result_type(self.data, other.data)
+            total = np.add(
+                self.data,
+                other.data,
+                out=arena.buffer(
+                    "add_relu.out",
+                    shape,
+                    dtype,
+                    like=result_template(shape, self.data, other.data),
+                ),
+            )
+        else:
+            total = self.data + other.data
+        mask = (
+            np.greater(
+                total, 0, out=arena.buffer("add_relu.mask", total.shape, np.bool_, like=total)
+            )
+            if arena is not None
+            else total > 0
+        )
+        # the pre-activation sum is only read here, so the product lands in
+        # its buffer; ``total * mask`` would be the same bits in a fresh array
+        out_data = np.multiply(total, mask, out=total)
+
+        def backward(grad):
+            pool = active_arena()
+            if pool is not None and grad.shape == mask.shape:
+                masked = np.multiply(
+                    grad,
+                    mask,
+                    out=pool.scratch(
+                        "add_relu.vjp",
+                        grad.shape,
+                        grad.dtype,
+                        like=result_template(grad.shape, grad, mask),
+                    ),
+                )
+            else:
+                masked = grad * mask
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(masked, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(masked, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -426,7 +604,15 @@ class Tensor:
                 g = np.asarray(grad)
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
+                arena = active_arena()
+                if arena is not None and g.dtype == self.data.dtype:
+                    # copyto broadcasts, matching broadcast_to(...).astype bit
+                    # for bit without materialising a fresh full-size array
+                    spread = arena.scratch("sum.vjp", self.data.shape, self.data.dtype)
+                    np.copyto(spread, g)
+                    self._accumulate(spread)
+                else:
+                    self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
 
         return Tensor._make(out_data, (self,), backward)
 

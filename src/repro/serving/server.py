@@ -291,7 +291,14 @@ class ModelServer:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
-        """Snapshot of serving counters plus derived batching figures."""
+        """Snapshot of serving counters plus derived batching figures.
+
+        Includes a ``workspace`` section — fused-path buffer-arena counters
+        (``hits`` / ``misses`` / ``nbytes`` / ``peak_bytes`` / ``buffers``)
+        summed across the worker replicas' :class:`~repro.nn.inference.
+        Workspace` arenas — so operators can verify steady-state serving
+        reuses its buffers instead of allocating per batch.
+        """
         snapshot = self._stats.snapshot()
         batches = snapshot.get("batches", 0)
         snapshot["mean_batch_size"] = (
@@ -305,7 +312,21 @@ class ModelServer:
         # even before the first shed / expiry / crash
         for key in ("shed_requests", "deadline_expired", "worker_deaths", "worker_restarts"):
             snapshot.setdefault(key, 0)
+        snapshot["workspace"] = self._workspace_stats()
         return snapshot
+
+    def _workspace_stats(self) -> dict:
+        """Sum the replicas' inference-workspace counters (zeros if opaque)."""
+        merged = {"hits": 0, "misses": 0, "nbytes": 0, "peak_bytes": 0, "buffers": 0}
+        with self._model_lock:
+            replicas = list(self._replicas)
+        for replica in replicas:
+            collect = getattr(replica, "workspace_stats", None)
+            if not callable(collect):
+                continue
+            for key, value in collect().items():
+                merged[key] = merged.get(key, 0) + int(value)
+        return merged
 
     # -- worker side -------------------------------------------------------
 

@@ -56,6 +56,11 @@ METRIC_MARKERS = (
     "goodput_rps",
     "n_shed",
     "n_deadline_expired",
+    # per-phase step profile + buffer-arena counters (PR 10): flat keys like
+    # profile_forward_seconds / arena_misses / workspace_peak_bytes
+    "profile_",
+    "arena_",
+    "workspace_",
 )
 
 

@@ -57,8 +57,10 @@ class ResultTable:
         header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
         lines.append(header)
         lines.append("-+-".join("-" * w for w in widths))
-        for row in self._rows:
-            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.extend(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self._rows
+        )
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - trivial delegation

@@ -15,6 +15,8 @@ fused no-grad inference path.  These tests pin the contract:
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 import pytest
 
@@ -25,6 +27,8 @@ from repro.data.archives import make_dataset
 from repro.encoders import ImageEncoder, TSEncoder
 from repro.nn import Workspace
 from repro.nn import functional as F
+from repro.nn.arena import StepArena, use_arena
+from repro.nn.layers import BatchNorm1d, Conv1d
 from repro.nn.tensor import Tensor, default_dtype, get_default_dtype, no_grad
 
 
@@ -298,6 +302,157 @@ class TestFusedInference:
         assert workspace.nbytes() == buffer.nbytes
         workspace.clear()
         assert workspace.nbytes() == 0
+
+
+# --------------------------------------------------------------------------- #
+# PR 10: fused training kernels + step arena vs the decomposed reference
+# --------------------------------------------------------------------------- #
+def _arena_scope(arena: bool):
+    """A fresh pooled scope, or the allocate-fresh no-op."""
+    return use_arena(StepArena()) if arena else contextlib.nullcontext()
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize("arena", [False, True], ids=["alloc", "arena"])
+class TestFusedTrainingKernels:
+    """Every fused / in-place training kernel is bit-identical to the
+    decomposed closure reference — outputs AND gradients, both dtypes, with
+    the step arena on and off.  ``np.array_equal`` throughout: pooling and
+    fusion must not change a single bit (the pooled buffers replicate the
+    allocate-fresh memory layouts so reduction orders are unchanged)."""
+
+    def test_conv1d_fused_relu(self, dtype, arena):
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=(4, 3, 32))
+        grad = rng.normal(size=(4, 5, 32)).astype(dtype)
+        results = {}
+        for fused in (True, False):
+            with default_dtype(dtype):
+                conv = Conv1d(3, 5, 3, padding=2, dilation=2, rng=13)
+                inp = Tensor(x, requires_grad=True)
+                with _arena_scope(arena):
+                    out = conv(inp, relu=True) if fused else conv(inp).relu()
+                    out.backward(grad)
+            results[fused] = (
+                out.data.copy(),
+                inp.grad.copy(),
+                conv.weight.grad.copy(),
+                conv.bias.grad.copy(),
+            )
+        for fused_side, reference_side in zip(results[True], results[False]):
+            assert np.array_equal(fused_side, reference_side)
+
+    def test_add_relu(self, dtype, arena):
+        rng = np.random.default_rng(22)
+        a = rng.normal(size=(4, 6, 16))
+        b = rng.normal(size=(4, 6, 16))
+        grad = rng.normal(size=(4, 6, 16)).astype(dtype)
+        results = {}
+        for fused in (True, False):
+            with default_dtype(dtype):
+                left = Tensor(a, requires_grad=True)
+                right = Tensor(b, requires_grad=True)
+                with _arena_scope(arena):
+                    out = left.add_relu(right) if fused else (left + right).relu()
+                    out.backward(grad)
+            results[fused] = (out.data.copy(), left.grad.copy(), right.grad.copy())
+        for fused_side, reference_side in zip(results[True], results[False]):
+            assert np.array_equal(fused_side, reference_side)
+
+    def test_batch_norm_train(self, dtype, arena):
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=(4, 6, 16))
+        grad = rng.normal(size=(4, 6, 16)).astype(dtype)
+        scale = rng.normal(size=6)
+        shift = rng.normal(size=6)
+        results = {}
+        for fused in (True, False):
+            with default_dtype(dtype):
+                bn = BatchNorm1d(6)
+                bn.fused = fused
+                bn.weight.data[:] = scale
+                bn.bias.data[:] = shift
+                inp = Tensor(x, requires_grad=True)
+                with _arena_scope(arena):
+                    out = bn(inp)
+                    out.backward(grad)
+            results[fused] = (
+                out.data.copy(),
+                inp.grad.copy(),
+                bn.weight.grad.copy(),
+                bn.bias.grad.copy(),
+                bn.running_mean.copy(),
+                bn.running_var.copy(),
+            )
+        for fused_side, reference_side in zip(results[True], results[False]):
+            assert np.array_equal(fused_side, reference_side)
+
+    def test_ts_encoder_fused_graph(self, dtype, arena):
+        rng = np.random.default_rng(24)
+        x = rng.normal(size=(4, 2, 64))
+        results = {}
+        for fused in (True, False):
+            with default_dtype(dtype):
+                encoder = TSEncoder(hidden_channels=8, repr_dim=16, depth=2, rng=5)
+                for module in encoder.modules():
+                    if hasattr(module, "fused"):
+                        module.fused = fused
+                with _arena_scope(arena):
+                    out = encoder(Tensor(x))
+                    (out * out).sum().backward()
+            results[fused] = (
+                out.data.copy(),
+                {n: p.grad.copy() for n, p in encoder.named_parameters() if p.grad is not None},
+            )
+        assert np.array_equal(results[True][0], results[False][0])
+        assert results[True][1].keys() == results[False][1].keys()
+        for name, reference_grad in results[False][1].items():
+            assert np.array_equal(results[True][1][name], reference_grad), name
+
+    def test_image_encoder_fused_graph(self, dtype, arena):
+        rng = np.random.default_rng(25)
+        images = rng.normal(size=(4, 3, 24, 24))
+        results = {}
+        for fused in (True, False):
+            with default_dtype(dtype):
+                encoder = ImageEncoder(repr_dim=16, base_channels=8, depth=2, rng=11)
+                for module in encoder.modules():
+                    if hasattr(module, "fused"):
+                        module.fused = fused
+                with _arena_scope(arena):
+                    out = encoder(Tensor(images))
+                    (out * out).sum().backward()
+            results[fused] = (
+                out.data.copy(),
+                {n: p.grad.copy() for n, p in encoder.named_parameters() if p.grad is not None},
+                {n: v.copy() for n, v in encoder.state_dict().items()},
+            )
+        assert np.array_equal(results[True][0], results[False][0])
+        for name, reference_grad in results[False][1].items():
+            assert np.array_equal(results[True][1][name], reference_grad), name
+        # BN running statistics advanced identically through the fused node
+        for name, reference_state in results[False][2].items():
+            assert np.array_equal(results[True][2][name], reference_state), name
+
+
+class TestStepArenaCurveParity:
+    """Composition-level contract of ISSUE 10: full pre-training curves are
+    bit-identical with the step arena on and off — the pooled buffers must
+    replicate the exact layouts (and therefore reduction orders) the
+    allocate-fresh graph produces, conv transpose views included."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_pretrain_curves_bit_identical_arena_on_off(self, dtype, pool):
+        histories = {}
+        for step_arena in (True, False):
+            config = small_config(
+                compute_dtype=dtype, image_dtype=dtype, step_arena=step_arena
+            )
+            histories[step_arena] = AimTSPretrainer(config).fit(pool)
+        for metric in ("total_loss", "prototype_loss", "series_image_loss"):
+            on = getattr(histories[True], metric)
+            off = getattr(histories[False], metric)
+            assert on == off, metric  # exact float equality, not allclose
 
 
 # --------------------------------------------------------------------------- #
